@@ -1,0 +1,48 @@
+"""Ablation A — infeasibility-distance cost vs net-cut-only cost.
+
+The paper's central claim (section 3.3): steering the iterative
+improvement by the infeasibility distance, instead of the raw cut-net
+count of [9], is what closes the gap to the lower bound.  This bench
+runs FPART both ways on the XC3020 subset.
+"""
+
+from repro.analysis import render_table
+from repro.circuits import mcnc_circuit
+from repro.core import XC3020, FpartConfig, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "c5315", "s5378", "s9234")
+
+
+def _run():
+    rows = []
+    total_full = total_cut = 0
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        full = fpart(hg, XC3020)
+        cut_only = fpart(
+            hg, XC3020, FpartConfig(use_infeasibility_cost=False)
+        )
+        total_full += full.num_devices
+        total_cut += cut_only.num_devices
+        rows.append(
+            [name, full.num_devices, cut_only.num_devices, full.lower_bound]
+        )
+    rows.append(["Total", total_full, total_cut, None])
+    return rows, total_full, total_cut
+
+
+def bench_ablation_cost_function(benchmark):
+    rows, total_full, total_cut = run_once(benchmark, _run)
+    save(
+        "ablation_cost",
+        render_table(
+            ["Circuit", "infeasibility cost", "cut-only cost", "M"],
+            rows,
+            title="Ablation A: cost function (XC3020)",
+        ),
+    )
+    assert total_full <= total_cut, (
+        "infeasibility-distance cost should not lose to cut-only"
+    )

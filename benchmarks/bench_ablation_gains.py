@@ -1,0 +1,44 @@
+"""Ablation D — 1-level vs 2-level gains (section 3.7).
+
+The paper (after [7]) expects higher-level gains to matter little for
+multi-way FPGA partitioning; this bench quantifies that: aggregate
+device counts with and without the Krishnamurthy-style level-2
+tie-break should be close (within a couple of devices), with level-2
+never catastrophically worse.
+"""
+
+from repro.analysis import render_table
+from repro.circuits import mcnc_circuit
+from repro.core import XC3020, FpartConfig, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "c5315", "s5378", "s9234")
+
+
+def _run():
+    rows = []
+    total_l2 = total_l1 = 0
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        l2 = fpart(hg, XC3020)
+        l1 = fpart(hg, XC3020, FpartConfig(use_level2_gains=False))
+        total_l2 += l2.num_devices
+        total_l1 += l1.num_devices
+        rows.append([name, l2.num_devices, l1.num_devices, l2.lower_bound])
+    rows.append(["Total", total_l2, total_l1, None])
+    return rows, total_l2, total_l1
+
+
+def bench_ablation_gain_levels(benchmark):
+    rows, total_l2, total_l1 = run_once(benchmark, _run)
+    save(
+        "ablation_gains",
+        render_table(
+            ["Circuit", "2-level gains", "1-level gains", "M"],
+            rows,
+            title="Ablation D: gain levels (XC3020)",
+        ),
+    )
+    # "does not have significant impact" — allow a small band either way.
+    assert abs(total_l2 - total_l1) <= 3

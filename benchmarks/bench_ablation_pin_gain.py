@@ -1,0 +1,43 @@
+"""Ablation E — the paper's future-work pin gain (section 5).
+
+"One of the possible directions of future work may be to try to
+incorporate the real gain in I/O pin number of a block instead of the
+gain in number of cut nets."  This bench runs that variant next to the
+published cut-gain mechanism on the XC3020 subset.
+"""
+
+from repro.analysis import render_table
+from repro.circuits import mcnc_circuit
+from repro.core import XC3020, FpartConfig, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "c5315", "s5378", "s9234")
+
+
+def _run():
+    rows = []
+    total_cut = total_pin = 0
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        cut = fpart(hg, XC3020)
+        pin = fpart(hg, XC3020, FpartConfig(gain_mode="pin"))
+        total_cut += cut.num_devices
+        total_pin += pin.num_devices
+        rows.append([name, cut.num_devices, pin.num_devices, cut.lower_bound])
+    rows.append(["Total", total_cut, total_pin, None])
+    return rows, total_cut, total_pin
+
+
+def bench_ablation_pin_gain(benchmark):
+    rows, total_cut, total_pin = run_once(benchmark, _run)
+    save(
+        "ablation_pin_gain",
+        render_table(
+            ["Circuit", "cut gain (paper)", "pin gain (future work)", "M"],
+            rows,
+            title="Ablation E: gain mechanism (XC3020)",
+        ),
+    )
+    # Both must be in the same quality band; neither dominates a priori.
+    assert abs(total_cut - total_pin) <= 4

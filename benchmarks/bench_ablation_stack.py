@@ -1,0 +1,52 @@
+"""Ablation B — solution-stack depth (section 3.6).
+
+``D_stack = 4`` means up to 9 starting solutions per Improve() call;
+depth 0 disables restarts entirely.  Deeper stacks may only help quality
+(and cost time) — the bench records devices *and* runtime per depth.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.circuits import mcnc_circuit
+from repro.core import XC3020, FpartConfig, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "c5315", "s5378", "s9234")
+DEPTHS = (0, 1, 4)
+
+
+def _run():
+    totals = {}
+    times = {}
+    rows = []
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        row = [name]
+        for depth in DEPTHS:
+            start = time.perf_counter()
+            result = fpart(hg, XC3020, FpartConfig(stack_depth=depth))
+            times[depth] = times.get(depth, 0.0) + time.perf_counter() - start
+            totals[depth] = totals.get(depth, 0) + result.num_devices
+            row.append(result.num_devices)
+        rows.append(row)
+    rows.append(["Total"] + [totals[d] for d in DEPTHS])
+    rows.append(["Seconds"] + [round(times[d], 2) for d in DEPTHS])
+    return rows, totals, times
+
+
+def bench_ablation_stack_depth(benchmark):
+    rows, totals, times = run_once(benchmark, _run)
+    save(
+        "ablation_stack",
+        render_table(
+            ["Circuit"] + [f"D_stack={d}" for d in DEPTHS],
+            rows,
+            title="Ablation B: solution-stack depth (XC3020)",
+        ),
+    )
+    # Deeper stacks never lose quality in aggregate.  (No timing
+    # assertion: restarts often pay for themselves by converging the
+    # outer loop in fewer iterations, so wall-clock is not monotone.)
+    assert totals[4] <= totals[0]

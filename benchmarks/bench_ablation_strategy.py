@@ -1,0 +1,46 @@
+"""Ablation C — the improvement strategy (section 3.1).
+
+Compares three schedules: the paper's full strategy (all-block Sanchis
+passes + selected-partner passes), only the freshly split pair (the
+greedy recursion of [9]), and no improvement at all (pure constructive
+splits).  The full strategy's aggregate device count must dominate.
+"""
+
+from repro.analysis import render_table
+from repro.circuits import mcnc_circuit
+from repro.core import XC3020, FpartConfig, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "c5315", "s5378", "s9234")
+STRATEGIES = ("full", "last_pair", "none")
+
+
+def _run():
+    totals = {s: 0 for s in STRATEGIES}
+    rows = []
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        row = [name]
+        for strategy in STRATEGIES:
+            result = fpart(
+                hg, XC3020, FpartConfig(improvement_strategy=strategy)
+            )
+            totals[strategy] += result.num_devices
+            row.append(result.num_devices)
+        rows.append(row)
+    rows.append(["Total"] + [totals[s] for s in STRATEGIES])
+    return rows, totals
+
+
+def bench_ablation_strategy(benchmark):
+    rows, totals = run_once(benchmark, _run)
+    save(
+        "ablation_strategy",
+        render_table(
+            ["Circuit"] + list(STRATEGIES),
+            rows,
+            title="Ablation C: improvement strategy (XC3020)",
+        ),
+    )
+    assert totals["full"] <= totals["last_pair"] <= totals["none"]

@@ -1,0 +1,59 @@
+"""Extension experiment — algorithm families.
+
+Recursive guided improvement (FPART) vs direct k-way Sanchis vs
+simulated annealing ([17]'s family) vs the flow and packing baselines:
+one table per family on the XC3020 subset, devices and seconds.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.baselines import anneal_kway, bfs_pack, direct_kway, fbb_multiway
+from repro.circuits import mcnc_circuit
+from repro.core import XC3020, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "s5378", "s9234")
+
+FAMILIES = (
+    ("FPART (recursive, guided)", lambda hg: fpart(hg, XC3020)),
+    ("direct k-way Sanchis", lambda hg: direct_kway(hg, XC3020)),
+    ("simulated annealing", lambda hg: anneal_kway(hg, XC3020, moves_per_cell=40)),
+    ("FBB-MW* (network flow)", lambda hg: fbb_multiway(hg, XC3020)),
+    ("BFS packing", lambda hg: bfs_pack(hg, XC3020)),
+)
+
+
+def _run():
+    rows = []
+    totals = {label: 0 for label, _ in FAMILIES}
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        row = [name]
+        for label, runner in FAMILIES:
+            start = time.perf_counter()
+            result = runner(hg)
+            elapsed = time.perf_counter() - start
+            totals[label] += result.num_devices
+            row.append(f"{result.num_devices} ({elapsed:.1f}s)")
+        rows.append(row)
+    rows.append(
+        ["Total"] + [str(totals[label]) for label, _ in FAMILIES]
+    )
+    return rows, totals
+
+
+def bench_extension_families(benchmark):
+    rows, totals = run_once(benchmark, _run)
+    save(
+        "extension_families",
+        render_table(
+            ["Circuit"] + [label for label, _ in FAMILIES],
+            rows,
+            title="Extension: algorithm families (XC3020, devices (seconds))",
+        ),
+    )
+    fpart_total = totals["FPART (recursive, guided)"]
+    for label, total in totals.items():
+        assert fpart_total <= total, f"FPART lost to {label}"

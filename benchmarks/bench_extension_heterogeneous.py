@@ -1,0 +1,80 @@
+"""Extension experiment — heterogeneous minimum-cost partitioning ([10]).
+
+The paper restricts to one device type; this extension composes FPART
+with a device library (the four Xilinx parts, priced by capacity) and
+reports the cost win of mixing device types versus the best homogeneous
+solution on each circuit.
+"""
+
+from repro.analysis import render_table
+from repro.circuits import mcnc_circuit
+from repro.core import (
+    XILINX_LIBRARY,
+    UnpartitionableError,
+    fpart,
+    partition_heterogeneous,
+)
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "c5315", "s5378", "s9234")
+
+
+def _best_homogeneous_cost(hg):
+    best = None
+    for entry in XILINX_LIBRARY:
+        try:
+            result = fpart(hg, entry.device)
+        except UnpartitionableError:
+            continue
+        cost = result.num_devices * entry.price
+        if best is None or cost < best[0]:
+            best = (cost, entry.device.name, result.num_devices)
+    return best
+
+
+def _run():
+    rows = []
+    total_hetero = total_homo = 0.0
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        hetero = partition_heterogeneous(hg)
+        homo = _best_homogeneous_cost(hg)
+        assert homo is not None
+        total_hetero += hetero.total_cost
+        total_homo += homo[0]
+        mix = {}
+        for device_name in hetero.block_devices:
+            mix[device_name] = mix.get(device_name, 0) + 1
+        mix_text = "+".join(
+            f"{count}x{device_name}"
+            for device_name, count in sorted(mix.items())
+        )
+        rows.append(
+            [
+                name,
+                round(hetero.total_cost, 2),
+                mix_text,
+                round(homo[0], 2),
+                f"{homo[2]}x{homo[1]}",
+            ]
+        )
+    rows.append(
+        ["Total", round(total_hetero, 2), "", round(total_homo, 2), ""]
+    )
+    return rows, total_hetero, total_homo
+
+
+def bench_extension_heterogeneous(benchmark):
+    rows, total_hetero, total_homo = run_once(benchmark, _run)
+    save(
+        "extension_heterogeneous",
+        render_table(
+            ["Circuit", "hetero cost", "device mix",
+             "best homo cost", "homo choice"],
+            rows,
+            title="Extension: minimum-cost mixed-device partitioning",
+        ),
+    )
+    # Downsizing can only reduce cost relative to the best homogeneous.
+    assert total_hetero <= total_homo + 1e-9

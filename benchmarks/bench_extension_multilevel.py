@@ -1,0 +1,62 @@
+"""Extension experiment — multilevel (clustered) FPART.
+
+Clustering is one of the classical levers the paper's survey lists; the
+V-cycle (coarsen by heavy-edge matching, FPART on the coarse netlist,
+project + refine) trades a little quality for speed on big circuits.
+This bench quantifies both sides on the two largest stand-ins.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.circuits import mcnc_circuit
+from repro.clustering import fpart_multilevel
+from repro.core import XC3020, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("s15850", "s38417")
+
+
+def _run():
+    rows = []
+    for name in CIRCUITS:
+        hg = mcnc_circuit(name, "XC3000")
+        start = time.perf_counter()
+        flat = fpart(hg, XC3020)
+        flat_time = time.perf_counter() - start
+        start = time.perf_counter()
+        multi = fpart_multilevel(hg, XC3020, target_cells=400)
+        multi_time = time.perf_counter() - start
+        rows.append(
+            [
+                name,
+                flat.num_devices,
+                round(flat_time, 2),
+                multi.num_devices,
+                round(multi_time, 2),
+                multi.levels,
+                multi.coarse_cells,
+                flat.lower_bound,
+            ]
+        )
+    return rows
+
+
+def bench_extension_multilevel(benchmark):
+    rows = run_once(benchmark, _run)
+    save(
+        "extension_multilevel",
+        render_table(
+            ["Circuit", "flat devices", "flat s", "multilevel devices",
+             "multilevel s", "levels", "coarse cells", "M"],
+            rows,
+            title="Extension: multilevel V-cycle vs flat FPART (XC3020)",
+        ),
+    )
+    for row in rows:
+        flat_devices, multi_devices = row[1], row[3]
+        # Quality within a small band of flat FPART...
+        assert multi_devices <= flat_devices + 3, row
+        # ...and both feasible at or above the lower bound.
+        assert multi_devices >= row[7]

@@ -1,0 +1,66 @@
+"""Extension experiment — robustness across netlist instances.
+
+The synthetic substitution raises an obvious question: how sensitive are
+the results to the particular random instance?  This bench regenerates
+each small circuit's stand-in under five different seeds (same Table 1
+contract: cells, pads) and reports the spread of FPART's device count.
+Tight spreads mean the reproduction's conclusions do not hinge on one
+lucky netlist.
+"""
+
+import statistics
+
+from repro.analysis import render_table
+from repro.circuits import GeneratorParams, MCNC_TABLE1, generate_circuit
+from repro.core import XC3020, fpart
+
+from helpers import run_once, save
+
+CIRCUITS = ("c3540", "s5378", "s9234")
+SEEDS = (1, 2, 3, 4, 5)
+
+
+def _run():
+    rows = []
+    for name in CIRCUITS:
+        row_spec = next(r for r in MCNC_TABLE1 if r.name == name)
+        counts = []
+        for seed in SEEDS:
+            hg = generate_circuit(
+                f"{name}/robust",
+                num_cells=row_spec.clbs_xc3000,
+                num_ios=row_spec.iobs,
+                seed=seed,
+            )
+            counts.append(fpart(hg, XC3020).num_devices)
+        rows.append(
+            [
+                name,
+                min(counts),
+                max(counts),
+                round(statistics.mean(counts), 1),
+                XC3020.lower_bound(hg),
+            ]
+        )
+    return rows
+
+
+def bench_extension_robustness(benchmark):
+    rows = run_once(benchmark, _run)
+    save(
+        "extension_robustness",
+        render_table(
+            ["Circuit", "min devices", "max devices", "mean", "M"],
+            rows,
+            title=(
+                "Extension: FPART across 5 regenerated instances "
+                "(XC3020)"
+            ),
+        ),
+    )
+    for row in rows:
+        name, lo, hi, mean, m = row
+        # The spread across instances must stay within 2 devices and
+        # never dip below the lower bound.
+        assert hi - lo <= 2, row
+        assert lo >= m, row

@@ -1,0 +1,65 @@
+"""Extension figure — runtime and quality scaling with circuit size.
+
+Table 6 shows CPU time growing with the final block count; this bench
+makes the scaling law explicit on a controlled size sweep (same
+generator parameters, doubling cell counts) for FPART and the greedy
+recursion.  Asserted shape: runtime grows with size, device counts stay
+at or near the lower bound throughout.
+"""
+
+import time
+
+from repro.analysis import render_table
+from repro.circuits import generate_circuit
+from repro.core import XC3020, fpart
+from repro.baselines import kwayx
+
+from helpers import run_once, save
+
+SIZES = (250, 500, 1000, 2000)
+IOS = 48
+
+
+def _run():
+    rows = []
+    fpart_times = []
+    for n in SIZES:
+        hg = generate_circuit(f"scale{n}", num_cells=n, num_ios=IOS, seed=13)
+        start = time.perf_counter()
+        f = fpart(hg, XC3020)
+        f_time = time.perf_counter() - start
+        fpart_times.append(f_time)
+        start = time.perf_counter()
+        k = kwayx(hg, XC3020)
+        k_time = time.perf_counter() - start
+        rows.append(
+            [
+                n,
+                f.lower_bound,
+                f.num_devices,
+                round(f_time, 2),
+                k.num_devices,
+                round(k_time, 2),
+            ]
+        )
+    return rows, fpart_times
+
+
+def bench_extension_scaling(benchmark):
+    rows, fpart_times = run_once(benchmark, _run)
+    save(
+        "extension_scaling",
+        render_table(
+            ["cells", "M", "FPART devices", "FPART s",
+             "k-way.x* devices", "k-way.x* s"],
+            rows,
+            title="Extension: scaling with circuit size (XC3020)",
+        ),
+    )
+    # Runtime grows with size (compare endpoints; middle may wobble).
+    assert fpart_times[-1] > fpart_times[0]
+    for row in rows:
+        n, m, f_dev, _, k_dev, _ = row
+        assert f_dev >= m
+        assert f_dev <= k_dev  # FPART never loses to the recursion
+        assert f_dev <= m + 2  # stays near the bound at every size

@@ -1,0 +1,40 @@
+"""Figure 1 — the iterative-improvement pass schedule.
+
+Reconstructs the figure's content from a real FPART trace: which blocks
+each Improve() call touches, per iteration, for a small-M circuit (where
+the all-block Sanchis pass of step 2 is active).
+"""
+
+from repro.analysis import figure1_schedule, render_figure1
+from repro.circuits import mcnc_circuit
+from repro.core import XC3042, FpartPartitioner
+
+from helpers import run_once, save
+
+
+def bench_figure1_schedule(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: FpartPartitioner(
+            mcnc_circuit("s9234", "XC3000"), XC3042
+        ).run(),
+    )
+    save("figure1_schedule", render_figure1(result))
+
+    schedule = figure1_schedule(result)
+    assert schedule, "no iterations traced"
+    for index, (_, labels) in enumerate(schedule):
+        # Step 1 of the paper's schedule is always the fresh pair...
+        assert labels[0] == "last_pair"
+        # ...followed by the selected-partner passes — except in the
+        # final iteration, which stops as soon as the solution turns
+        # feasible mid-schedule.
+        if index < len(schedule) - 1:
+            assert {"min_size", "min_io", "max_free"} <= set(labels)
+    # Small-M circuit (M = 4 <= N_small = 15): the all-block improvement
+    # pass of step 2 must appear once k >= 3 blocks exist.
+    all_block_iters = [
+        it for it, labels in schedule if "all_blocks" in labels
+    ]
+    if result.num_devices >= 3:
+        assert all_block_iters

@@ -1,0 +1,49 @@
+"""Figure 2 — feasible / semi-feasible / infeasible solutions.
+
+Plots (as data) partition blocks in the (I/O count, size) plane against
+the device's feasible rectangle, for the three classification examples
+the figure illustrates.
+"""
+
+from repro.analysis import figure2_solutions, figure2_svg, render_figure2
+from repro.circuits import mcnc_circuit
+from repro.core import DEFAULT_CONFIG, XC3020, Feasibility, fpart
+
+from helpers import run_once, save
+
+
+def bench_figure2_classification(benchmark):
+    hg = mcnc_circuit("c3540", "XC3000")
+
+    def build():
+        result = fpart(hg, XC3020)
+        return figure2_solutions(
+            hg, result.assignment, XC3020, DEFAULT_CONFIG
+        )
+
+    solutions = run_once(benchmark, build)
+    save("figure2_classification", render_figure2(solutions, XC3020))
+    from helpers import RESULTS_DIR
+
+    (RESULTS_DIR / "figure2.svg").write_text(
+        figure2_svg(solutions, XC3020) + "\n", encoding="ascii"
+    )
+
+    by_kind = {s.feasibility: s for s in solutions}
+    assert Feasibility.FEASIBLE in by_kind
+    assert Feasibility.SEMI_FEASIBLE in by_kind
+    assert Feasibility.INFEASIBLE in by_kind
+
+    # Figure 2a: every block strictly inside the rectangle, distance 0.
+    feasible = by_kind[Feasibility.FEASIBLE]
+    assert all(p.feasible and p.distance == 0.0 for p in feasible.points)
+
+    # Figure 2b: exactly one block outside, with positive distance.
+    semi = by_kind[Feasibility.SEMI_FEASIBLE]
+    outside = [p for p in semi.points if not p.feasible]
+    assert len(outside) == 1
+    assert outside[0].distance > 0.0
+
+    # Figure 2c: more than one block outside.
+    infeasible = by_kind[Feasibility.INFEASIBLE]
+    assert sum(not p.feasible for p in infeasible.points) >= 2

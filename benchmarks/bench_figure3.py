@@ -1,0 +1,45 @@
+"""Figure 3 — feasible space for cell moves.
+
+Regenerates the move-region windows for 2-block and multi-block passes
+and verifies every geometric property the figure encodes, plus a live
+accept/reject sample from the MoveRegion oracle.
+"""
+
+from repro.analysis import figure3_regions, figure3_svg, render_figure3
+from repro.core import DEFAULT_CONFIG, XC3020, MoveRegion
+from repro.hypergraph import Hypergraph
+from repro.partition import PartitionState
+
+from helpers import run_once, save
+
+
+def bench_figure3_move_regions(benchmark):
+    regions = run_once(
+        benchmark, lambda: figure3_regions(XC3020, DEFAULT_CONFIG)
+    )
+    save("figure3_move_regions", render_figure3(XC3020, DEFAULT_CONFIG))
+    from helpers import RESULTS_DIR
+
+    (RESULTS_DIR / "figure3.svg").write_text(
+        figure3_svg(XC3020, DEFAULT_CONFIG) + "\n", encoding="ascii"
+    )
+
+    s_max = XC3020.s_max
+    floor2, cap2 = regions["two_block_non_remainder"]
+    floor_m, cap_m = regions["multi_block_non_remainder"]
+
+    # eps*_max = eps2_max: same cap, 1.05 * S_MAX.
+    assert cap2 == cap_m == 1.05 * s_max
+    # eps2_min stricter than eps*_min (0.95 vs 0.3 of S_MAX).
+    assert floor2 == 0.95 * s_max
+    assert floor_m == 0.3 * s_max
+    # eps^R_max = infinity: the remainder is unbounded above.
+    assert regions["remainder"] == (0.0, float("inf"))
+
+    # Live sample: a block at the cap rejects further cells, the
+    # remainder never does.
+    hg = Hypergraph([60, 1, 1], [(0, 1, 2)])
+    state = PartitionState.from_assignment(hg, [0, 0, 1])
+    region = MoveRegion(XC3020, DEFAULT_CONFIG, 1, True, 2, 5)
+    assert not region.can_receive(state, 0, 1)  # 61 at cap 60.48
+    assert region.can_receive(state, 1, 10_000)

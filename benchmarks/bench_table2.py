@@ -1,0 +1,15 @@
+"""Table 2 — results comparison on XC3020 devices (S_ds=64, T=64, d=0.9).
+
+The hardest table of the paper: the smallest XC3000-family device, where
+lower bounds reach 51 blocks and FPART's edge over the greedy recursion
+and the flow baseline is widest.
+"""
+
+from device_bench import check_and_save, run_device_table
+from helpers import run_once
+
+
+def bench_table2_xc3020(benchmark):
+    records = run_once(benchmark, lambda: run_device_table("XC3020"))
+    text = check_and_save("XC3020", records, "table2_xc3020")
+    assert "FPART (ours)" in text

@@ -1,0 +1,10 @@
+"""Table 3 — results comparison on XC3042 devices (S_ds=144, T=96, d=0.9)."""
+
+from device_bench import check_and_save, run_device_table
+from helpers import run_once
+
+
+def bench_table3_xc3042(benchmark):
+    records = run_once(benchmark, lambda: run_device_table("XC3042"))
+    text = check_and_save("XC3042", records, "table3_xc3042")
+    assert "FPART (ours)" in text

@@ -1,0 +1,14 @@
+"""Table 4 — results comparison on XC3090 devices (S_ds=320, T=144, d=0.9).
+
+The largest device: the six smaller circuits reach their lower bounds
+trivially (the paper's upper half), the four big ones separate methods.
+"""
+
+from device_bench import check_and_save, run_device_table
+from helpers import run_once
+
+
+def bench_table4_xc3090(benchmark):
+    records = run_once(benchmark, lambda: run_device_table("XC3090"))
+    text = check_and_save("XC3090", records, "table4_xc3090")
+    assert "FPART (ours)" in text

@@ -1,0 +1,15 @@
+"""Table 5 — results comparison on XC2064 devices (S_ds=64, T=58, d=1.0).
+
+XC2000-family mapping, combinational circuits only, full filling ratio —
+the pin-tightest device of the evaluation (58 pins).
+"""
+
+from device_bench import check_and_save, run_device_table
+from helpers import run_once
+
+
+def bench_table5_xc2064(benchmark):
+    records = run_once(benchmark, lambda: run_device_table("XC2064"))
+    text = check_and_save("XC2064", records, "table5_xc2064")
+    assert "FPART (ours)" in text
+    assert "c6288" in text

@@ -1,0 +1,67 @@
+"""Shared driver for the device-comparison benches (Tables 2–5)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis import (
+    ExperimentRecord,
+    published_table_for_device,
+    render_device_comparison,
+    run_method,
+)
+
+from helpers import baseline_circuits, fpart_circuits, save
+
+MEASURED = ("FPART", "k-way.x*", "FBB-MW*")
+
+
+def run_device_table(device: str) -> List[ExperimentRecord]:
+    """Measure FPART (+ gated baselines) for one device's table."""
+    records: List[ExperimentRecord] = []
+    for circuit in fpart_circuits(device):
+        records.append(run_method("FPART", circuit, device))
+    for circuit in baseline_circuits(device):
+        records.append(run_method("k-way.x*", circuit, device))
+        records.append(run_method("FBB-MW*", circuit, device))
+    return records
+
+
+def check_and_save(device: str, records: List[ExperimentRecord], name: str) -> str:
+    """Render, persist and sanity-check the comparison table.
+
+    Shape assertions (not absolute-number matches, per the synthetic
+    substitution): every run is feasible and at least the lower bound,
+    and FPART never needs more devices than our own baselines on any
+    circuit where all were measured.
+    """
+    table = published_table_for_device(device)
+    by_cell = {(r.circuit, r.method): r for r in records}
+    for record in records:
+        assert record.feasible, record
+        assert record.num_devices >= record.lower_bound, record
+        published_m = table.value(record.circuit, "M")
+        assert record.lower_bound == published_m, (
+            f"{record.circuit}: lower bound {record.lower_bound} != "
+            f"paper M {published_m}"
+        )
+    # Aggregate shape: over the commonly measured circuits, FPART's
+    # total never exceeds a baseline's total (the paper's Total rows
+    # show the same ordering; per-circuit exceptions are allowed — the
+    # paper itself has FBB-MW beating FPART on c5315/XC3020).
+    for method in ("k-way.x*", "FBB-MW*"):
+        common = [
+            c
+            for c in table.rows
+            if (c, method) in by_cell and (c, "FPART") in by_cell
+        ]
+        if not common:
+            continue
+        fpart_total = sum(by_cell[(c, "FPART")].num_devices for c in common)
+        base_total = sum(by_cell[(c, method)].num_devices for c in common)
+        assert fpart_total <= base_total, (
+            f"FPART total {fpart_total} worse than {method} {base_total}"
+        )
+    text = render_device_comparison(device, records, list(MEASURED))
+    save(name, text)
+    return text

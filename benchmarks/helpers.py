@@ -1,0 +1,64 @@
+"""Shared utilities for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper; the rendered
+text goes to ``benchmarks/results/<name>.txt`` *and* to stdout (visible
+with ``pytest -s``), so a full ``pytest benchmarks/ --benchmark-only``
+leaves a results directory mirroring the paper's evaluation section.
+
+Environment knobs:
+
+* ``REPRO_SMALL=1`` — restrict FPART to the six smaller circuits
+  (default: all ten; the pure-Python run takes ~1 minute per device).
+* ``REPRO_FULL=1``  — run the reimplemented baselines (k-way.x*,
+  FBB-MW*) on the two largest circuits as well (slow: the flow-based
+  baseline needs minutes there).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import List, Sequence, Tuple
+
+from repro.circuits import (
+    COMBINATIONAL_CIRCUITS,
+    LARGE_CIRCUITS,
+    MCNC_NAMES,
+    SMALL_CIRCUITS,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Circuits too slow for the measured baselines by default.
+SLOWEST = ("s38417", "s38584")
+
+
+def save(name: str, text: str) -> None:
+    """Write a rendered table/figure and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def fpart_circuits(device: str) -> Tuple[str, ...]:
+    """Circuit set for FPART measurements on one device."""
+    base = (
+        COMBINATIONAL_CIRCUITS if device.upper() == "XC2064" else MCNC_NAMES
+    )
+    if os.environ.get("REPRO_SMALL"):
+        return tuple(c for c in base if c in SMALL_CIRCUITS)
+    return base
+
+
+def baseline_circuits(device: str) -> Tuple[str, ...]:
+    """Circuit set for the reimplemented baselines on one device."""
+    base = fpart_circuits(device)
+    if os.environ.get("REPRO_FULL"):
+        return base
+    return tuple(c for c in base if c not in SLOWEST)
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Head-to-head comparison of every implemented partitioner.
+
+Reproduces the *shape* of the paper's Tables 2-5 on one circuit: FPART
+(the paper's method) against our reimplementations of the published
+baselines — the greedy recursive k-way.x and the flow-based FBB-MW —
+plus the naive packing floor.
+
+Run:  python examples/algorithm_comparison.py [circuit] [device]
+      e.g. python examples/algorithm_comparison.py s5378 XC3020
+"""
+
+import sys
+import time
+
+from repro import device_by_name, fpart, mcnc_circuit
+from repro.analysis import render_table
+from repro.baselines import bfs_pack, fbb_multiway, kwayx, random_pack
+
+
+def main() -> None:
+    circuit_name = sys.argv[1] if len(sys.argv) > 1 else "s5378"
+    device_name = sys.argv[2] if len(sys.argv) > 2 else "XC3020"
+    device = device_by_name(device_name)
+    family = "XC2000" if device.name == "XC2064" else "XC3000"
+    circuit = mcnc_circuit(circuit_name, family)
+
+    print(f"Circuit: {circuit}")
+    print(f"Device:  {device}")
+    print(f"Lower bound M = {device.lower_bound(circuit)}\n")
+
+    methods = [
+        ("FPART (paper's method)", lambda: fpart(circuit, device)),
+        ("k-way.x-style (greedy recursion)", lambda: kwayx(circuit, device)),
+        ("FBB-MW-style (network flow)", lambda: fbb_multiway(circuit, device)),
+        ("BFS first-fit packing", lambda: bfs_pack(circuit, device)),
+        ("random packing", lambda: random_pack(circuit, device)),
+    ]
+
+    rows = []
+    for label, runner in methods:
+        start = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - start
+        rows.append(
+            [
+                label,
+                result.num_devices,
+                result.lower_bound,
+                "yes" if result.feasible else "NO",
+                round(elapsed, 2),
+            ]
+        )
+
+    print(
+        render_table(
+            ["Method", "devices", "M", "feasible", "seconds"],
+            rows,
+            title=f"{circuit_name} on {device.name}",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: partition a netlist onto XC3042 FPGAs with FPART.
+
+Generates a small synthetic circuit, runs the paper's algorithm, and
+prints the resulting multi-FPGA assignment.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import XC3042, fpart, generate_circuit
+
+
+def main() -> None:
+    # A 400-CLB circuit with 48 primary I/Os (deterministic by name).
+    circuit = generate_circuit("quickstart", num_cells=400, num_ios=48)
+    print(f"Circuit: {circuit}")
+
+    device = XC3042  # 144 CLBs * 0.9 filling ratio, 96 user I/Os
+    print(f"Target device: {device}")
+    print(f"Theoretical lower bound M = {device.lower_bound(circuit)}")
+
+    result = fpart(circuit, device)
+
+    print(f"\n{result.summary()}\n")
+    print("Per-device utilization:")
+    for block, (size, pins) in enumerate(
+        zip(result.block_sizes, result.block_pins)
+    ):
+        fill = 100 * size / device.s_max
+        io_use = 100 * pins / device.t_max
+        print(
+            f"  FPGA {block}: {size:4d}/{device.s_max:.0f} CLBs "
+            f"({fill:5.1f}%), {pins:3d}/{device.t_max} I/Os ({io_use:5.1f}%)"
+        )
+
+    gap = result.gap_to_lower_bound
+    print(
+        f"\nDevices above lower bound: {gap}"
+        + (" — optimal!" if gap == 0 else "")
+    )
+
+
+if __name__ == "__main__":
+    main()

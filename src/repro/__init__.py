@@ -1,0 +1,80 @@
+"""FPART reproduction: iterative-improvement multi-way FPGA partitioning.
+
+Reimplementation of H. Krupnova & G. Saucier, *Iterative Improvement
+Based Multi-Way Netlist Partitioning for FPGAs* (DATE 1999), with every
+substrate it depends on: a netlist hypergraph, FM and Sanchis
+iterative-improvement engines, constructive initial partitioning, the
+FPART driver, published baselines, synthetic MCNC benchmark stand-ins and
+the experiment harness regenerating the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import fpart, mcnc_circuit, XC3042
+>>> result = fpart(mcnc_circuit("c3540", "XC3000"), XC3042)
+>>> result.feasible
+True
+"""
+
+from .circuits import generate_circuit, mcnc_circuit
+from .core import (
+    DEFAULT_CONFIG,
+    DEVICE_CATALOG,
+    XC2064,
+    XC3020,
+    XC3042,
+    XC3090,
+    Device,
+    Feasibility,
+    FpartConfig,
+    FpartPartitioner,
+    FpartResult,
+    IterationLimitError,
+    PartitioningError,
+    SolutionCost,
+    UnpartitionableError,
+    classify,
+    device_by_name,
+    fpart,
+)
+from .hypergraph import (
+    Hypergraph,
+    HypergraphBuilder,
+    read_hgr,
+    read_netlist,
+    write_hgr,
+    write_netlist,
+)
+from .partition import PartitionState
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Hypergraph",
+    "HypergraphBuilder",
+    "read_hgr",
+    "write_hgr",
+    "read_netlist",
+    "write_netlist",
+    "PartitionState",
+    "Device",
+    "DEVICE_CATALOG",
+    "device_by_name",
+    "XC3020",
+    "XC3042",
+    "XC3090",
+    "XC2064",
+    "FpartConfig",
+    "DEFAULT_CONFIG",
+    "FpartPartitioner",
+    "FpartResult",
+    "fpart",
+    "SolutionCost",
+    "Feasibility",
+    "classify",
+    "PartitioningError",
+    "UnpartitionableError",
+    "IterationLimitError",
+    "generate_circuit",
+    "mcnc_circuit",
+]

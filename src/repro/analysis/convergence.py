@@ -1,0 +1,88 @@
+"""Convergence traces of an FPART run.
+
+Turns the per-``Improve()`` trace of :class:`FpartResult` into series a
+report can plot: the infeasibility distance and the remainder pressure
+over the run, plus a terminal sparkline rendering.  This is the
+"how does the search approach the feasible region" view that motivates
+the paper's future-work early-abort idea.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core import FpartResult
+
+__all__ = ["ConvergencePoint", "convergence_series", "sparkline", "render_convergence"]
+
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """State after one Improve() call."""
+
+    index: int
+    iteration: int
+    label: str
+    distance: float
+    feasible_blocks: int
+    total_pins: int
+
+
+def convergence_series(result: FpartResult) -> List[ConvergencePoint]:
+    """One point per Improve() call, in execution order."""
+    series = []
+    for index, entry in enumerate(result.trace):
+        series.append(
+            ConvergencePoint(
+                index=index,
+                iteration=entry.iteration,
+                label=entry.label,
+                distance=entry.cost_after.distance,
+                feasible_blocks=entry.cost_after.feasible_blocks,
+                total_pins=entry.cost_after.total_pins,
+            )
+        )
+    return series
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Unicode sparkline of a series (empty string for no data)."""
+    if not values:
+        return ""
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        return _TICKS[0] * len(values)
+    span = hi - lo
+    return "".join(
+        _TICKS[min(len(_TICKS) - 1, int((v - lo) / span * len(_TICKS)))]
+        for v in values
+    )
+
+
+def render_convergence(result: FpartResult) -> str:
+    """Text report: distance sparkline plus per-iteration milestones."""
+    series = convergence_series(result)
+    if not series:
+        return "no trace recorded"
+    distances = [p.distance for p in series]
+    lines = [
+        f"Convergence of {result.circuit} on {result.device} "
+        f"({len(series)} improvement calls, "
+        f"{result.iterations} iterations):",
+        f"  d_k: {sparkline(distances)}  "
+        f"[{max(distances):.3f} .. {min(distances):.3f}]",
+    ]
+    last_iteration = None
+    for point in series:
+        if point.iteration != last_iteration:
+            last_iteration = point.iteration
+            lines.append(
+                f"  iter {point.iteration:2d}: d={point.distance:7.3f} "
+                f"feasible={point.feasible_blocks:2d} "
+                f"T_SUM={point.total_pins}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Experiment runner regenerating the paper's evaluation.
+
+Builds each benchmark circuit (Table 1 stand-ins), runs FPART and the
+reimplemented baselines, and renders comparison tables whose published
+columns carry the paper's verbatim numbers next to the measured ones.
+
+The default circuit set is everything — pure-Python FPART finishes the
+full suite in under a minute per device.  Set ``REPRO_SMALL=1`` to
+restrict to the six smaller circuits on slow machines.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import bfs_pack, fbb_multiway, kwayx
+from ..circuits import (
+    COMBINATIONAL_CIRCUITS,
+    MCNC_NAMES,
+    SMALL_CIRCUITS,
+    mcnc_circuit,
+)
+from ..core import DEFAULT_CONFIG, Device, FpartConfig, device_by_name, fpart
+from ..hypergraph import Hypergraph
+from .published import (
+    TABLE6_CPU_SECONDS,
+    PublishedTable,
+    published_table_for_device,
+)
+from .tables import render_table
+
+__all__ = [
+    "ExperimentRecord",
+    "MEASURED_METHODS",
+    "selected_circuits",
+    "circuit_for_device",
+    "run_method",
+    "run_device_experiment",
+    "render_device_comparison",
+    "render_cpu_table",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentRecord:
+    """One (circuit, device, method) measurement."""
+
+    circuit: str
+    device: str
+    method: str
+    num_devices: int
+    lower_bound: int
+    feasible: bool
+    runtime_seconds: float
+
+
+def _run_fpart(hg: Hypergraph, device: Device, config: FpartConfig):
+    result = fpart(hg, device, config)
+    return result.num_devices, result.lower_bound, result.feasible
+
+
+def _run_kwayx(hg: Hypergraph, device: Device, config: FpartConfig):
+    result = kwayx(hg, device, config)
+    return result.num_devices, result.lower_bound, result.feasible
+
+
+def _run_fbb(hg: Hypergraph, device: Device, config: FpartConfig):
+    result = fbb_multiway(hg, device)
+    return result.num_devices, result.lower_bound, result.feasible
+
+
+def _run_bfs_pack(hg: Hypergraph, device: Device, config: FpartConfig):
+    result = bfs_pack(hg, device)
+    return result.num_devices, result.lower_bound, result.feasible
+
+
+#: Methods measured live, in table order.
+MEASURED_METHODS: Dict[str, Callable] = {
+    "FPART": _run_fpart,
+    "k-way.x*": _run_kwayx,
+    "FBB-MW*": _run_fbb,
+    "BFS-pack": _run_bfs_pack,
+}
+
+
+def selected_circuits(device: str) -> Tuple[str, ...]:
+    """Benchmark circuits for one device, honoring ``REPRO_SMALL``."""
+    base = (
+        COMBINATIONAL_CIRCUITS
+        if device.upper() == "XC2064"
+        else MCNC_NAMES
+    )
+    if os.environ.get("REPRO_SMALL"):
+        return tuple(c for c in base if c in SMALL_CIRCUITS)
+    return base
+
+
+def circuit_for_device(name: str, device: str) -> Hypergraph:
+    """Build the stand-in circuit under the device's technology mapping."""
+    family = "XC2000" if device.upper() == "XC2064" else "XC3000"
+    return mcnc_circuit(name, family)
+
+
+def run_method(
+    method: str,
+    circuit: str,
+    device_name: str,
+    config: FpartConfig = DEFAULT_CONFIG,
+) -> ExperimentRecord:
+    """Run one measured method on one circuit/device pair."""
+    runner = MEASURED_METHODS[method]
+    device = device_by_name(device_name)
+    hg = circuit_for_device(circuit, device_name)
+    start = time.perf_counter()
+    num_devices, lower_bound, feasible = runner(hg, device, config)
+    runtime = time.perf_counter() - start
+    return ExperimentRecord(
+        circuit=circuit,
+        device=device_name,
+        method=method,
+        num_devices=num_devices,
+        lower_bound=lower_bound,
+        feasible=feasible,
+        runtime_seconds=runtime,
+    )
+
+
+def run_device_experiment(
+    device_name: str,
+    circuits: Optional[Sequence[str]] = None,
+    methods: Optional[Sequence[str]] = None,
+    config: FpartConfig = DEFAULT_CONFIG,
+) -> List[ExperimentRecord]:
+    """All measured cells of one device's comparison table."""
+    if circuits is None:
+        circuits = selected_circuits(device_name)
+    if methods is None:
+        methods = list(MEASURED_METHODS)
+    records = []
+    for circuit in circuits:
+        for method in methods:
+            records.append(
+                run_method(method, circuit, device_name, config)
+            )
+    return records
+
+
+def render_device_comparison(
+    device_name: str,
+    records: Sequence[ExperimentRecord],
+    methods: Optional[Sequence[str]] = None,
+) -> str:
+    """Comparison table: published columns + measured columns + M.
+
+    Published cells come from the paper (Tables 2–5); measured methods
+    are suffixed nothing — their header carries a ``*`` already where the
+    implementation is ours.  The last rows are per-column totals over the
+    circuits present, mirroring the paper's "Total" row.
+    """
+    published: PublishedTable = published_table_for_device(device_name)
+    if methods is None:
+        methods = sorted(
+            {r.method for r in records}, key=list(MEASURED_METHODS).index
+        )
+    by_cell = {(r.circuit, r.method): r for r in records}
+    circuits = [
+        c
+        for c in published.rows
+        if any((c, m) in by_cell for m in methods)
+    ]
+
+    pub_columns = [c for c in published.columns if c != "M"]
+    headers = (
+        ["Circuit"]
+        + [f"{c} (paper)" for c in pub_columns]
+        + [f"{m} (ours)" for m in methods]
+        + ["M"]
+    )
+    rows: List[List] = []
+    for circuit in circuits:
+        row: List = [circuit]
+        for column in pub_columns:
+            row.append(published.value(circuit, column))
+        for method in methods:
+            record = by_cell.get((circuit, method))
+            row.append(record.num_devices if record else None)
+        row.append(published.value(circuit, "M"))
+        rows.append(row)
+
+    total_row: List = ["Total"]
+    for column in pub_columns:
+        values = [published.value(c, column) for c in circuits]
+        total_row.append(
+            None if any(v is None for v in values) else sum(values)
+        )
+    for method in methods:
+        values = [
+            by_cell[(c, method)].num_devices
+            for c in circuits
+            if (c, method) in by_cell
+        ]
+        total_row.append(sum(values) if values else None)
+    total_row.append(sum(published.value(c, "M") for c in circuits))
+    rows.append(total_row)
+
+    return render_table(
+        headers, rows, title=f"Partitioning into {device_name} devices"
+    )
+
+
+def render_cpu_table(records: Sequence[ExperimentRecord]) -> str:
+    """Table 6 analogue: measured FPART seconds vs the paper's Sparc."""
+    fpart_records = [r for r in records if r.method == "FPART"]
+    devices = sorted({r.device for r in fpart_records})
+    circuits = [
+        name
+        for name in TABLE6_CPU_SECONDS
+        if any(r.circuit == name for r in fpart_records)
+    ]
+    by_cell = {(r.circuit, r.device): r for r in fpart_records}
+    headers = ["Circuit"]
+    for device in devices:
+        headers.append(f"{device} ours(s)")
+        headers.append(f"{device} paper(s)")
+    rows = []
+    for circuit in circuits:
+        row: List = [circuit]
+        for device in devices:
+            record = by_cell.get((circuit, device))
+            row.append(record.runtime_seconds if record else None)
+            row.append(TABLE6_CPU_SECONDS[circuit].get(device))
+        rows.append(row)
+    return render_table(
+        headers, rows, title="CPU time: FPART (this host) vs paper (Sparc Ultra 5)"
+    )

@@ -1,0 +1,74 @@
+"""Machine-readable export of experiment results.
+
+Serializes :class:`ExperimentRecord` batches (and arbitrary result
+dataclasses) to JSON and CSV so downstream tooling — spreadsheets,
+plotting notebooks, regression dashboards — can consume harness output
+without parsing ASCII tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, TextIO, Union
+
+from .experiments import ExperimentRecord
+
+__all__ = [
+    "records_to_dicts",
+    "records_to_json",
+    "records_to_csv",
+    "write_records",
+    "read_records_json",
+]
+
+
+def records_to_dicts(records: Sequence[ExperimentRecord]) -> List[Dict[str, Any]]:
+    """Plain dict per record (dataclass fields, JSON-safe values)."""
+    return [dataclasses.asdict(r) for r in records]
+
+
+def records_to_json(records: Sequence[ExperimentRecord], indent: int = 2) -> str:
+    """JSON array of records."""
+    return json.dumps(records_to_dicts(records), indent=indent)
+
+
+def records_to_csv(records: Sequence[ExperimentRecord]) -> str:
+    """CSV with a header row (deterministic field order)."""
+    if not records:
+        return ""
+    fields = [f.name for f in dataclasses.fields(ExperimentRecord)]
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fields)
+    writer.writeheader()
+    for row in records_to_dicts(records):
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def write_records(
+    records: Sequence[ExperimentRecord],
+    target: Union[str, Path],
+) -> Path:
+    """Write records to a ``.json`` or ``.csv`` file (by extension)."""
+    path = Path(target)
+    if path.suffix == ".csv":
+        text = records_to_csv(records)
+    elif path.suffix == ".json":
+        text = records_to_json(records)
+    else:
+        raise ValueError(f"unsupported export extension {path.suffix!r}")
+    path.write_text(text, encoding="ascii")
+    return path
+
+
+def read_records_json(source: Union[str, Path, TextIO]) -> List[ExperimentRecord]:
+    """Load records back from a JSON export."""
+    if isinstance(source, (str, Path)):
+        data = json.loads(Path(source).read_text(encoding="ascii"))
+    else:
+        data = json.load(source)
+    return [ExperimentRecord(**row) for row in data]

@@ -1,0 +1,205 @@
+"""Figure regeneration (Figures 1–3 of the paper).
+
+The paper's figures are explanatory rather than measured curves; each
+helper here produces the underlying *data series* plus an ASCII
+rendering, so the benchmark harness can print something directly
+comparable with the figure:
+
+* **Figure 1** — the sequence of ``Improve()`` calls per iteration.  We
+  extract it from an actual FPART run's trace.
+* **Figure 2** — partition blocks as points in the (I/O, size) plane
+  with the feasible rectangle and the classification of example
+  solutions (feasible / semi-feasible / infeasible).
+* **Figure 3** — the feasible move regions, i.e. the size windows that
+  constrain cell moves in 2-block and multi-block passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core import (
+    Device,
+    Feasibility,
+    FpartConfig,
+    FpartResult,
+    classify,
+    solution_points,
+)
+from ..core.feasibility import BlockPoint
+from ..hypergraph import Hypergraph
+from ..partition import PartitionState
+
+__all__ = [
+    "figure1_schedule",
+    "render_figure1",
+    "Figure2Solution",
+    "figure2_solutions",
+    "render_figure2",
+    "figure3_regions",
+    "render_figure3",
+]
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — improvement-pass schedule
+# ----------------------------------------------------------------------
+
+def figure1_schedule(result: FpartResult) -> List[Tuple[int, List[str]]]:
+    """Per-iteration sequence of Improve() step labels from a real run."""
+    by_iteration: Dict[int, List[str]] = {}
+    for entry in result.trace:
+        by_iteration.setdefault(entry.iteration, []).append(entry.label)
+    return sorted(by_iteration.items())
+
+
+def render_figure1(result: FpartResult) -> str:
+    """ASCII rendering of the Figure 1 schedule."""
+    lines = [
+        f"Improvement passes per iteration "
+        f"({result.circuit} on {result.device}, M={result.lower_bound}):"
+    ]
+    for iteration, labels in figure1_schedule(result):
+        steps = " -> ".join(labels)
+        lines.append(f"  iteration {iteration:2d}: {steps}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — feasibility classification in the (T, S) plane
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure2Solution:
+    """One example solution with its block points and classification."""
+
+    label: str
+    feasibility: Feasibility
+    points: Tuple[BlockPoint, ...]
+
+
+def figure2_solutions(
+    hg: Hypergraph,
+    assignment: Sequence[int],
+    device: Device,
+    config: FpartConfig,
+) -> List[Figure2Solution]:
+    """Three example solutions from one feasible partition.
+
+    * the feasible solution itself (Figure 2a),
+    * a semi-feasible one obtained by merging the last two blocks into
+    one oversized remainder (Figure 2b),
+    * an infeasible one merging two disjoint pairs (Figure 2c).
+
+    Requires a feasible input partition with at least four blocks to
+    produce all three (fewer blocks yield fewer examples).
+    """
+    state = PartitionState.from_assignment(hg, list(assignment))
+    k = state.num_blocks
+    solutions = [
+        Figure2Solution(
+            label="feasible (a)",
+            feasibility=classify(state, device),
+            points=tuple(solution_points(state, device, config)),
+        )
+    ]
+    if k >= 3:
+        semi = state.copy()
+        semi.move_many(sorted(semi.block_cells(k - 1)), k - 2)
+        semi_compact = PartitionState.from_assignment(
+            hg, _compact(semi.assignment())
+        )
+        solutions.append(
+            Figure2Solution(
+                label="semi-feasible (b)",
+                feasibility=classify(semi_compact, device),
+                points=tuple(
+                    solution_points(semi_compact, device, config)
+                ),
+            )
+        )
+    if k >= 4:
+        infeasible = state.copy()
+        infeasible.move_many(sorted(infeasible.block_cells(k - 1)), k - 2)
+        infeasible.move_many(sorted(infeasible.block_cells(1)), 0)
+        inf_compact = PartitionState.from_assignment(
+            hg, _compact(infeasible.assignment())
+        )
+        solutions.append(
+            Figure2Solution(
+                label="infeasible (c)",
+                feasibility=classify(inf_compact, device),
+                points=tuple(
+                    solution_points(inf_compact, device, config)
+                ),
+            )
+        )
+    return solutions
+
+
+def _compact(assignment: Sequence[int]) -> List[int]:
+    """Renumber blocks densely, dropping empties."""
+    renumber: Dict[int, int] = {}
+    result = []
+    for b in assignment:
+        if b not in renumber:
+            renumber[b] = len(renumber)
+        result.append(renumber[b])
+    return result
+
+
+def render_figure2(solutions: Sequence[Figure2Solution], device: Device) -> str:
+    """ASCII rendering: block points against the feasible rectangle."""
+    lines = [
+        f"Feasible region: S <= {device.s_max}, T <= {device.t_max}"
+    ]
+    for solution in solutions:
+        lines.append(
+            f"{solution.label}: {solution.feasibility.value}"
+        )
+        for point in solution.points:
+            marker = "inside " if point.feasible else "OUTSIDE"
+            lines.append(
+                f"   block {point.block}: (T={point.pins:4d}, "
+                f"S={point.size:4d})  {marker} d={point.distance:.3f}"
+            )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — feasible move regions
+# ----------------------------------------------------------------------
+
+def figure3_regions(
+    device: Device, config: FpartConfig
+) -> Dict[str, Tuple[float, float]]:
+    """Size windows ``(floor, cap)`` per pass kind and block role.
+
+    ``inf`` marks the unbounded remainder cap (``eps^R_max = infinity``).
+    """
+    s_max = device.s_max
+    return {
+        "two_block_non_remainder": (
+            config.size_floor_multiplier(True) * s_max,
+            config.size_cap_multiplier(True) * s_max,
+        ),
+        "multi_block_non_remainder": (
+            config.size_floor_multiplier(False) * s_max,
+            config.size_cap_multiplier(False) * s_max,
+        ),
+        "remainder": (0.0, float("inf")),
+    }
+
+
+def render_figure3(device: Device, config: FpartConfig) -> str:
+    """ASCII rendering of the move-region windows of Figure 3."""
+    regions = figure3_regions(device, config)
+    lines = [
+        f"Feasible move regions for {device.name} "
+        f"(S_MAX={device.s_max}; I/O never constrained):"
+    ]
+    for label, (floor, cap) in regions.items():
+        cap_text = "unbounded" if cap == float("inf") else f"{cap:.1f}"
+        lines.append(f"  {label:28s} size in [{floor:.1f}, {cap_text}]")
+    return "\n".join(lines)

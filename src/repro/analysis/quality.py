@@ -1,0 +1,125 @@
+"""Partition quality analysis.
+
+Derives the board-level quality metrics a user cares about beyond the
+device count: utilization, pin pressure, inter-device wiring, and the
+external-I/O balance the paper's ``d_k^E`` factor controls.  Works from
+a raw (hypergraph, assignment) pair, so any algorithm's output can be
+analysed uniformly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..core.device import Device
+from ..hypergraph import Hypergraph
+from ..partition import (
+    block_ext_io_counts,
+    block_pin_counts,
+    block_sizes,
+    cutset,
+)
+from .tables import render_table
+
+__all__ = ["PartitionQuality", "analyze_partition", "render_quality"]
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Quality metrics of one partition on one device."""
+
+    num_blocks: int
+    lower_bound: int
+    total_size: int
+    cut_nets: int
+    total_pins: int
+    avg_fill: float
+    """Mean block utilization ``S_i / S_MAX``."""
+    min_fill: float
+    max_fill: float
+    avg_pin_use: float
+    """Mean pin utilization ``T_i / T_MAX``."""
+    max_pin_use: float
+    span_histogram: Dict[int, int]
+    """Cut nets by number of blocks spanned."""
+    board_traces: int
+    """Daisy-chain wiring estimate: ``sum (span - 1)`` over cut nets."""
+    ext_io_imbalance: float
+    """Max/mean ratio of per-block external pads (1.0 = perfectly even;
+    0.0 when the circuit has no pads)."""
+    block_sizes: Tuple[int, ...] = field(default_factory=tuple)
+    block_pins: Tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def gap_to_lower_bound(self) -> int:
+        return self.num_blocks - self.lower_bound
+
+
+def analyze_partition(
+    hg: Hypergraph,
+    assignment: Sequence[int],
+    device: Device,
+    num_blocks: Optional[int] = None,
+) -> PartitionQuality:
+    """Compute :class:`PartitionQuality` for an assignment."""
+    if num_blocks is None:
+        num_blocks = max(assignment, default=0) + 1
+    sizes = block_sizes(hg, assignment, num_blocks)
+    pins = block_pin_counts(hg, assignment, num_blocks)
+    ext = block_ext_io_counts(hg, assignment, num_blocks)
+
+    cut = cutset(hg, assignment)
+    spans = Counter(
+        len({assignment[p] for p in hg.pins_of(e)}) for e in cut
+    )
+    fills = [s / device.s_max for s in sizes]
+    pin_uses = [p / device.t_max for p in pins]
+
+    if hg.num_terminals and any(ext):
+        mean_ext = sum(ext) / num_blocks
+        imbalance = max(ext) / mean_ext if mean_ext else 0.0
+    else:
+        imbalance = 0.0
+
+    return PartitionQuality(
+        num_blocks=num_blocks,
+        lower_bound=device.lower_bound(hg),
+        total_size=hg.total_size,
+        cut_nets=len(cut),
+        total_pins=sum(pins),
+        avg_fill=sum(fills) / num_blocks,
+        min_fill=min(fills),
+        max_fill=max(fills),
+        avg_pin_use=sum(pin_uses) / num_blocks,
+        max_pin_use=max(pin_uses),
+        span_histogram=dict(spans),
+        board_traces=sum((s - 1) * n for s, n in spans.items()),
+        ext_io_imbalance=imbalance,
+        block_sizes=tuple(sizes),
+        block_pins=tuple(pins),
+    )
+
+
+def render_quality(quality: PartitionQuality, title: str = "") -> str:
+    """Human-readable quality report."""
+    rows = [
+        ["blocks", quality.num_blocks],
+        ["lower bound M", quality.lower_bound],
+        ["gap to M", quality.gap_to_lower_bound],
+        ["cut nets", quality.cut_nets],
+        ["total pins (T_SUM)", quality.total_pins],
+        ["board traces", quality.board_traces],
+        ["avg fill", round(quality.avg_fill, 3)],
+        ["min fill", round(quality.min_fill, 3)],
+        ["max fill", round(quality.max_fill, 3)],
+        ["avg pin use", round(quality.avg_pin_use, 3)],
+        ["max pin use", round(quality.max_pin_use, 3)],
+        ["ext I/O imbalance", round(quality.ext_io_imbalance, 3)],
+    ]
+    return render_table(
+        ["metric", "value"],
+        rows,
+        title=title or "Partition quality",
+    )

@@ -1,0 +1,112 @@
+"""Rent's-rule analysis of a netlist.
+
+Rent's rule ``T = t * g^p`` relates the terminal count ``T`` of a logic
+block to its gate count ``g``; the exponent ``p`` (typically 0.5–0.75
+for real logic) quantifies interconnect locality — exactly the property
+the synthetic benchmark generator must get right for partitioning
+results to transfer (a random graph has p ≈ 1 and no good cuts).
+
+The estimator follows the classical recursive-bisection method: cut the
+netlist in half with FM repeatedly, record ``(cells, pins)`` for every
+sub-block at every level, and fit ``log T`` against ``log g`` by least
+squares.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..fm import fm_refine
+from ..hypergraph import Hypergraph
+from ..initial import GrowingBlock
+from ..partition import PartitionState
+
+__all__ = ["RentEstimate", "estimate_rent_exponent"]
+
+
+@dataclass(frozen=True)
+class RentEstimate:
+    """Least-squares fit of Rent's rule on bisection samples."""
+
+    exponent: float
+    coefficient: float
+    samples: Tuple[Tuple[int, int], ...]
+    """``(cells, pins)`` points used for the fit."""
+
+    def predicted_pins(self, cells: int) -> float:
+        """``T = t * g^p`` at one block size."""
+        return self.coefficient * cells ** self.exponent
+
+
+def _bisect(hg: Hypergraph, cells: List[int]) -> Tuple[List[int], List[int]]:
+    """Split a cell set roughly in half, min-cut refined."""
+    cells = sorted(cells)
+    half = len(cells) // 2
+    assignment = [0] * hg.num_cells
+    cell_set = set(cells)
+    for index, cell in enumerate(cells):
+        assignment[cell] = 0 if index < half else 1
+    state = PartitionState.from_assignment(hg, assignment, 2)
+    total = sum(hg.cell_size(c) for c in cells)
+    lo = int(0.45 * total)
+    hi = total - lo
+    fm_refine(
+        state,
+        0,
+        1,
+        size_bounds={0: (lo, hi), 1: (lo, hi)},
+        cells=cells,
+        max_passes=4,
+    )
+    side_a = [c for c in cells if state.block_of(c) == 0]
+    side_b = [c for c in cells if state.block_of(c) == 1]
+    return side_a, side_b
+
+
+def estimate_rent_exponent(
+    hg: Hypergraph, min_cells: int = 8
+) -> RentEstimate:
+    """Estimate the Rent exponent of ``hg`` by recursive bisection.
+
+    Blocks are split until they fall below ``min_cells``; every split
+    side contributes one ``(cells, pins)`` sample, where pins counts the
+    nets leaving the side (the :class:`GrowingBlock` semantics).  Needs
+    a circuit of at least ``2 * min_cells`` cells.
+    """
+    if hg.num_cells < 2 * min_cells:
+        raise ValueError("circuit too small for a Rent fit")
+    samples: List[Tuple[int, int]] = []
+    frontier: List[List[int]] = [list(range(hg.num_cells))]
+    while frontier:
+        cells = frontier.pop()
+        if len(cells) < 2:
+            continue
+        side_a, side_b = _bisect(hg, cells)
+        for side in (side_a, side_b):
+            if not side:
+                continue
+            block = GrowingBlock(hg, side)
+            if block.pins > 0:
+                samples.append((len(side), block.pins))
+            if len(side) >= min_cells * 2:
+                frontier.append(side)
+
+    if len(samples) < 3:
+        raise ValueError("not enough bisection samples for a fit")
+
+    xs = [math.log(g) for g, _ in samples]
+    ys = [math.log(t) for _, t in samples]
+    n = len(samples)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    return RentEstimate(
+        exponent=slope,
+        coefficient=math.exp(intercept),
+        samples=tuple(samples),
+    )

@@ -1,0 +1,96 @@
+"""One-shot markdown report for a circuit/device pair.
+
+Bundles everything a user wants after a partitioning run into a single
+document: the run summary, per-device utilization, quality metrics,
+the convergence trace, and (optionally) baseline comparisons.  Exposed
+on the CLI as ``fpart report``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..baselines import bfs_pack, kwayx
+from ..core import DEFAULT_CONFIG, Device, FpartConfig, FpartPartitioner
+from ..hypergraph import Hypergraph
+from .convergence import render_convergence
+from .quality import analyze_partition, render_quality
+from .tables import render_table
+
+__all__ = ["generate_report"]
+
+
+def generate_report(
+    hg: Hypergraph,
+    device: Device,
+    config: FpartConfig = DEFAULT_CONFIG,
+    include_baselines: bool = True,
+) -> str:
+    """Partition ``hg`` with FPART and render the full markdown report."""
+    result = FpartPartitioner(hg, device, config).run()
+    quality = analyze_partition(
+        hg, result.assignment, device, result.num_devices
+    )
+
+    lines: List[str] = [
+        f"# Partitioning report: {hg.name or 'circuit'} on {device.name}",
+        "",
+        f"- circuit: {hg.num_cells} cells, {hg.num_nets} nets, "
+        f"{hg.num_terminals} pads, S0={hg.total_size}",
+        f"- device: S_MAX={device.s_max:g} (S_ds={device.s_ds}, "
+        f"delta={device.delta}), T_MAX={device.t_max}",
+        f"- result: **{result.num_devices} devices** "
+        f"(lower bound M={result.lower_bound}, "
+        f"gap {result.gap_to_lower_bound})",
+        f"- runtime: {result.runtime_seconds:.2f}s, "
+        f"{result.iterations} iterations",
+        "",
+        "## Per-device utilization",
+        "",
+    ]
+    rows = []
+    for block, (size, pins) in enumerate(
+        zip(result.block_sizes, result.block_pins)
+    ):
+        rows.append(
+            [
+                f"FPGA {block}",
+                size,
+                f"{100 * size / device.s_max:.1f}%",
+                pins,
+                f"{100 * pins / device.t_max:.1f}%",
+            ]
+        )
+    lines.append(
+        render_table(
+            ["device", "CLBs", "fill", "pins", "pin use"], rows
+        )
+    )
+    lines += ["", "## Quality metrics", ""]
+    lines.append(render_quality(quality, title=""))
+    lines += ["", "## Convergence", "", render_convergence(result)]
+
+    if include_baselines:
+        lines += ["", "## Baseline comparison", ""]
+        base_rows = [
+            ["FPART", result.num_devices, result.lower_bound],
+        ]
+        try:
+            base_rows.append(
+                ["k-way.x*", kwayx(hg, device, config).num_devices,
+                 result.lower_bound]
+            )
+        except Exception as error:  # baselines may fail on odd inputs
+            base_rows.append([f"k-way.x* ({error})", None, None])
+        try:
+            base_rows.append(
+                ["BFS packing", bfs_pack(hg, device).num_devices,
+                 result.lower_bound]
+            )
+        except Exception as error:
+            base_rows.append([f"BFS packing ({error})", None, None])
+        lines.append(
+            render_table(["method", "devices", "M"], base_rows)
+        )
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Self-contained SVG renderings of the paper's figures.
+
+No plotting library is available offline, so the two genuinely graphical
+figures are emitted as hand-rolled SVG: Figure 2 (blocks as points in
+the (I/O, size) plane against the feasible rectangle) and Figure 3 (the
+feasible move regions).  The output is deterministic and viewable in any
+browser; benches write them next to the text renderings.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core import Device, FpartConfig
+from .figures import Figure2Solution, figure3_regions
+
+__all__ = ["figure2_svg", "figure3_svg"]
+
+_WIDTH = 460
+_HEIGHT = 340
+_MARGIN = 48
+
+
+def _svg_header(title: str) -> List[str]:
+    return [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        'font-family="monospace" font-size="11">',
+        f'<title>{title}</title>',
+        f'<rect x="0" y="0" width="{_WIDTH}" height="{_HEIGHT}" '
+        'fill="white"/>',
+    ]
+
+
+def _axes(x_label: str, y_label: str) -> List[str]:
+    x0, y0 = _MARGIN, _HEIGHT - _MARGIN
+    x1, y1 = _WIDTH - _MARGIN // 2, _MARGIN // 2
+    return [
+        f'<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/>',
+        f'<line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>',
+        f'<text x="{(x0 + x1) // 2}" y="{_HEIGHT - 10}" '
+        f'text-anchor="middle">{x_label}</text>',
+        f'<text x="14" y="{(y0 + y1) // 2}" text-anchor="middle" '
+        f'transform="rotate(-90 14 {(y0 + y1) // 2})">{y_label}</text>',
+    ]
+
+
+class _Scale:
+    """Linear data→pixel mapping for the plot area."""
+
+    def __init__(self, x_max: float, y_max: float) -> None:
+        self.x_max = max(x_max, 1.0)
+        self.y_max = max(y_max, 1.0)
+        self.x0 = _MARGIN
+        self.y0 = _HEIGHT - _MARGIN
+        self.x_span = _WIDTH - _MARGIN - _MARGIN // 2
+        self.y_span = _HEIGHT - _MARGIN - _MARGIN // 2
+
+    def x(self, value: float) -> float:
+        return self.x0 + self.x_span * value / self.x_max
+
+    def y(self, value: float) -> float:
+        return self.y0 - self.y_span * value / self.y_max
+
+
+def figure2_svg(
+    solutions: Sequence[Figure2Solution], device: Device
+) -> str:
+    """Figure 2 as SVG: one marker shape per example solution.
+
+    Feasible-rectangle shading, circles/squares/triangles for the
+    (a)/(b)/(c) solutions, red fill for blocks outside the region.
+    """
+    points = [p for s in solutions for p in s.points]
+    x_max = 1.15 * max(
+        [float(p.pins) for p in points] + [float(device.t_max)]
+    )
+    y_max = 1.15 * max(
+        [float(p.size) for p in points] + [float(device.s_max)]
+    )
+    scale = _Scale(x_max, y_max)
+
+    parts = _svg_header(f"Feasible region of {device.name}")
+    # Shaded feasible rectangle.
+    rect_w = scale.x(device.t_max) - scale.x(0)
+    rect_h = scale.y(0) - scale.y(device.s_max)
+    parts.append(
+        f'<rect x="{scale.x(0):.1f}" y="{scale.y(device.s_max):.1f}" '
+        f'width="{rect_w:.1f}" height="{rect_h:.1f}" '
+        'fill="#cfe8cf" stroke="#2a7d2a"/>'
+    )
+    parts.append(
+        f'<text x="{scale.x(device.t_max):.1f}" '
+        f'y="{scale.y(device.s_max) - 4:.1f}" text-anchor="end" '
+        f'fill="#2a7d2a">S&#8804;{device.s_max:g}, T&#8804;{device.t_max}</text>'
+    )
+    parts.extend(_axes("I/O pins T", "size S"))
+
+    shapes = ("circle", "square", "triangle")
+    for index, solution in enumerate(solutions):
+        shape = shapes[index % len(shapes)]
+        for point in solution.points:
+            cx, cy = scale.x(point.pins), scale.y(point.size)
+            fill = "#3b6fd4" if point.feasible else "#d43b3b"
+            if shape == "circle":
+                parts.append(
+                    f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="5" '
+                    f'fill="{fill}"/>'
+                )
+            elif shape == "square":
+                parts.append(
+                    f'<rect x="{cx - 4.5:.1f}" y="{cy - 4.5:.1f}" '
+                    f'width="9" height="9" fill="{fill}"/>'
+                )
+            else:
+                parts.append(
+                    f'<polygon points="{cx:.1f},{cy - 6:.1f} '
+                    f'{cx - 5:.1f},{cy + 4:.1f} {cx + 5:.1f},{cy + 4:.1f}" '
+                    f'fill="{fill}"/>'
+                )
+        parts.append(
+            f'<text x="{_WIDTH - 8}" y="{20 + 14 * index}" '
+            f'text-anchor="end">{solution.label}: {shape}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def figure3_svg(device: Device, config: FpartConfig) -> str:
+    """Figure 3 as SVG: the size windows as horizontal bands.
+
+    X is unbounded I/O (the paper draws the regions as horizontally
+    unbounded rectangles), Y is block size; one band per region kind.
+    """
+    regions = figure3_regions(device, config)
+    y_max = 1.3 * device.s_max
+    scale = _Scale(1.0, y_max)
+
+    parts = _svg_header(f"Feasible move regions of {device.name}")
+    parts.extend(_axes("I/O pins (unconstrained)", "size S"))
+
+    colors = {
+        "two_block_non_remainder": "#3b6fd4",
+        "multi_block_non_remainder": "#d49a3b",
+        "remainder": "#8a8a8a",
+    }
+    band_x = scale.x(0.05)
+    band_w = (scale.x(0.95) - band_x) / 3
+    for index, (label, (floor, cap)) in enumerate(regions.items()):
+        top = min(cap, y_max)
+        x = band_x + index * band_w * 1.05
+        parts.append(
+            f'<rect x="{x:.1f}" y="{scale.y(top):.1f}" '
+            f'width="{band_w:.1f}" '
+            f'height="{scale.y(floor) - scale.y(top):.1f}" '
+            f'fill="{colors[label]}" fill-opacity="0.45" '
+            f'stroke="{colors[label]}"/>'
+        )
+        parts.append(
+            f'<text x="{x + 3:.1f}" y="{scale.y(floor) + 12:.1f}" '
+            f'font-size="9">{label}</text>'
+        )
+        if cap == float("inf"):
+            parts.append(
+                f'<text x="{x + 3:.1f}" y="{scale.y(top) + 12:.1f}" '
+                'font-size="9">&#8734;</text>'
+            )
+    # The S_MAX line across the plot.
+    parts.append(
+        f'<line x1="{scale.x(0):.1f}" y1="{scale.y(device.s_max):.1f}" '
+        f'x2="{scale.x(1):.1f}" y2="{scale.y(device.s_max):.1f}" '
+        'stroke="#2a7d2a" stroke-dasharray="5,3"/>'
+    )
+    parts.append(
+        f'<text x="{scale.x(1):.1f}" '
+        f'y="{scale.y(device.s_max) - 4:.1f}" text-anchor="end" '
+        f'fill="#2a7d2a">S_MAX</text>'
+    )
+    parts.append("</svg>")
+    return "\n".join(parts)

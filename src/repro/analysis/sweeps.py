@@ -1,0 +1,109 @@
+"""Generic FPART parameter sweeps.
+
+Powers custom ablations: sweep any :class:`FpartConfig` field over a set
+of values on a set of circuits and collect device counts and runtimes.
+The built-in ablation benches are hand-written for the paper's specific
+questions; this utility is the user-facing generalization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import DEFAULT_CONFIG, Device, FpartConfig, fpart
+from ..hypergraph import Hypergraph
+from .tables import render_table
+
+__all__ = ["SweepCell", "sweep_config", "render_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (circuit, value) measurement of a sweep."""
+
+    circuit: str
+    value: Any
+    num_devices: int
+    lower_bound: int
+    feasible: bool
+    runtime_seconds: float
+
+
+def sweep_config(
+    circuits: Sequence[Hypergraph],
+    device: Device,
+    field: str,
+    values: Sequence[Any],
+    base_config: FpartConfig = DEFAULT_CONFIG,
+) -> List[SweepCell]:
+    """Run FPART for every (circuit, field=value) combination.
+
+    ``field`` must be a real :class:`FpartConfig` field; values are
+    substituted with ``dataclasses.replace`` so validation still runs.
+    """
+    field_names = {f.name for f in dataclasses.fields(FpartConfig)}
+    if field not in field_names:
+        raise ValueError(
+            f"unknown config field {field!r}; known: {sorted(field_names)}"
+        )
+    cells: List[SweepCell] = []
+    for hg in circuits:
+        for value in values:
+            config = dataclasses.replace(base_config, **{field: value})
+            start = time.perf_counter()
+            result = fpart(hg, device, config)
+            cells.append(
+                SweepCell(
+                    circuit=hg.name or "circuit",
+                    value=value,
+                    num_devices=result.num_devices,
+                    lower_bound=result.lower_bound,
+                    feasible=result.feasible,
+                    runtime_seconds=time.perf_counter() - start,
+                )
+            )
+    return cells
+
+
+def render_sweep(
+    cells: Sequence[SweepCell], field: str, show_time: bool = False
+) -> str:
+    """Circuits x values matrix of device counts (optionally with time)."""
+    circuits = list(dict.fromkeys(c.circuit for c in cells))
+    values = list(dict.fromkeys(c.value for c in cells))
+    by_key: Dict[Tuple[str, Any], SweepCell] = {
+        (c.circuit, c.value): c for c in cells
+    }
+    headers = ["Circuit"] + [f"{field}={v}" for v in values] + ["M"]
+    rows = []
+    for circuit in circuits:
+        row: List[Any] = [circuit]
+        m: Optional[int] = None
+        for value in values:
+            cell = by_key.get((circuit, value))
+            if cell is None:
+                row.append(None)
+            elif show_time:
+                row.append(
+                    f"{cell.num_devices} ({cell.runtime_seconds:.1f}s)"
+                )
+            else:
+                row.append(cell.num_devices)
+            if cell is not None:
+                m = cell.lower_bound
+        row.append(m)
+        rows.append(row)
+    totals: List[Any] = ["Total"]
+    for value in values:
+        column = [
+            by_key[(c, value)].num_devices
+            for c in circuits
+            if (c, value) in by_key
+        ]
+        totals.append(sum(column) if column and not show_time else None)
+    totals.append(None)
+    rows.append(totals)
+    return render_table(headers, rows, title=f"Sweep of {field}")

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for reports and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+__all__ = ["render_table", "format_cell"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, float_digits: int = 2) -> str:
+    """Render one table cell (None becomes the paper's '-')."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{float_digits}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Cell]],
+    title: Optional[str] = None,
+    float_digits: int = 2,
+) -> str:
+    """ASCII table with right-aligned numeric columns.
+
+    The first column is treated as a label and left-aligned; all other
+    columns are right-aligned (the convention of the paper's tables).
+    """
+    text_rows: List[List[str]] = [
+        [format_cell(c, float_digits) for c in row] for row in rows
+    ]
+    columns = len(headers)
+    for row in text_rows:
+        if len(row) != columns:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {columns}: {row}"
+            )
+    widths = [
+        max(
+            len(headers[i]),
+            max((len(row[i]) for row in text_rows), default=0),
+        )
+        for i in range(columns)
+    ]
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)

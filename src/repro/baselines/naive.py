@@ -1,0 +1,139 @@
+"""Naive baselines: the sanity floor every real method must beat.
+
+* :func:`bfs_pack` — breadth-first first-fit packing: walk the circuit in
+  BFS order from the biggest cell and close a block whenever the next
+  cell would overflow the area, then repair pin violations by spilling
+  cells to a fresh ordering tail.
+* :func:`random_pack` — the same packer on a seeded random cell order
+  (locality-free; quantifies how much BFS locality is worth).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..core.device import Device
+from ..core.exceptions import UnpartitionableError
+from ..hypergraph import Hypergraph
+from ..initial import GrowingBlock
+
+__all__ = ["NaiveResult", "bfs_pack", "random_pack"]
+
+
+@dataclass(frozen=True)
+class NaiveResult:
+    """Outcome of a packing baseline."""
+
+    circuit: str
+    device: str
+    num_devices: int
+    lower_bound: int
+    feasible: bool
+    blocks: Tuple[Tuple[int, ...], ...]
+
+    def summary(self) -> str:
+        return (
+            f"{self.circuit} on {self.device} [naive]: "
+            f"{self.num_devices} devices (M={self.lower_bound})"
+        )
+
+
+def _bfs_order(hg: Hypergraph) -> List[int]:
+    """BFS order over all components, each rooted at its biggest cell."""
+    seen: Set[int] = set()
+    order: List[int] = []
+    cells_by_size = sorted(
+        range(hg.num_cells), key=lambda c: (-hg.cell_size(c), c)
+    )
+    for root in cells_by_size:
+        if root in seen:
+            continue
+        seen.add(root)
+        queue = deque([root])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for e in hg.nets_of(u):
+                for v in hg.pins_of(e):
+                    if v not in seen:
+                        seen.add(v)
+                        queue.append(v)
+    return order
+
+
+def _pack(hg: Hypergraph, device: Device, order: Sequence[int]) -> NaiveResult:
+    for c in range(hg.num_cells):
+        if hg.cell_size(c) > device.s_max:
+            raise UnpartitionableError(f"cell {c} exceeds device capacity")
+    pending = deque(order)
+    blocks: List[GrowingBlock] = []
+    current = GrowingBlock(hg)
+    overflow: List[int] = []
+
+    def close_current() -> None:
+        nonlocal current
+        # Pin repair: spill the most pin-hungry cells back to the queue.
+        while current.pins > device.t_max and len(current.cells) > 1:
+            best_cell: Optional[int] = None
+            best_key = None
+            for c in sorted(current.cells):
+                current.remove(c)
+                key = (current.pins, c)
+                current.add(c)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_cell = c
+            assert best_cell is not None
+            current.remove(best_cell)
+            overflow.append(best_cell)
+        if current.pins > device.t_max:
+            raise UnpartitionableError(
+                "single cell exceeds the device pin constraint"
+            )
+        if current.cells:
+            blocks.append(current)
+        current = GrowingBlock(hg)
+
+    requeue_rounds = 0
+    while True:
+        while pending:
+            cell = pending.popleft()
+            if current.size + hg.cell_size(cell) > device.s_max:
+                close_current()
+            current.add(cell)
+        if current.cells:
+            close_current()  # may spill more cells into overflow
+        if not overflow:
+            break
+        requeue_rounds += 1
+        if requeue_rounds > hg.num_cells:
+            raise UnpartitionableError(
+                "pin repair failed to converge while packing"
+            )
+        pending.extend(overflow)
+        overflow.clear()
+
+    feasible = all(device.fits(b.size, b.pins) for b in blocks)
+    return NaiveResult(
+        circuit=hg.name or "circuit",
+        device=device.name,
+        num_devices=len(blocks),
+        lower_bound=device.lower_bound(hg),
+        feasible=feasible,
+        blocks=tuple(tuple(sorted(b.cells)) for b in blocks),
+    )
+
+
+def bfs_pack(hg: Hypergraph, device: Device) -> NaiveResult:
+    """First-fit packing in BFS order."""
+    return _pack(hg, device, _bfs_order(hg))
+
+
+def random_pack(hg: Hypergraph, device: Device, seed: int = 0) -> NaiveResult:
+    """First-fit packing in seeded random order (locality-free floor)."""
+    order = list(range(hg.num_cells))
+    random.Random(seed).shuffle(order)
+    return _pack(hg, device, order)

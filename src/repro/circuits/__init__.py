@@ -1,0 +1,27 @@
+"""Benchmark circuits: synthetic generator and MCNC Table 1 stand-ins."""
+
+from .generator import GeneratorParams, generate_circuit, seed_from_name
+from .mcnc import (
+    COMBINATIONAL_CIRCUITS,
+    LARGE_CIRCUITS,
+    MCNC_NAMES,
+    MCNC_TABLE1,
+    SMALL_CIRCUITS,
+    McncRow,
+    mcnc_circuit,
+    table1_rows,
+)
+
+__all__ = [
+    "GeneratorParams",
+    "generate_circuit",
+    "seed_from_name",
+    "McncRow",
+    "MCNC_TABLE1",
+    "MCNC_NAMES",
+    "SMALL_CIRCUITS",
+    "LARGE_CIRCUITS",
+    "COMBINATIONAL_CIRCUITS",
+    "mcnc_circuit",
+    "table1_rows",
+]

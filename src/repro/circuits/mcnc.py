@@ -1,0 +1,119 @@
+"""MCNC Partitioning93 benchmark stand-ins (Table 1 of the paper).
+
+The paper evaluates on ten MCNC circuits technology-mapped to Xilinx
+XC2000 and XC3000 CLBs.  Table 1 gives, per circuit, the primary-I/O
+count and the CLB count under each mapping; those numbers are reproduced
+here verbatim and drive the synthetic generator, so
+
+    ``mcnc_circuit("s5378", "XC3000")``
+
+returns a deterministic hypergraph with exactly 381 unit-size cells and
+86 pads.  (The real netlists were distributed from a now-defunct NCSU
+site; see DESIGN.md for the substitution rationale.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..hypergraph import Hypergraph
+from .generator import GeneratorParams, generate_circuit
+
+__all__ = [
+    "McncRow",
+    "MCNC_TABLE1",
+    "MCNC_NAMES",
+    "SMALL_CIRCUITS",
+    "LARGE_CIRCUITS",
+    "COMBINATIONAL_CIRCUITS",
+    "mcnc_circuit",
+    "table1_rows",
+]
+
+
+@dataclass(frozen=True)
+class McncRow:
+    """One row of the paper's Table 1."""
+
+    name: str
+    iobs: int
+    clbs_xc2000: int
+    clbs_xc3000: int
+
+    def clbs(self, family: str) -> int:
+        """CLB count under one technology mapping."""
+        key = family.upper()
+        if key in ("XC2000", "XC2064"):
+            return self.clbs_xc2000
+        if key in ("XC3000", "XC3020", "XC3042", "XC3090"):
+            return self.clbs_xc3000
+        raise KeyError(f"unknown family/device {family!r}")
+
+
+# Table 1, verbatim.
+MCNC_TABLE1: Tuple[McncRow, ...] = (
+    McncRow("c3540", 72, 373, 283),
+    McncRow("c5315", 301, 535, 377),
+    McncRow("c6288", 64, 833, 833),
+    McncRow("c7552", 313, 611, 489),
+    McncRow("s5378", 86, 500, 381),
+    McncRow("s9234", 43, 565, 454),
+    McncRow("s13207", 154, 1038, 915),
+    McncRow("s15850", 102, 1013, 842),
+    McncRow("s38417", 136, 2763, 2221),
+    McncRow("s38584", 292, 3956, 2904),
+)
+
+MCNC_NAMES: Tuple[str, ...] = tuple(row.name for row in MCNC_TABLE1)
+
+#: Circuits cheap enough for default (non-REPRO_FULL) benchmark runs.
+SMALL_CIRCUITS: Tuple[str, ...] = (
+    "c3540",
+    "c5315",
+    "c6288",
+    "c7552",
+    "s5378",
+    "s9234",
+)
+
+#: The big four, enabled with REPRO_FULL=1 (slow in pure Python).
+LARGE_CIRCUITS: Tuple[str, ...] = ("s13207", "s15850", "s38417", "s38584")
+
+#: The combinational subset used in the paper's Table 5 (XC2064).
+COMBINATIONAL_CIRCUITS: Tuple[str, ...] = (
+    "c3540",
+    "c5315",
+    "c7552",
+    "c6288",
+)
+
+_ROWS_BY_NAME: Dict[str, McncRow] = {row.name: row for row in MCNC_TABLE1}
+
+
+def table1_rows() -> List[McncRow]:
+    """All Table 1 rows (copy)."""
+    return list(MCNC_TABLE1)
+
+
+def mcnc_circuit(
+    name: str,
+    family: str = "XC3000",
+    params: GeneratorParams = GeneratorParams(),
+) -> Hypergraph:
+    """Synthetic stand-in for one MCNC circuit under one mapping.
+
+    Deterministic: the seed derives from ``name`` and the family, so two
+    calls return identical hypergraphs.
+    """
+    row = _ROWS_BY_NAME.get(name)
+    if row is None:
+        known = ", ".join(MCNC_NAMES)
+        raise KeyError(f"unknown MCNC circuit {name!r}; known: {known}")
+    family_key = "XC2000" if family.upper() in ("XC2000", "XC2064") else "XC3000"
+    return generate_circuit(
+        f"{name}/{family_key}",
+        num_cells=row.clbs(family_key),
+        num_ios=row.iobs,
+        params=params,
+    )

@@ -1,0 +1,330 @@
+"""Command-line interface.
+
+Installed as ``fpart`` (also ``python -m repro``).  Subcommands:
+
+* ``partition`` — partition a netlist file for a device with any of the
+  implemented algorithms and report (or save) the block assignment;
+* ``verify`` — validate a saved assignment against a device;
+* ``split`` — emit one netlist file per device from a saved assignment;
+* ``generate`` — emit a synthetic benchmark netlist;
+* ``info`` — print hypergraph statistics of a netlist file;
+* ``table`` — regenerate one of the paper's comparison tables live.
+
+Netlist files are autodetected by extension: ``.hgr`` (extended hMETIS),
+``.nets`` (named netlist) or ``.blif`` (structural BLIF).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .analysis import render_device_comparison, run_device_experiment
+from .baselines import bfs_pack, fbb_multiway, kwayx, rp0
+from .circuits import generate_circuit
+from .core import device_by_name, fpart
+from .hypergraph import (
+    Hypergraph,
+    compute_stats,
+    read_blif,
+    read_hgr,
+    read_netlist,
+    write_blif,
+    write_hgr,
+    write_netlist,
+)
+from .partition import read_assignment_file, validate_assignment
+
+__all__ = ["main", "build_parser"]
+
+
+def _load(path: str) -> Hypergraph:
+    file = Path(path)
+    if not file.exists():
+        raise SystemExit(f"error: no such netlist file: {path}")
+    if file.suffix == ".nets":
+        return read_netlist(file)
+    if file.suffix == ".blif":
+        return read_blif(file)
+    return read_hgr(file)
+
+
+def _save(hg: Hypergraph, path: str) -> None:
+    file = Path(path)
+    if file.suffix == ".nets":
+        write_netlist(hg, file)
+    elif file.suffix == ".blif":
+        write_blif(hg, file)
+    else:
+        write_hgr(hg, file)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="fpart",
+        description=(
+            "Multi-way FPGA netlist partitioning "
+            "(FPART, Krupnova & Saucier, DATE 1999)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("partition", help="partition a netlist file")
+    p.add_argument("netlist", help="input .hgr or .nets file")
+    p.add_argument(
+        "--device",
+        default="XC3042",
+        help="target device name (XC3020/XC3042/XC3090/XC2064)",
+    )
+    p.add_argument(
+        "--algorithm",
+        choices=["fpart", "kwayx", "rp0", "fbb", "pack"],
+        default="fpart",
+        help="partitioning algorithm",
+    )
+    p.add_argument(
+        "--delta",
+        type=float,
+        default=None,
+        help="override the device filling ratio",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        help="write 'cell block' lines to this file",
+    )
+    p.add_argument(
+        "--verbose", action="store_true", help="per-block detail"
+    )
+
+    g = sub.add_parser("generate", help="generate a synthetic netlist")
+    g.add_argument("name", help="circuit name (also the seed)")
+    g.add_argument("--cells", type=int, required=True)
+    g.add_argument("--ios", type=int, required=True)
+    g.add_argument("--seed", type=int, default=None)
+    g.add_argument("--output", "-o", required=True, help=".hgr or .nets path")
+
+    i = sub.add_parser("info", help="netlist statistics")
+    i.add_argument("netlist")
+    i.add_argument(
+        "--lint", action="store_true",
+        help="also run structural sanity checks",
+    )
+
+    v = sub.add_parser(
+        "verify", help="validate a saved assignment against a device"
+    )
+    v.add_argument("netlist", help="input netlist file")
+    v.add_argument("assignment", help="'cell block' file from partition")
+    v.add_argument("--device", default="XC3042")
+    v.add_argument("--delta", type=float, default=None)
+
+    s = sub.add_parser(
+        "split", help="write one netlist per device from an assignment"
+    )
+    s.add_argument("netlist", help="input netlist file")
+    s.add_argument("assignment", help="'cell block' file from partition")
+    s.add_argument(
+        "--output-dir", "-d", required=True,
+        help="directory for the per-device netlists",
+    )
+    s.add_argument(
+        "--format", choices=["hgr", "nets", "blif"], default="hgr"
+    )
+
+    r = sub.add_parser(
+        "report", help="full markdown report for one netlist/device"
+    )
+    r.add_argument("netlist")
+    r.add_argument("--device", default="XC3042")
+    r.add_argument("--delta", type=float, default=None)
+    r.add_argument(
+        "--no-baselines", action="store_true",
+        help="skip the baseline comparison section",
+    )
+    r.add_argument("--output", "-o", default=None, help="write to file")
+
+    t = sub.add_parser("table", help="regenerate a paper comparison table")
+    t.add_argument(
+        "device", help="device of the table (XC3020/XC3042/XC3090/XC2064)"
+    )
+    t.add_argument(
+        "--circuits",
+        nargs="*",
+        default=None,
+        help="restrict to these circuits",
+    )
+    t.add_argument(
+        "--methods",
+        nargs="*",
+        default=["FPART"],
+        help="measured methods (FPART, 'k-way.x*', 'FBB-MW*', BFS-pack)",
+    )
+    t.add_argument(
+        "--export",
+        default=None,
+        help="also write raw records to this .json or .csv file",
+    )
+    return parser
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    hg = _load(args.netlist)
+    device = device_by_name(args.device)
+    if args.delta is not None:
+        device = device.with_delta(args.delta)
+    if args.algorithm == "fpart":
+        result = fpart(hg, device)
+        assignment: Optional[List[int]] = result.assignment
+        print(result.summary())
+        if args.verbose:
+            for b, (size, pins) in enumerate(
+                zip(result.block_sizes, result.block_pins)
+            ):
+                print(f"  block {b}: size={size} pins={pins}")
+    elif args.algorithm == "kwayx":
+        res = kwayx(hg, device)
+        assignment = list(res.assignment)
+        print(res.summary())
+    elif args.algorithm == "rp0":
+        res = rp0(hg, device)
+        # The replicated netlist has extra cells; only the verdict is
+        # reported (the assignment refers to the transformed netlist).
+        assignment = None
+        print(res.summary())
+    elif args.algorithm == "fbb":
+        res = fbb_multiway(hg, device)
+        assignment = [0] * hg.num_cells
+        for b, block in enumerate(res.blocks):
+            for c in block:
+                assignment[c] = b
+        print(res.summary())
+    else:
+        res = bfs_pack(hg, device)
+        assignment = [0] * hg.num_cells
+        for b, block in enumerate(res.blocks):
+            for c in block:
+                assignment[c] = b
+        print(res.summary())
+
+    if args.output and assignment is not None:
+        with open(args.output, "w", encoding="ascii") as stream:
+            for cell, block in enumerate(assignment):
+                stream.write(f"{hg.cell_label(cell)} {block}\n")
+        print(f"assignment written to {args.output}")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    hg = generate_circuit(
+        args.name, num_cells=args.cells, num_ios=args.ios, seed=args.seed
+    )
+    _save(hg, args.output)
+    print(f"wrote {hg!r} to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .hypergraph import lint_netlist, render_lint
+
+    hg = _load(args.netlist)
+    print(hg)
+    print(compute_stats(hg).summary())
+    if args.lint:
+        print(render_lint(lint_netlist(hg)))
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    hg = _load(args.netlist)
+    device = device_by_name(args.device)
+    if args.delta is not None:
+        device = device.with_delta(args.delta)
+    try:
+        assignment = read_assignment_file(args.assignment, hg)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    report = validate_assignment(hg, assignment, device)
+    print(report.summary())
+    for block in range(report.num_blocks):
+        print(
+            f"  block {block}: size={report.block_sizes[block]} "
+            f"pins={report.block_pins[block]}"
+        )
+    return 0 if report.feasible else 1
+
+
+def _cmd_split(args: argparse.Namespace) -> int:
+    from .hypergraph import split_into_devices
+
+    hg = _load(args.netlist)
+    try:
+        assignment = read_assignment_file(args.assignment, hg)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: {error}")
+    out_dir = Path(args.output_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    pieces = split_into_devices(hg, assignment)
+    stem = Path(args.netlist).stem
+    for index, piece in enumerate(pieces):
+        path = out_dir / f"{stem}_dev{index}.{args.format}"
+        _save(piece.sub, str(path))
+        print(
+            f"device {index}: {piece.sub.num_cells} cells, "
+            f"{piece.sub.num_terminals} pads -> {path}"
+        )
+    print(f"{len(pieces)} device netlists written to {out_dir}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis import generate_report
+
+    hg = _load(args.netlist)
+    device = device_by_name(args.device)
+    if args.delta is not None:
+        device = device.with_delta(args.delta)
+    report = generate_report(
+        hg, device, include_baselines=not args.no_baselines
+    )
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    records = run_device_experiment(
+        args.device, circuits=args.circuits, methods=args.methods
+    )
+    print(render_device_comparison(args.device, records, args.methods))
+    if args.export:
+        from .analysis import write_records
+
+        path = write_records(records, args.export)
+        print(f"records exported to {path}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "partition": _cmd_partition,
+        "generate": _cmd_generate,
+        "info": _cmd_info,
+        "verify": _cmd_verify,
+        "split": _cmd_split,
+        "report": _cmd_report,
+        "table": _cmd_table,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Multilevel clustering: coarsening and the V-cycle wrapper."""
+
+from .coarsen import CoarseLevel, coarsen_once, coarsen_to_size
+from .multilevel import MultilevelResult, fpart_multilevel
+
+__all__ = [
+    "CoarseLevel",
+    "coarsen_once",
+    "coarsen_to_size",
+    "MultilevelResult",
+    "fpart_multilevel",
+]

@@ -1,0 +1,163 @@
+"""Netlist coarsening by heavy-edge matching.
+
+Clustering is one of the classical levers the paper's survey paragraph
+lists ("clustering approaches … number of runs, number of passes"); the
+multilevel scheme built on it (coarsen → partition → project) is the
+standard way to speed iterative improvement up on large netlists.
+
+The coarsener pairs cells by *heavy-edge matching on the clique
+expansion*: every net of degree ``d`` contributes weight ``1/(d-1)`` to
+each pin pair it connects, visiting cells in a deterministic order and
+matching each with its heaviest unmatched neighbour, subject to a
+cluster size cap.  Matched pairs merge into one weighted cell of the
+coarse hypergraph; nets collapse (duplicate pins merge, single-pin
+padless nets drop).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hypergraph import Hypergraph
+
+__all__ = ["CoarseLevel", "coarsen_once", "coarsen_to_size"]
+
+
+@dataclass(frozen=True)
+class CoarseLevel:
+    """One coarsening step: the coarse graph and the projection map."""
+
+    hg: Hypergraph
+    cluster_of: Tuple[int, ...]
+    """Fine cell -> coarse cell."""
+
+    def project(self, coarse_assignment: Sequence[int]) -> List[int]:
+        """Lift a coarse block assignment back to the fine cells."""
+        return [
+            coarse_assignment[self.cluster_of[c]]
+            for c in range(len(self.cluster_of))
+        ]
+
+
+def _edge_weights(hg: Hypergraph) -> Dict[Tuple[int, int], float]:
+    """Clique-expansion pair weights over all nets."""
+    weights: Dict[Tuple[int, int], float] = {}
+    for e in range(hg.num_nets):
+        pins = hg.pins_of(e)
+        d = len(pins)
+        if d < 2:
+            continue
+        w = 1.0 / (d - 1)
+        for i in range(d):
+            for j in range(i + 1, d):
+                a, b = pins[i], pins[j]
+                key = (a, b) if a < b else (b, a)
+                weights[key] = weights.get(key, 0.0) + w
+    return weights
+
+
+def coarsen_once(
+    hg: Hypergraph, max_cluster_size: Optional[int] = None
+) -> CoarseLevel:
+    """One level of heavy-edge matching.
+
+    ``max_cluster_size`` caps the merged cell size (defaults to
+    unbounded); cells are visited in ascending index order for
+    determinism, each matching its heaviest available neighbour.
+    """
+    weights = _edge_weights(hg)
+    neighbor_weights: Dict[int, List[Tuple[float, int]]] = {}
+    for (a, b), w in weights.items():
+        neighbor_weights.setdefault(a, []).append((w, b))
+        neighbor_weights.setdefault(b, []).append((w, a))
+
+    match: List[Optional[int]] = [None] * hg.num_cells
+    for cell in range(hg.num_cells):
+        if match[cell] is not None:
+            continue
+        best: Optional[int] = None
+        best_w = 0.0
+        for w, other in neighbor_weights.get(cell, ()):
+            if match[other] is not None:
+                continue
+            if (
+                max_cluster_size is not None
+                and hg.cell_size(cell) + hg.cell_size(other)
+                > max_cluster_size
+            ):
+                continue
+            if w > best_w or (w == best_w and (best is None or other < best)):
+                best = other
+                best_w = w
+        if best is not None:
+            match[cell] = best
+            match[best] = cell
+
+    cluster_of: List[int] = [-1] * hg.num_cells
+    next_cluster = 0
+    for cell in range(hg.num_cells):
+        if cluster_of[cell] >= 0:
+            continue
+        cluster_of[cell] = next_cluster
+        partner = match[cell]
+        if partner is not None and cluster_of[partner] < 0:
+            cluster_of[partner] = next_cluster
+        next_cluster += 1
+
+    sizes = [0] * next_cluster
+    for cell in range(hg.num_cells):
+        sizes[cluster_of[cell]] += hg.cell_size(cell)
+
+    # Collapse nets; drop padless nets that became single-pin, dedupe
+    # identical padless nets (parallel nets carry no extra cut info).
+    nets: List[Tuple[int, ...]] = []
+    terminal_nets: List[int] = []
+    seen: Dict[Tuple[int, ...], int] = {}
+    for e in range(hg.num_nets):
+        coarse_pins = tuple(
+            sorted({cluster_of[p] for p in hg.pins_of(e)})
+        )
+        pads = hg.net_terminal_count(e)
+        if len(coarse_pins) < 2 and pads == 0:
+            continue
+        if pads == 0:
+            if coarse_pins in seen:
+                continue
+            seen[coarse_pins] = len(nets)
+        nets.append(coarse_pins)
+        terminal_nets.extend([len(nets) - 1] * pads)
+
+    coarse = Hypergraph(
+        sizes,
+        nets,
+        terminal_nets,
+        name=f"{hg.name}~{next_cluster}" if hg.name else "",
+    )
+    return CoarseLevel(hg=coarse, cluster_of=tuple(cluster_of))
+
+
+def coarsen_to_size(
+    hg: Hypergraph,
+    target_cells: int,
+    max_cluster_size: Optional[int] = None,
+    max_levels: int = 12,
+) -> List[CoarseLevel]:
+    """Coarsen repeatedly until ``target_cells`` (or no progress).
+
+    Returns the list of levels, finest first.  Empty when the input is
+    already at or below the target.
+    """
+    if target_cells < 2:
+        raise ValueError("target_cells must be at least 2")
+    levels: List[CoarseLevel] = []
+    current = hg
+    for _ in range(max_levels):
+        if current.num_cells <= target_cells:
+            break
+        level = coarsen_once(current, max_cluster_size)
+        if level.hg.num_cells >= current.num_cells:
+            break  # matching found nothing: stuck
+        levels.append(level)
+        current = level.hg
+    return levels

@@ -1,0 +1,133 @@
+"""Lexicographic solution cost (section 3.4).
+
+When two solutions are compared during a pass, the better one is decided
+by the tuple ``(f, d_k, T_SUM, d_k^E)`` in lexicographic order:
+
+1. ``f`` — number of feasible blocks (more is better; ``f = k`` means a
+   feasible partition was found),
+2. ``d_k`` — infeasibility distance (smaller is better),
+3. ``T_SUM`` — total pins over all blocks (smaller is better),
+4. ``d_k^E`` — external-I/O balancing factor (smaller is better): the
+   summed shortfall of each block's external-pad count below the average
+   ``T_AVG^E = |Y_0| / M``; keeping it small spreads primary I/Os evenly
+   so the last remainder is not choked by external pads.
+
+For the cost-function ablation (the net-count-only cost of Kuznar's
+k-way.x) the comparison degrades to ``(f, cut_nets)``.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..partition import PartitionState
+from .config import FpartConfig
+from .device import Device
+from .feasibility import (
+    block_distance,
+    block_is_feasible,
+    size_deviation_penalty,
+)
+
+__all__ = ["SolutionCost", "CostEvaluator"]
+
+
+@functools.total_ordering
+@dataclass(frozen=True)
+class SolutionCost:
+    """One evaluated solution.  Ordering: smaller compares better."""
+
+    feasible_blocks: int
+    distance: float
+    total_pins: int
+    ext_balance: float
+    cut_nets: int
+    use_infeasibility: bool = True
+
+    @property
+    def key(self) -> Tuple:
+        """Lexicographic comparison key (smaller is better)."""
+        if self.use_infeasibility:
+            return (
+                -self.feasible_blocks,
+                self.distance,
+                self.total_pins,
+                self.ext_balance,
+            )
+        return (-self.feasible_blocks, self.cut_nets)
+
+    def __lt__(self, other: "SolutionCost") -> bool:
+        return self.key < other.key
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SolutionCost):
+            return NotImplemented
+        return self.key == other.key
+
+    def __repr__(self) -> str:
+        return (
+            f"SolutionCost(f={self.feasible_blocks}, d={self.distance:.4f}, "
+            f"T_SUM={self.total_pins}, d_E={self.ext_balance:.4f}, "
+            f"cut={self.cut_nets})"
+        )
+
+
+class CostEvaluator:
+    """Evaluates :class:`SolutionCost` for states of one partitioning run.
+
+    Holds the run-wide constants — device, config, the circuit lower
+    bound ``M`` and ``T_AVG^E = |Y_0| / M`` — so evaluating a state is a
+    single O(k) sweep over blocks.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        config: FpartConfig,
+        lower_bound: int,
+        num_terminals: int,
+    ) -> None:
+        if lower_bound < 1:
+            raise ValueError("lower bound M must be at least 1")
+        self.device = device
+        self.config = config
+        self.lower_bound = lower_bound
+        self.num_terminals = num_terminals
+        self.t_avg_ext = num_terminals / lower_bound
+
+    def evaluate(self, state: PartitionState, remainder: int) -> SolutionCost:
+        """Cost of ``state`` with ``remainder`` as the remainder block."""
+        device = self.device
+        config = self.config
+        feasible = 0
+        distance = 0.0
+        ext_balance = 0.0
+        t_avg = self.t_avg_ext
+        for b in range(state.num_blocks):
+            size = state.block_size(b)
+            pins = state.block_pins(b)
+            if block_is_feasible(size, pins, device):
+                feasible += 1
+            else:
+                distance += block_distance(size, pins, device, config)
+            if t_avg > 0:
+                ext = state.block_ext_ios(b)
+                if ext < t_avg:
+                    ext_balance += (t_avg - ext) / t_avg
+        blocks_created = state.num_blocks - 1
+        distance += config.lambda_r * size_deviation_penalty(
+            state.block_size(remainder),
+            self.lower_bound,
+            blocks_created,
+            device,
+        )
+        return SolutionCost(
+            feasible_blocks=feasible,
+            distance=distance,
+            total_pins=state.total_pins,
+            ext_balance=ext_balance,
+            cut_nets=state.cut_nets,
+            use_infeasibility=config.use_infeasibility_cost,
+        )

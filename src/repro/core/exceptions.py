@@ -1,0 +1,22 @@
+"""Exception hierarchy for the partitioning library."""
+
+from __future__ import annotations
+
+__all__ = ["PartitioningError", "UnpartitionableError", "IterationLimitError"]
+
+
+class PartitioningError(Exception):
+    """Base class for all partitioning failures."""
+
+
+class UnpartitionableError(PartitioningError):
+    """The circuit cannot be made feasible for the target device.
+
+    Typical causes: a single cell bigger than ``S_MAX``, or a remainder
+    reduced to one infeasible cell (the paper's method has no replication
+    to fall back on).
+    """
+
+
+class IterationLimitError(PartitioningError):
+    """Algorithm 1 exceeded its iteration safety cap without converging."""

@@ -1,0 +1,161 @@
+"""Feasibility classification and infeasibility distances (section 3.3).
+
+A block ``P_j`` *meets* device constraints (``P_j |= D``) when
+``S_j <= S_MAX`` and ``|Y_j| <= T_MAX``.  A k-way partition is
+
+* **feasible** — every block meets constraints,
+* **semi-feasible** — exactly one block (the *remainder*) violates them,
+* **infeasible** — more than one block violates them.
+
+The *infeasibility distance* of a block,
+
+    d_i = lambda_S * d_i^S + lambda_T * d_i^T,
+    d_i^S = max(0, (S_i - S_MAX) / S_MAX),
+    d_i^T = max(0, (T_i - T_MAX) / T_MAX),
+
+measures how far the block sits outside the feasible rectangle of
+Figure 2; the distance of a solution is the sum over blocks, plus the
+size-deviation penalty ``lambda_R * d_k^R`` that penalizes leaving the
+remainder too big to fit the minimal theoretical number of devices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from ..partition import PartitionState
+from .config import FpartConfig
+from .device import Device
+
+__all__ = [
+    "Feasibility",
+    "BlockPoint",
+    "block_is_feasible",
+    "block_distance",
+    "classify",
+    "count_feasible_blocks",
+    "infeasibility_distance",
+    "size_deviation_penalty",
+    "solution_points",
+]
+
+
+class Feasibility(enum.Enum):
+    """Classification of a k-way partitioning solution."""
+
+    FEASIBLE = "feasible"
+    SEMI_FEASIBLE = "semi-feasible"
+    INFEASIBLE = "infeasible"
+
+
+@dataclass(frozen=True)
+class BlockPoint:
+    """A block as a point in the (pins, size) plane of Figure 2."""
+
+    block: int
+    size: int
+    pins: int
+    feasible: bool
+    distance: float
+
+
+def block_is_feasible(size: int, pins: int, device: Device) -> bool:
+    """``P |= D`` test on raw size / pin counts."""
+    return size <= device.s_max and pins <= device.t_max
+
+
+def block_distance(
+    size: int, pins: int, device: Device, config: FpartConfig
+) -> float:
+    """Infeasibility distance ``d_i`` of one block (0 when feasible)."""
+    d_s = max(0.0, (size - device.s_max) / device.s_max)
+    d_t = max(0.0, (pins - device.t_max) / device.t_max)
+    return config.lambda_s * d_s + config.lambda_t * d_t
+
+
+def count_feasible_blocks(state: PartitionState, device: Device) -> int:
+    """``f`` — the number of blocks meeting device constraints."""
+    return sum(
+        1
+        for b in range(state.num_blocks)
+        if block_is_feasible(state.block_size(b), state.block_pins(b), device)
+    )
+
+
+def classify(state: PartitionState, device: Device) -> Feasibility:
+    """Classify the solution as feasible / semi-feasible / infeasible."""
+    bad = state.num_blocks - count_feasible_blocks(state, device)
+    if bad == 0:
+        return Feasibility.FEASIBLE
+    if bad == 1:
+        return Feasibility.SEMI_FEASIBLE
+    return Feasibility.INFEASIBLE
+
+
+def size_deviation_penalty(
+    remainder_size: int,
+    lower_bound: int,
+    blocks_created: int,
+    device: Device,
+) -> float:
+    """``d_k^R`` — penalty when the remainder cannot split into the
+    minimal theoretical number of remaining devices with full filling.
+
+    ``S_AVG = S(R_k) / (M - k + 1)`` is the average size the remaining
+    blocks would have if the remainder were split into the minimal number
+    of parts; the penalty is ``S_AVG / S_MAX`` when ``S_AVG > S_MAX`` and
+    0 otherwise.  When ``k >= M`` the minimal split is one block, i.e.
+    the penalty fires exactly when the remainder alone exceeds capacity.
+    """
+    remaining = max(1, lower_bound - blocks_created + 1)
+    s_avg = remainder_size / remaining
+    if s_avg > device.s_max:
+        return s_avg / device.s_max
+    return 0.0
+
+
+def infeasibility_distance(
+    state: PartitionState,
+    device: Device,
+    config: FpartConfig,
+    remainder: int,
+    lower_bound: int,
+) -> float:
+    """Solution distance ``d_k = sum_i d_i + lambda_R * d_k^R``.
+
+    ``remainder`` is the index of the remainder block; ``lower_bound`` is
+    the device lower bound ``M`` of the *whole* circuit, both needed by
+    the size-deviation penalty.
+    """
+    total = 0.0
+    for b in range(state.num_blocks):
+        total += block_distance(
+            state.block_size(b), state.block_pins(b), device, config
+        )
+    blocks_created = state.num_blocks - 1  # all blocks except the remainder
+    total += config.lambda_r * size_deviation_penalty(
+        state.block_size(remainder), lower_bound, blocks_created, device
+    )
+    return total
+
+
+def solution_points(
+    state: PartitionState, device: Device, config: FpartConfig
+) -> List[BlockPoint]:
+    """Blocks as Figure 2 points: (pins, size) with classification."""
+    points = []
+    for b in range(state.num_blocks):
+        size = state.block_size(b)
+        pins = state.block_pins(b)
+        points.append(
+            BlockPoint(
+                block=b,
+                size=size,
+                pins=pins,
+                feasible=block_is_feasible(size, pins, device),
+                distance=block_distance(size, pins, device, config),
+            )
+        )
+    return points

@@ -1,0 +1,249 @@
+"""FPART — Algorithm 1 of the paper.
+
+Recursive multi-way partitioning: bipartition the remainder, improve the
+fresh pair, improve against strategically selected earlier blocks (and,
+for small-M circuits, across all blocks at once), until the whole
+solution meets device constraints.
+
+Deviations from the paper's pseudo-code, both required for the reported
+results to be reachable:
+
+* feasibility is checked *before* bipartitioning, so a circuit that fits
+  ``k`` devices is never split into ``k + 1`` (Table 4 reports k = 1 for
+  c3540 on XC3090, impossible with an unconditional first split);
+* the "remainder" of the next iteration is re-identified as the
+  currently infeasible block — after a multi-way improvement pass the
+  violating block need not be the block that was the remainder before
+  (the paper's own definition of a semi-feasible solution names the
+  violating subset the remainder);
+* an empty remainder is dropped, which is how the extra ``k = M``
+  improvement round can land exactly on the lower bound.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..hypergraph import Hypergraph
+from ..initial import create_bipartition
+from ..partition import PartitionState
+from .config import DEFAULT_CONFIG, FpartConfig
+from .cost import CostEvaluator, SolutionCost
+from .device import Device
+from .exceptions import IterationLimitError, UnpartitionableError
+from .feasibility import Feasibility, block_is_feasible, classify
+from .improve import improve
+from .strategy import iteration_schedule
+
+__all__ = ["FpartResult", "ImproveTraceEntry", "FpartPartitioner", "fpart"]
+
+
+@dataclass(frozen=True)
+class ImproveTraceEntry:
+    """Record of one scheduled ``Improve()`` call (Figure 1 data)."""
+
+    iteration: int
+    label: str
+    blocks: Tuple[int, ...]
+    cost_before: SolutionCost
+    cost_after: SolutionCost
+
+
+@dataclass
+class FpartResult:
+    """Outcome of one FPART run."""
+
+    circuit: str
+    device: str
+    num_devices: int
+    lower_bound: int
+    feasible: bool
+    assignment: List[int]
+    block_sizes: List[int]
+    block_pins: List[int]
+    iterations: int
+    runtime_seconds: float
+    trace: List[ImproveTraceEntry] = field(default_factory=list)
+
+    @property
+    def gap_to_lower_bound(self) -> int:
+        """Devices above the theoretical minimum ``M``."""
+        return self.num_devices - self.lower_bound
+
+    def summary(self) -> str:
+        """One-line report, Table 2–5 style."""
+        return (
+            f"{self.circuit} on {self.device}: {self.num_devices} devices "
+            f"(M={self.lower_bound}, feasible={self.feasible}, "
+            f"{self.iterations} iterations, {self.runtime_seconds:.2f}s)"
+        )
+
+
+class FpartPartitioner:
+    """Configured FPART runner for one circuit / device pair.
+
+    Example
+    -------
+    >>> from repro.circuits import generate_circuit
+    >>> from repro.core import XC3042, FpartPartitioner
+    >>> hg = generate_circuit("demo", num_cells=300, num_ios=40, seed=7)
+    >>> result = FpartPartitioner(hg, XC3042).run()
+    >>> result.feasible
+    True
+    """
+
+    def __init__(
+        self,
+        hg: Hypergraph,
+        device: Device,
+        config: FpartConfig = DEFAULT_CONFIG,
+        keep_trace: bool = True,
+    ) -> None:
+        for c in range(hg.num_cells):
+            if hg.cell_size(c) > device.s_max:
+                raise UnpartitionableError(
+                    f"cell {c} (size {hg.cell_size(c)}) exceeds device "
+                    f"capacity S_MAX={device.s_max}"
+                )
+        self.hg = hg
+        self.device = device
+        self.config = config
+        self.keep_trace = keep_trace
+        self.lower_bound = device.lower_bound(hg)
+
+    # ------------------------------------------------------------------
+
+    def _scheduled_steps(self, state, remainder, new_block, m):
+        """Iteration schedule filtered by the strategy ablation knob."""
+        strategy = self.config.improvement_strategy
+        if strategy == "none":
+            return
+        for step in iteration_schedule(
+            state, remainder, new_block, m, self.device, self.config
+        ):
+            yield step
+            if strategy == "last_pair":
+                return
+
+    def _infeasible_blocks(self, state: PartitionState) -> List[int]:
+        device = self.device
+        return [
+            b
+            for b in range(state.num_blocks)
+            if not block_is_feasible(
+                state.block_size(b), state.block_pins(b), device
+            )
+        ]
+
+    def _drop_empty_blocks(self, state: PartitionState) -> PartitionState:
+        """Compact away empty blocks (a remainder emptied by improvement)."""
+        nonempty = state.nonempty_blocks()
+        if len(nonempty) == state.num_blocks:
+            return state
+        renumber = {old: new for new, old in enumerate(nonempty)}
+        assignment = [renumber[b] for b in state.assignment()]
+        return PartitionState.from_assignment(
+            self.hg, assignment, len(nonempty)
+        )
+
+    def run(self) -> FpartResult:
+        """Execute Algorithm 1; returns the final feasible partition.
+
+        Raises :class:`IterationLimitError` if the iteration safety cap
+        is hit before a feasible solution is found (pathological inputs);
+        :class:`UnpartitionableError` when the remainder degenerates to a
+        single infeasible cell.
+        """
+        start = time.perf_counter()
+        hg = self.hg
+        device = self.device
+        config = self.config
+        m = self.lower_bound
+        evaluator = CostEvaluator(device, config, m, hg.num_terminals)
+
+        state = PartitionState.single_block(hg)
+        remainder = 0
+        trace: List[ImproveTraceEntry] = []
+        iteration = 0
+        max_iterations = (
+            config.max_iterations
+            if config.max_iterations is not None
+            else 4 * m + 16
+        )
+
+        while classify(state, device) is not Feasibility.FEASIBLE:
+            iteration += 1
+            if iteration > max_iterations:
+                raise IterationLimitError(
+                    f"no feasible {state.num_blocks}-way partition of "
+                    f"{hg.name or 'circuit'} for {device.name} after "
+                    f"{max_iterations} iterations (M={m})"
+                )
+
+            new_block = create_bipartition(state, remainder, device, evaluator)
+
+            for step in self._scheduled_steps(
+                state, remainder, new_block, m
+            ):
+                cost_before = evaluator.evaluate(state, remainder)
+                cost_after = improve(
+                    state,
+                    list(step.blocks),
+                    remainder,
+                    evaluator,
+                    device,
+                    config,
+                    m,
+                )
+                if self.keep_trace:
+                    trace.append(
+                        ImproveTraceEntry(
+                            iteration=iteration,
+                            label=step.label,
+                            blocks=step.blocks,
+                            cost_before=cost_before,
+                            cost_after=cost_after,
+                        )
+                    )
+                if classify(state, device) is Feasibility.FEASIBLE:
+                    break
+
+            # Multi-way improvement may have shifted the violation to a
+            # different block: the infeasible block *is* the remainder of
+            # a semi-feasible solution by definition.
+            bad = self._infeasible_blocks(state)
+            if bad:
+                remainder = max(
+                    bad,
+                    key=lambda b: (
+                        state.block_size(b),
+                        state.block_pins(b),
+                    ),
+                )
+
+        state = self._drop_empty_blocks(state)
+        runtime = time.perf_counter() - start
+        return FpartResult(
+            circuit=hg.name or "circuit",
+            device=device.name,
+            num_devices=state.num_blocks,
+            lower_bound=m,
+            feasible=classify(state, device) is Feasibility.FEASIBLE,
+            assignment=state.assignment(),
+            block_sizes=list(state.block_sizes),
+            block_pins=list(state.block_pin_counts),
+            iterations=iteration,
+            runtime_seconds=runtime,
+            trace=trace,
+        )
+
+
+def fpart(
+    hg: Hypergraph,
+    device: Device,
+    config: FpartConfig = DEFAULT_CONFIG,
+) -> FpartResult:
+    """Functional entry point: partition ``hg`` for ``device``."""
+    return FpartPartitioner(hg, device, config).run()

@@ -1,0 +1,203 @@
+"""Heterogeneous multi-FPGA partitioning (the problem of [10]).
+
+The paper restricts itself to identical devices ("we consider that all
+the subcircuits … are implemented with the same device type"), citing
+Kuznar's heterogeneous formulation [10] as the general case: given a
+*library* of device types with prices, implement the circuit at minimum
+total cost.
+
+This extension composes the paper's FPART with a two-phase scheme:
+
+1. **Partition** with each candidate base device from the library (the
+   homogeneous FPART run fixes the block structure);
+2. **Downsize** every block to the cheapest library device it fits
+   (blocks produced for a big part are often small enough for a smaller,
+   cheaper one — the remainder tail especially);
+
+and keeps the cheapest (total cost, then device count) outcome over all
+base devices.  This is deliberately simpler than [10]'s unified cost
+model but inherits FPART's quality and is optimal in the downsizing
+step by construction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..hypergraph import Hypergraph
+from .config import DEFAULT_CONFIG, FpartConfig
+from .device import Device
+from .exceptions import UnpartitionableError
+from .fpart import FpartPartitioner
+
+__all__ = [
+    "PricedDevice",
+    "DeviceLibrary",
+    "XILINX_LIBRARY",
+    "HeterogeneousResult",
+    "partition_heterogeneous",
+]
+
+
+@dataclass(frozen=True)
+class PricedDevice:
+    """A library entry: a device type with a relative unit price."""
+
+    device: Device
+    price: float
+
+    def __post_init__(self) -> None:
+        if self.price <= 0:
+            raise ValueError("price must be positive")
+
+
+class DeviceLibrary:
+    """An ordered collection of priced device types."""
+
+    def __init__(self, entries: Sequence[PricedDevice]) -> None:
+        if not entries:
+            raise ValueError("library must not be empty")
+        self.entries: Tuple[PricedDevice, ...] = tuple(entries)
+        names = [e.device.name for e in entries]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate device names in library")
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def cheapest_fitting(
+        self, size: int, pins: int
+    ) -> Optional[PricedDevice]:
+        """Cheapest entry a block of this size/pins fits; None if none.
+
+        Ties prefer the smaller device (less waste), then name order.
+        """
+        fitting = [
+            e for e in self.entries if e.device.fits(size, pins)
+        ]
+        if not fitting:
+            return None
+        return min(
+            fitting,
+            key=lambda e: (e.price, e.device.s_max, e.device.name),
+        )
+
+    def by_name(self, name: str) -> PricedDevice:
+        """Look up an entry by device name."""
+        for entry in self.entries:
+            if entry.device.name == name:
+                return entry
+        raise KeyError(f"no device {name!r} in library")
+
+
+# A plausible relative price list for the paper's Xilinx parts.  Prices
+# grow sublinearly with capacity (bigger dies are cheaper per cell, the
+# usual volume economics), which is what makes mixing interesting: big
+# blocks want the large part, the remainder tail downsizes.  Synthetic —
+# 1999 price sheets are not reproducible data.
+from .device import XC2064, XC3020, XC3042, XC3090  # noqa: E402
+
+XILINX_LIBRARY = DeviceLibrary(
+    [
+        PricedDevice(XC2064, price=1.0),
+        PricedDevice(XC3020, price=1.1),
+        PricedDevice(XC3042, price=2.0),
+        PricedDevice(XC3090, price=4.0),
+    ]
+)
+
+
+@dataclass
+class HeterogeneousResult:
+    """Outcome of a heterogeneous partitioning run."""
+
+    circuit: str
+    total_cost: float
+    num_devices: int
+    base_device: str
+    assignment: List[int]
+    block_devices: List[str]
+    block_sizes: List[int]
+    block_pins: List[int]
+    runtime_seconds: float
+
+    def summary(self) -> str:
+        mix: Dict[str, int] = {}
+        for name in self.block_devices:
+            mix[name] = mix.get(name, 0) + 1
+        mix_text = " + ".join(
+            f"{count}x{name}" for name, count in sorted(mix.items())
+        )
+        return (
+            f"{self.circuit}: cost {self.total_cost:g} with {mix_text} "
+            f"(base {self.base_device})"
+        )
+
+
+def _downsize(
+    result, library: DeviceLibrary
+) -> Optional[Tuple[float, List[str]]]:
+    """Cheapest device per block; None when some block fits nothing."""
+    devices: List[str] = []
+    total = 0.0
+    for size, pins in zip(result.block_sizes, result.block_pins):
+        entry = library.cheapest_fitting(size, pins)
+        if entry is None:
+            return None
+        devices.append(entry.device.name)
+        total += entry.price
+    return total, devices
+
+
+def partition_heterogeneous(
+    hg: Hypergraph,
+    library: DeviceLibrary = XILINX_LIBRARY,
+    config: FpartConfig = DEFAULT_CONFIG,
+) -> HeterogeneousResult:
+    """Minimum-cost mixed-device implementation of ``hg``.
+
+    Runs FPART once per library device (skipping devices too small for
+    the biggest cell), downsizes each outcome, and returns the cheapest.
+    Raises :class:`UnpartitionableError` when no base device admits a
+    feasible partition.
+    """
+    start = time.perf_counter()
+    best: Optional[HeterogeneousResult] = None
+    for entry in library:
+        try:
+            result = FpartPartitioner(
+                hg, entry.device, config, keep_trace=False
+            ).run()
+        except UnpartitionableError:
+            continue
+        downsized = _downsize(result, library)
+        if downsized is None:
+            continue
+        total_cost, block_devices = downsized
+        candidate = HeterogeneousResult(
+            circuit=hg.name or "circuit",
+            total_cost=total_cost,
+            num_devices=result.num_devices,
+            base_device=entry.device.name,
+            assignment=result.assignment,
+            block_devices=block_devices,
+            block_sizes=result.block_sizes,
+            block_pins=result.block_pins,
+            runtime_seconds=0.0,
+        )
+        if best is None or (
+            candidate.total_cost,
+            candidate.num_devices,
+        ) < (best.total_cost, best.num_devices):
+            best = candidate
+    if best is None:
+        raise UnpartitionableError(
+            "no library device admits a feasible partition"
+        )
+    best.runtime_seconds = time.perf_counter() - start
+    return best

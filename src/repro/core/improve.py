@@ -1,0 +1,93 @@
+"""The ``Improve()`` call of Algorithm 1.
+
+Wraps a :class:`~repro.sanchis.SanchisEngine` run with the solution-stack
+protocol of section 3.6:
+
+1. a first run collects the best pass solutions into two stacks
+   (semi-feasible / infeasible);
+2. a series of further runs restarts from every stacked solution —
+   semi-feasible first, then infeasible (exploring around a good
+   infeasible solution is the paper's escape hatch from local minima);
+3. the best solution over all runs is restored into the state.
+
+Feasibility classification is done against the evaluator's device; with
+stack depth ``D`` at most ``2 D + 1`` starting solutions are explored.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..partition import PartitionState
+from ..sanchis import SanchisEngine
+from .config import FpartConfig
+from .cost import CostEvaluator, SolutionCost
+from .device import Device
+from .feasibility import Feasibility
+from .move_region import MoveRegion
+from .solution_stack import DualSolutionStacks
+
+__all__ = ["improve"]
+
+
+def _classify_cost(cost: SolutionCost, num_blocks: int) -> Feasibility:
+    bad = num_blocks - cost.feasible_blocks
+    if bad == 0:
+        return Feasibility.FEASIBLE
+    if bad == 1:
+        return Feasibility.SEMI_FEASIBLE
+    return Feasibility.INFEASIBLE
+
+
+def improve(
+    state: PartitionState,
+    blocks: Sequence[int],
+    remainder: int,
+    evaluator: CostEvaluator,
+    device: Device,
+    config: FpartConfig,
+    lower_bound: int,
+    use_stacks: bool = True,
+) -> SolutionCost:
+    """Improve the partition among ``blocks``; returns the final cost.
+
+    The state ends at the best solution found.  ``use_stacks=False``
+    disables the restart protocol (single run) — used for the cheap extra
+    FM calls at ``k = M`` and by ablations.
+    """
+    two_block = len(set(blocks)) == 2
+    region = MoveRegion(
+        device,
+        config,
+        remainder,
+        two_block,
+        state.num_blocks,
+        lower_bound,
+    )
+
+    def make_engine() -> SanchisEngine:
+        return SanchisEngine(
+            state, blocks, remainder, evaluator, region, config
+        )
+
+    stacks = DualSolutionStacks(config.stack_depth if use_stacks else 0)
+
+    def collect(cost: SolutionCost) -> None:
+        feasibility = _classify_cost(cost, state.num_blocks)
+        stacks.offer(feasibility, cost, state.assignment())
+
+    first = make_engine().run(observer=collect if use_stacks else None)
+    best_cost = first.best_cost
+    best_assignment = state.assignment()
+
+    for start_cost, start_assignment in stacks.starting_solutions():
+        if start_assignment == best_assignment:
+            continue
+        state.restore(start_assignment)
+        result = make_engine().run()
+        if result.best_cost < best_cost:
+            best_cost = result.best_cost
+            best_assignment = state.assignment()
+
+    state.restore(best_assignment)
+    return best_cost

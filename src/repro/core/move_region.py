@@ -1,0 +1,125 @@
+"""Feasible move regions (section 3.5).
+
+During iterative improvement, a cell move is legal only if the source and
+destination block sizes stay inside the *feasible move region*.  The
+paper's heuristics, all implemented here:
+
+* Non-remainder blocks may only exceed ``S_MAX`` while the theoretical
+  minimal block count ``M`` has not been reached (``k <= M``); once
+  ``k > M`` there is enough free space and size violations are disabled.
+* The size excess of non-remainder blocks is capped at
+  ``eps_max * S_MAX``, with a stricter floor in 2-block passes so clusters
+  do not drift "to" the remainder.
+* Moves *to* the remainder have no upper size limit
+  (``eps^R_max = infinity``); moves *from* small non-remainder blocks are
+  stopped by the floor ``eps_min * S_MAX``.
+* I/O pin counts are never constrained during improvement.
+
+The same object answers per-block "can still donate / receive" queries,
+which is how the Sanchis engine knows when to drop a direction's gain
+bucket from its heap (section 3.7, last paragraph).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..partition import PartitionState
+from .config import FpartConfig
+from .device import Device
+
+__all__ = ["MoveRegion"]
+
+
+class MoveRegion:
+    """Move-legality oracle for one improvement call.
+
+    Parameters
+    ----------
+    device / config:
+        Target device and the epsilon parameters.
+    remainder:
+        Index of the remainder block (exempt from the upper cap), or
+        ``None`` if no block is the remainder (e.g. plain bipartitioning
+        of a fresh circuit).
+    two_block:
+        True when the improvement pass involves exactly two blocks — the
+        strict floor ``eps_min_two`` applies then.
+    num_blocks / lower_bound:
+        Current ``k`` and the circuit lower bound ``M``; size violations
+        of non-remainder blocks are only allowed while ``k <= M``.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        config: FpartConfig,
+        remainder: Optional[int],
+        two_block: bool,
+        num_blocks: int,
+        lower_bound: int,
+    ) -> None:
+        self.device = device
+        self.config = config
+        self.remainder = remainder
+        self.two_block = two_block
+        s_max = device.s_max
+        if num_blocks > lower_bound:
+            # k > M: enough devices exist; disable size violations.
+            self.size_cap = float(s_max)
+        else:
+            self.size_cap = config.size_cap_multiplier(two_block) * s_max
+        self.size_floor = config.size_floor_multiplier(two_block) * s_max
+
+    # ------------------------------------------------------------------
+
+    def can_receive(self, state: PartitionState, block: int, size: int) -> bool:
+        """May ``block`` grow by ``size`` without leaving the region?"""
+        if block == self.remainder:
+            return True  # eps^R_max = infinity
+        return state.block_size(block) + size <= self.size_cap
+
+    def can_donate(self, state: PartitionState, block: int, size: int) -> bool:
+        """May ``block`` shrink by ``size`` without leaving the region?
+
+        This is the "lower bound size limitation imposed on small-size
+        blocks": a non-remainder block may not shrink below
+        ``eps_min * S_MAX``, which is what stops the remainder from
+        growing at the expense of already-created blocks.  The remainder
+        itself may always donate.
+        """
+        if block == self.remainder:
+            return True
+        return state.block_size(block) - size >= self.size_floor
+
+    def allows(self, state: PartitionState, cell: int, to_block: int) -> bool:
+        """Full legality check for moving ``cell`` to ``to_block``."""
+        from_block = state.block_of(cell)
+        if from_block == to_block:
+            return False
+        size = state.hg.cell_size(cell)
+        return self.can_donate(state, from_block, size) and self.can_receive(
+            state, to_block, size
+        )
+
+    def block_can_still_receive(self, state: PartitionState, block: int) -> bool:
+        """False once *no* cell (not even size 1) may enter ``block``.
+
+        Used to drop "TO block" buckets from the Sanchis heap.
+        """
+        return self.can_receive(state, block, 1)
+
+    def block_can_still_donate(self, state: PartitionState, block: int) -> bool:
+        """False once *no* cell may leave ``block``.
+
+        Used to drop "FROM block" buckets from the Sanchis heap.
+        """
+        if block == self.remainder:
+            return True
+        return state.block_size(block) - 1 >= self.size_floor
+
+    def __repr__(self) -> str:
+        return (
+            f"MoveRegion(cap={self.size_cap:.1f}, floor={self.size_floor:.1f}, "
+            f"remainder={self.remainder}, two_block={self.two_block})"
+        )

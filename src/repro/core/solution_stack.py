@@ -1,0 +1,115 @@
+"""Solution stacks (section 3.6).
+
+During the *first* FM/Sanchis run of an improvement call, the best
+intermediate solutions are recorded in two bounded stacks — one for
+semi-feasible solutions and one for infeasible ones.  A series of runs is
+then performed starting from each stacked solution: first the
+semi-feasible ones, then the infeasible ones (an infeasible solution with
+a good infeasibility cost can be the escape route from a local minimum).
+With depth ``D_stack`` at most ``2 * D_stack + 1`` starting solutions are
+explored per improvement call.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .cost import SolutionCost
+from .feasibility import Feasibility
+
+__all__ = ["SolutionStack", "DualSolutionStacks"]
+
+Entry = Tuple[SolutionCost, List[int]]
+
+
+class SolutionStack:
+    """A bounded, cost-ordered collection of snapshots (best first)."""
+
+    def __init__(self, depth: int) -> None:
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        self.depth = depth
+        self._entries: List[Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[Entry]:
+        """Snapshot list, best cost first."""
+        return list(self._entries)
+
+    def best(self) -> Optional[Entry]:
+        """Best entry or None."""
+        return self._entries[0] if self._entries else None
+
+    def worst(self) -> Optional[Entry]:
+        """Worst retained entry or None."""
+        return self._entries[-1] if self._entries else None
+
+    def offer(self, cost: SolutionCost, assignment: List[int]) -> bool:
+        """Consider a snapshot for insertion; returns True if retained.
+
+        Duplicates (identical assignment already stacked) are rejected so
+        restarts do not re-explore from the same point.  When full, the
+        snapshot must beat the tail to enter.
+        """
+        if self.depth == 0:
+            return False
+        if len(self._entries) >= self.depth and not (
+            cost < self._entries[-1][0]
+        ):
+            return False
+        for _, stored in self._entries:
+            if stored == assignment:
+                return False
+        snapshot = list(assignment)
+        index = len(self._entries)
+        for i, (stored_cost, _) in enumerate(self._entries):
+            if cost < stored_cost:
+                index = i
+                break
+        self._entries.insert(index, (cost, snapshot))
+        if len(self._entries) > self.depth:
+            self._entries.pop()
+        return True
+
+    def clear(self) -> None:
+        """Drop all entries."""
+        self._entries.clear()
+
+
+class DualSolutionStacks:
+    """The paper's pair of stacks: semi-feasible and infeasible.
+
+    Feasible solutions are not stacked — once a feasible solution exists
+    the improvement call is already as good as it gets for the current
+    ``k`` and restarting from it is pointless (the driver keeps it as the
+    overall best instead).
+    """
+
+    def __init__(self, depth: int) -> None:
+        self.semi_feasible = SolutionStack(depth)
+        self.infeasible = SolutionStack(depth)
+
+    def offer(
+        self,
+        feasibility: Feasibility,
+        cost: SolutionCost,
+        assignment: List[int],
+    ) -> bool:
+        """Route a snapshot to the stack matching its classification."""
+        if feasibility is Feasibility.SEMI_FEASIBLE:
+            return self.semi_feasible.offer(cost, assignment)
+        if feasibility is Feasibility.INFEASIBLE:
+            return self.infeasible.offer(cost, assignment)
+        return False
+
+    def starting_solutions(self) -> List[Entry]:
+        """All restart points: semi-feasible first, then infeasible."""
+        return self.semi_feasible.entries + self.infeasible.entries
+
+    def clear(self) -> None:
+        """Drop everything from both stacks."""
+        self.semi_feasible.clear()
+        self.infeasible.clear()

@@ -1,0 +1,131 @@
+"""Improvement-pass scheduling (section 3.1).
+
+At each iteration of Algorithm 1 the driver calls ``Improve()`` on a
+sequence of block groups:
+
+1. the two lately partitioned blocks ``{R_k, P_k}`` — most likely to
+   improve the fresh cut;
+2. *small-M circuits only* (``M <= N_small``): all blocks of the
+   partition — the full Sanchis multi-way pass;
+3. the remainder with the smallest-size block ``P_MIN_size``;
+4. the remainder with the minimum-I/O block ``P_MIN_IO``;
+5. the remainder with the maximum-free-space block ``P_MIN_F``, free
+   space estimated as
+   ``F = sigma1 * (S_MAX - S_i)/S_MAX + sigma2 * (T_MAX - |Y_i|)/T_MAX``;
+6. *small-M circuits only, when k = M*: an extra 2-block call for every
+   pair ``{P_i, R_k}`` — the last chance to spread the remainder into
+   the produced blocks before exceeding the lower bound.
+
+Steps 3–5 re-select their partner against the *current* state (earlier
+steps may have changed sizes), so the scheduler yields steps lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..partition import PartitionState
+from .config import FpartConfig
+from .device import Device
+
+__all__ = [
+    "free_space",
+    "select_min_size",
+    "select_min_io",
+    "select_max_free",
+    "ImproveStep",
+    "iteration_schedule",
+]
+
+
+def free_space(
+    state: PartitionState, block: int, device: Device, config: FpartConfig
+) -> float:
+    """Free-space estimate ``F`` of a block (bigger = emptier)."""
+    s_term = (device.s_max - state.block_size(block)) / device.s_max
+    t_term = (device.t_max - state.block_pins(block)) / device.t_max
+    return config.sigma1 * s_term + config.sigma2 * t_term
+
+
+def _others(state: PartitionState, remainder: int) -> List[int]:
+    return [b for b in range(state.num_blocks) if b != remainder]
+
+
+def select_min_size(state: PartitionState, remainder: int) -> Optional[int]:
+    """``P_MIN_size`` — the smallest non-remainder block."""
+    others = _others(state, remainder)
+    if not others:
+        return None
+    return min(others, key=lambda b: (state.block_size(b), b))
+
+
+def select_min_io(state: PartitionState, remainder: int) -> Optional[int]:
+    """``P_MIN_IO`` — the non-remainder block with the fewest pins."""
+    others = _others(state, remainder)
+    if not others:
+        return None
+    return min(others, key=lambda b: (state.block_pins(b), b))
+
+
+def select_max_free(
+    state: PartitionState,
+    remainder: int,
+    device: Device,
+    config: FpartConfig,
+) -> Optional[int]:
+    """``P_MIN_F`` — the non-remainder block with maximum free space."""
+    others = _others(state, remainder)
+    if not others:
+        return None
+    return max(others, key=lambda b: (free_space(state, b, device, config), -b))
+
+
+@dataclass(frozen=True)
+class ImproveStep:
+    """One scheduled ``Improve()`` call."""
+
+    label: str
+    """Human-readable step kind: ``last_pair``, ``all_blocks``,
+    ``min_size``, ``min_io``, ``max_free`` or ``pair_i``."""
+    blocks: Tuple[int, ...]
+    """Participating blocks (the remainder always included)."""
+
+
+def iteration_schedule(
+    state: PartitionState,
+    remainder: int,
+    new_block: int,
+    lower_bound: int,
+    device: Device,
+    config: FpartConfig,
+) -> Iterator[ImproveStep]:
+    """Yield the improvement steps of one Algorithm 1 iteration.
+
+    Steps are produced lazily so each selection sees the state as the
+    previous ``Improve()`` calls left it.  ``new_block`` is ``P_k``, the
+    block just produced by ``Bipartition()``.
+    """
+    small_m = lower_bound <= config.n_small
+
+    yield ImproveStep("last_pair", (remainder, new_block))
+
+    if small_m and state.num_blocks > 2:
+        yield ImproveStep(
+            "all_blocks", tuple(range(state.num_blocks))
+        )
+
+    partner = select_min_size(state, remainder)
+    if partner is not None:
+        yield ImproveStep("min_size", (partner, remainder))
+    partner = select_min_io(state, remainder)
+    if partner is not None:
+        yield ImproveStep("min_io", (partner, remainder))
+    partner = select_max_free(state, remainder, device, config)
+    if partner is not None:
+        yield ImproveStep("max_free", (partner, remainder))
+
+    produced = state.num_blocks - 1
+    if small_m and produced == lower_bound:
+        for b in _others(state, remainder):
+            yield ImproveStep(f"pair_{b}", (b, remainder))

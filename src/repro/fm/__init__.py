@@ -1,0 +1,16 @@
+"""Fiduccia–Mattheyses bipartitioning: gain buckets, gains, refinement."""
+
+from .bipartition import FmBipartitioner, FmResult, fm_refine
+from .buckets import GainBuckets
+from .gains import max_possible_gain, move_gain, move_gain_vector, pin_gain
+
+__all__ = [
+    "GainBuckets",
+    "move_gain",
+    "move_gain_vector",
+    "pin_gain",
+    "max_possible_gain",
+    "FmBipartitioner",
+    "FmResult",
+    "fm_refine",
+]

@@ -1,0 +1,124 @@
+"""Classic Fiduccia–Mattheyses gain bucket structure.
+
+An array of stacks indexed by gain, with a max-gain pointer.  All
+operations are O(1) amortized (the pointer only decreases between
+insertions).  Cells within a bucket are popped LIFO, the organization the
+paper retains from the classical algorithm.
+
+Gains are bounded by the maximum cell degree: a cell incident to ``d``
+nets has gain in ``[-d, +d]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+__all__ = ["GainBuckets"]
+
+
+class GainBuckets:
+    """Bucket list for one move direction.
+
+    Parameters
+    ----------
+    max_gain:
+        Bound on ``|gain|``; buckets cover ``[-max_gain, +max_gain]``.
+    """
+
+    def __init__(self, max_gain: int) -> None:
+        if max_gain < 0:
+            raise ValueError("max_gain must be non-negative")
+        self.max_gain = max_gain
+        self._buckets: List[List[int]] = [
+            [] for _ in range(2 * max_gain + 1)
+        ]
+        # cell -> gain for membership/removal; a cell appears at most once.
+        self._gain_of: Dict[int, int] = {}
+        self._top = -1  # index of highest non-empty bucket, -1 when empty
+
+    def _index(self, gain: int) -> int:
+        if not -self.max_gain <= gain <= self.max_gain:
+            raise ValueError(
+                f"gain {gain} outside [-{self.max_gain}, {self.max_gain}]"
+            )
+        return gain + self.max_gain
+
+    def __len__(self) -> int:
+        return len(self._gain_of)
+
+    def __contains__(self, cell: int) -> bool:
+        return cell in self._gain_of
+
+    def gain_of(self, cell: int) -> int:
+        """Current gain of a stored cell."""
+        return self._gain_of[cell]
+
+    def insert(self, cell: int, gain: int) -> None:
+        """Insert a cell with the given gain (cell must not be present)."""
+        if cell in self._gain_of:
+            raise ValueError(f"cell {cell} already bucketed")
+        index = self._index(gain)
+        self._buckets[index].append(cell)
+        self._gain_of[cell] = gain
+        if index > self._top:
+            self._top = index
+
+    def remove(self, cell: int) -> None:
+        """Remove a cell (no-op pointer fixup happens lazily in pop/peek)."""
+        gain = self._gain_of.pop(cell)
+        self._buckets[self._index(gain)].remove(cell)
+
+    def update(self, cell: int, new_gain: int) -> None:
+        """Move a cell to a different gain bucket (re-inserted LIFO)."""
+        self.remove(cell)
+        self.insert(cell, new_gain)
+
+    def adjust(self, cell: int, delta: int) -> None:
+        """Shift a cell's gain by ``delta``."""
+        if delta:
+            self.update(cell, self._gain_of[cell] + delta)
+
+    def _settle_top(self) -> None:
+        while self._top >= 0 and not self._buckets[self._top]:
+            self._top -= 1
+
+    def peek_max(self) -> Optional[int]:
+        """Cell with the highest gain (LIFO within the bucket), or None."""
+        self._settle_top()
+        if self._top < 0:
+            return None
+        return self._buckets[self._top][-1]
+
+    def max_gain_value(self) -> Optional[int]:
+        """Highest gain currently stored, or None when empty."""
+        self._settle_top()
+        if self._top < 0:
+            return None
+        return self._top - self.max_gain
+
+    def pop_max(self) -> Optional[int]:
+        """Remove and return the highest-gain cell, or None when empty."""
+        self._settle_top()
+        if self._top < 0:
+            return None
+        cell = self._buckets[self._top].pop()
+        del self._gain_of[cell]
+        return cell
+
+    def iter_from_max(self):
+        """Yield cells from the highest gain downwards (snapshot order).
+
+        LIFO within each bucket.  Mutating the structure while iterating
+        is not supported.
+        """
+        self._settle_top()
+        for index in range(self._top, -1, -1):
+            for cell in reversed(self._buckets[index]):
+                yield cell
+
+    def clear(self) -> None:
+        """Empty the structure."""
+        for bucket in self._buckets:
+            bucket.clear()
+        self._gain_of.clear()
+        self._top = -1

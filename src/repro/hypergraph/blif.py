@@ -1,0 +1,250 @@
+"""Structural BLIF reader/writer.
+
+The MCNC benchmarks the paper uses are distributed as BLIF (Berkeley
+Logic Interchange Format); this module lets the partitioner consume real
+mapped netlists directly when the user has them.
+
+Supported constructs (the structural subset that matters for
+partitioning):
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end``
+* ``.names <in...> <out>`` — a logic node (one cell); the cover lines
+  that follow are skipped (logic function is irrelevant to partitioning)
+* ``.latch <in> <out> [type [ctrl]] [init]`` — a register cell
+* ``.gate <name> <formal=actual ...>`` / ``.subckt`` — a mapped library
+  cell (one cell; pin roles do not matter)
+* ``#`` comments and ``\\``-continued lines
+
+Mapping to the hypergraph model: every ``.names``/``.latch``/``.gate``
+becomes one unit-size interior cell; every signal becomes a net
+connecting its driver cell and all reader cells; each ``.inputs`` /
+``.outputs`` signal contributes one terminal (pad) on its net.  Signals
+with no interior pins at all (e.g. an input feeding only an output pad)
+are modelled as a zero-cell net — not representable — so such pass-through
+signals are attached to a synthetic buffer cell, mirroring what a real
+technology mapper would emit.
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+from typing import Dict, List, Optional, Set, TextIO, Tuple, Union
+
+from .hypergraph import Hypergraph
+
+__all__ = ["read_blif", "loads_blif", "write_blif", "dumps_blif"]
+
+_PathOrIO = Union[str, Path, TextIO]
+
+
+def _logical_lines(stream: TextIO) -> List[str]:
+    """BLIF lines with comments stripped and continuations joined."""
+    lines: List[str] = []
+    pending = ""
+    for raw in stream:
+        line = raw.split("#", 1)[0].rstrip()
+        if not line and not pending:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        lines.append((pending + line).strip())
+        pending = ""
+    if pending.strip():
+        lines.append(pending.strip())
+    return [line for line in lines if line]
+
+
+class _BlifModel:
+    """Accumulates one .model while parsing."""
+
+    def __init__(self) -> None:
+        self.name = ""
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        # cell -> (label, signals read, signals driven)
+        self.cells: List[Tuple[str, List[str], List[str]]] = []
+
+
+def _parse(stream: TextIO) -> _BlifModel:
+    model = _BlifModel()
+    lines = _logical_lines(stream)
+    i = 0
+    saw_model = False
+    while i < len(lines):
+        line = lines[i]
+        tokens = line.split()
+        directive = tokens[0]
+        if directive == ".model":
+            if saw_model:
+                # Only the first (top) model is read; hierarchical BLIF
+                # beyond that needs flattening upstream.
+                break
+            saw_model = True
+            model.name = tokens[1] if len(tokens) > 1 else ""
+            i += 1
+        elif directive == ".inputs":
+            model.inputs.extend(tokens[1:])
+            i += 1
+        elif directive == ".outputs":
+            model.outputs.extend(tokens[1:])
+            i += 1
+        elif directive == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise ValueError(".names with no signals")
+            reads, drives = signals[:-1], [signals[-1]]
+            label = f"n_{drives[0]}"
+            model.cells.append((label, list(reads), drives))
+            i += 1
+            # Skip the single-output cover.
+            while i < len(lines) and not lines[i].startswith("."):
+                i += 1
+        elif directive == ".latch":
+            if len(tokens) < 3:
+                raise ValueError(f"malformed .latch: {line!r}")
+            reads, drives = [tokens[1]], [tokens[2]]
+            # Optional clock/control signal is a read too.
+            if len(tokens) >= 5 and tokens[3] in ("re", "fe", "ah", "al", "as"):
+                if tokens[4] not in ("0", "1", "2", "3"):
+                    reads.append(tokens[4])
+            model.cells.append((f"l_{drives[0]}", reads, drives))
+            i += 1
+        elif directive in (".gate", ".subckt"):
+            if len(tokens) < 3:
+                raise ValueError(f"malformed {directive}: {line!r}")
+            reads: List[str] = []
+            drives: List[str] = []
+            for binding in tokens[2:]:
+                if "=" not in binding:
+                    raise ValueError(
+                        f"{directive} binding without '=': {binding!r}"
+                    )
+                formal, actual = binding.split("=", 1)
+                # Convention: formals named out/q/y/z drive; the rest read.
+                if formal.lower() in ("o", "out", "q", "y", "z", "s", "co"):
+                    drives.append(actual)
+                else:
+                    reads.append(actual)
+            label = f"g{len(model.cells)}_{tokens[1]}"
+            model.cells.append((label, reads, drives))
+            i += 1
+        elif directive == ".end":
+            break
+        elif directive in (".exdc", ".area", ".delay", ".wire_load_slope",
+                           ".default_input_arrival", ".clock"):
+            i += 1  # ignorable metadata
+        else:
+            raise ValueError(f"unsupported BLIF directive: {directive!r}")
+    if not saw_model:
+        raise ValueError("no .model found")
+    return model
+
+
+def _to_hypergraph(model: _BlifModel) -> Hypergraph:
+    # Collect all signals and which cells touch them.
+    signal_cells: Dict[str, Set[int]] = {}
+    labels: List[str] = []
+    for index, (label, reads, drives) in enumerate(model.cells):
+        labels.append(label)
+        for signal in list(reads) + list(drives):
+            signal_cells.setdefault(signal, set()).add(index)
+
+    pad_signals = set(model.inputs) | set(model.outputs)
+    # Pass-through pads (no interior cell touches the signal): synthesize
+    # a buffer cell, as a mapper would.
+    extra_cells: List[str] = []
+    for signal in sorted(pad_signals):
+        if signal not in signal_cells or not signal_cells[signal]:
+            index = len(model.cells) + len(extra_cells)
+            extra_cells.append(f"buf_{signal}")
+            signal_cells.setdefault(signal, set()).add(index)
+    labels.extend(extra_cells)
+
+    # Driver per signal: the cell whose drives-list names it.
+    signal_driver: Dict[str, int] = {}
+    for index, (_, _, drives) in enumerate(model.cells):
+        for signal in drives:
+            signal_driver.setdefault(signal, index)
+
+    num_cells = len(labels)
+    nets: List[Tuple[int, ...]] = []
+    net_names: List[str] = []
+    net_drivers: List[Optional[int]] = []
+    terminal_nets: List[int] = []
+    for signal in sorted(signal_cells):
+        pins = tuple(sorted(signal_cells[signal]))
+        if not pins:
+            continue
+        if len(pins) == 1 and signal not in pad_signals:
+            continue  # dangling single-pin internal signal: no net
+        nets.append(pins)
+        net_names.append(signal)
+        driver = signal_driver.get(signal)
+        net_drivers.append(driver if driver in pins else None)
+        if signal in pad_signals:
+            terminal_nets.append(len(nets) - 1)
+
+    return Hypergraph(
+        [1] * num_cells,
+        nets,
+        terminal_nets,
+        name=model.name,
+        cell_names=labels,
+        net_names=net_names,
+        net_drivers=net_drivers,
+    )
+
+
+def read_blif(source: _PathOrIO) -> Hypergraph:
+    """Read a structural BLIF file into a hypergraph."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as stream:
+            return _to_hypergraph(_parse(stream))
+    return _to_hypergraph(_parse(source))
+
+
+def loads_blif(text: str) -> Hypergraph:
+    """Parse BLIF from a string."""
+    return read_blif(_io.StringIO(text))
+
+
+def write_blif(hg: Hypergraph, target: _PathOrIO) -> None:
+    """Write a hypergraph as generic-gate structural BLIF.
+
+    Cells become ``.gate cell`` lines with one ``o=`` output per driven
+    net; the decomposition is positional (each net's lowest-index pin is
+    treated as the driver), which round-trips the *connectivity* — the
+    only thing partitioning needs — not the original logic.
+    """
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as stream:
+            write_blif(hg, stream)
+            return
+    stream = target
+    stream.write(f".model {hg.name or 'netlist'}\n")
+    pads = [hg.net_label(e) for e in sorted(set(hg.terminal_nets))]
+    if pads:
+        stream.write(".inputs " + " ".join(pads) + "\n")
+    # Emit one .gate per cell listing every incident net; the first net
+    # of the cell is named as its output.
+    for cell in range(hg.num_cells):
+        nets = hg.nets_of(cell)
+        if not nets:
+            continue
+        bindings = []
+        for pin_index, net in enumerate(nets):
+            formal = "o" if pin_index == 0 else f"i{pin_index}"
+            bindings.append(f"{formal}={hg.net_label(net)}")
+        stream.write(
+            f".gate cell {' '.join(bindings)}  # {hg.cell_label(cell)}\n"
+        )
+    stream.write(".end\n")
+
+
+def dumps_blif(hg: Hypergraph) -> str:
+    """Serialize to a BLIF string."""
+    buffer = _io.StringIO()
+    write_blif(hg, buffer)
+    return buffer.getvalue()

@@ -1,0 +1,142 @@
+"""Incremental construction of :class:`~repro.hypergraph.Hypergraph`.
+
+The builder accepts named cells and nets so netlist readers and circuit
+generators can work symbolically, then emits an index-based immutable
+hypergraph.  Pads (terminal nodes) are declared per net.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .hypergraph import Hypergraph
+
+__all__ = ["HypergraphBuilder"]
+
+
+class HypergraphBuilder:
+    """Mutable builder that produces an immutable :class:`Hypergraph`.
+
+    Example
+    -------
+    >>> b = HypergraphBuilder("demo")
+    >>> b.add_cell("u1", size=2)
+    0
+    >>> b.add_cell("u2")
+    1
+    >>> b.add_net("n1", ["u1", "u2"], terminals=1)
+    0
+    >>> hg = b.build()
+    >>> hg.num_cells, hg.num_nets, hg.num_terminals
+    (2, 1, 1)
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._cell_index: Dict[str, int] = {}
+        self._cell_names: List[str] = []
+        self._cell_sizes: List[int] = []
+        self._net_index: Dict[str, int] = {}
+        self._net_names: List[str] = []
+        self._net_pins: List[List[int]] = []
+        self._net_terminals: List[int] = []
+
+    # -- cells ---------------------------------------------------------
+
+    def add_cell(self, name: Optional[str] = None, size: int = 1) -> int:
+        """Add an interior cell; returns its index.
+
+        ``name`` defaults to ``cell<i>``.  Re-adding an existing name is an
+        error (use :meth:`cell_id` to look cells up).
+        """
+        if size <= 0:
+            raise ValueError(f"cell size must be positive, got {size}")
+        index = len(self._cell_names)
+        if name is None:
+            name = f"cell{index}"
+        if name in self._cell_index:
+            raise ValueError(f"duplicate cell name {name!r}")
+        self._cell_index[name] = index
+        self._cell_names.append(name)
+        self._cell_sizes.append(int(size))
+        return index
+
+    def cell_id(self, name: str) -> int:
+        """Index of a previously added cell."""
+        return self._cell_index[name]
+
+    def has_cell(self, name: str) -> bool:
+        """True if a cell with this name was added."""
+        return name in self._cell_index
+
+    @property
+    def num_cells(self) -> int:
+        return len(self._cell_names)
+
+    # -- nets ----------------------------------------------------------
+
+    def add_net(
+        self,
+        name: Optional[str],
+        pins: Sequence[object],
+        terminals: int = 0,
+    ) -> int:
+        """Add a net; returns its index.
+
+        ``pins`` may mix cell names (str) and indices (int); duplicates are
+        silently merged — netlists routinely list the same cell on a net
+        more than once (e.g. a gate with two inputs tied together).
+        ``terminals`` is the number of primary I/O pads on the net.
+        """
+        if terminals < 0:
+            raise ValueError("terminals must be non-negative")
+        index = len(self._net_names)
+        if name is None:
+            name = f"net{index}"
+        if name in self._net_index:
+            raise ValueError(f"duplicate net name {name!r}")
+        resolved: List[int] = []
+        seen = set()
+        for pin in pins:
+            cell = self._cell_index[pin] if isinstance(pin, str) else int(pin)
+            if not 0 <= cell < len(self._cell_names):
+                raise ValueError(f"net {name!r}: invalid pin {pin!r}")
+            if cell not in seen:
+                seen.add(cell)
+                resolved.append(cell)
+        if not resolved:
+            raise ValueError(f"net {name!r} has no interior pins")
+        self._net_index[name] = index
+        self._net_names.append(name)
+        self._net_pins.append(resolved)
+        self._net_terminals.append(int(terminals))
+        return index
+
+    def net_id(self, name: str) -> int:
+        """Index of a previously added net."""
+        return self._net_index[name]
+
+    def add_terminal(self, net: object) -> None:
+        """Attach one more pad to an existing net (by name or index)."""
+        index = self._net_index[net] if isinstance(net, str) else int(net)
+        self._net_terminals[index] += 1
+
+    @property
+    def num_nets(self) -> int:
+        return len(self._net_names)
+
+    # -- output --------------------------------------------------------
+
+    def build(self) -> Hypergraph:
+        """Emit the immutable hypergraph."""
+        terminal_nets: List[int] = []
+        for e, count in enumerate(self._net_terminals):
+            terminal_nets.extend([e] * count)
+        return Hypergraph(
+            self._cell_sizes,
+            self._net_pins,
+            terminal_nets,
+            name=self.name,
+            cell_names=self._cell_names,
+            net_names=self._net_names,
+        )

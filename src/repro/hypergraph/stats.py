@@ -1,0 +1,86 @@
+"""Descriptive statistics of a netlist hypergraph.
+
+Used by the circuit generator's self-checks (the synthetic MCNC stand-ins
+must match the paper's Table 1 characteristics) and by reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .hypergraph import Hypergraph
+
+__all__ = ["HypergraphStats", "compute_stats"]
+
+
+@dataclass(frozen=True)
+class HypergraphStats:
+    """Aggregate characteristics of a hypergraph.
+
+    Attributes
+    ----------
+    num_cells / num_nets / num_terminals / total_size:
+        Basic counts (``|X0|``, ``|E0|``, ``|Y0|``, ``S0``).
+    external_nets:
+        Nets carrying at least one pad.
+    avg_net_degree / max_net_degree:
+        Interior-pin statistics over nets.
+    avg_cell_degree / max_cell_degree:
+        Net-incidence statistics over cells.
+    net_degree_histogram:
+        ``degree -> count`` over nets.
+    pin_count:
+        Total interior pins, ``sum(len(net))``.
+    num_components:
+        Connected components of the cell graph.
+    """
+
+    num_cells: int
+    num_nets: int
+    num_terminals: int
+    total_size: int
+    external_nets: int
+    avg_net_degree: float
+    max_net_degree: int
+    avg_cell_degree: float
+    max_cell_degree: int
+    net_degree_histogram: Dict[int, int] = field(default_factory=dict)
+    pin_count: int = 0
+    num_components: int = 1
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"cells={self.num_cells} nets={self.num_nets} "
+            f"pads={self.num_terminals} S0={self.total_size} "
+            f"pins={self.pin_count} avg_net={self.avg_net_degree:.2f} "
+            f"components={self.num_components}"
+        )
+
+
+def compute_stats(hg: Hypergraph) -> HypergraphStats:
+    """Compute :class:`HypergraphStats` for ``hg``."""
+    net_degrees = [hg.net_degree(e) for e in range(hg.num_nets)]
+    cell_degrees = [len(hg.nets_of(c)) for c in range(hg.num_cells)]
+    pin_count = sum(net_degrees)
+    histogram = dict(Counter(net_degrees))
+    external = sum(1 for e in range(hg.num_nets) if hg.is_external_net(e))
+    components = len(hg.connected_components()) if hg.num_cells else 0
+    return HypergraphStats(
+        num_cells=hg.num_cells,
+        num_nets=hg.num_nets,
+        num_terminals=hg.num_terminals,
+        total_size=hg.total_size,
+        external_nets=external,
+        avg_net_degree=(pin_count / hg.num_nets) if hg.num_nets else 0.0,
+        max_net_degree=max(net_degrees, default=0),
+        avg_cell_degree=(
+            sum(cell_degrees) / hg.num_cells if hg.num_cells else 0.0
+        ),
+        max_cell_degree=max(cell_degrees, default=0),
+        net_degree_histogram=histogram,
+        pin_count=pin_count,
+        num_components=components,
+    )

@@ -1,0 +1,159 @@
+"""Netlist transformations.
+
+Structural utilities downstream flows need once a partition exists or a
+netlist requires cleanup:
+
+* :func:`split_into_devices` — the board flow's final step: one
+  subcircuit per block, each with pads on every inter-device signal
+  (what you would hand to the per-FPGA place-and-route).
+* :func:`merge_cells` — collapse a group of cells into one weighted
+  cell (manual clustering, IP hardening).
+* :func:`remove_dangling` — drop padless single-pin nets and size-0
+  connectivity artifacts left by other transforms.
+* :func:`relabel` — attach fresh cell/net labels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .hypergraph import Hypergraph
+from .subgraph import SubcircuitMap, extract_subcircuit
+
+__all__ = [
+    "split_into_devices",
+    "merge_cells",
+    "remove_dangling",
+    "relabel",
+]
+
+
+def split_into_devices(
+    hg: Hypergraph, assignment: Sequence[int], num_blocks: Optional[int] = None
+) -> List[SubcircuitMap]:
+    """One subcircuit per block, pads added on every cut net.
+
+    Returns a :class:`SubcircuitMap` per block (index maps included so
+    board-level netlists can be reassembled).  Empty blocks are skipped.
+    """
+    if len(assignment) != hg.num_cells:
+        raise ValueError("assignment length mismatch")
+    if num_blocks is None:
+        num_blocks = max(assignment, default=-1) + 1
+    pieces: List[SubcircuitMap] = []
+    for block in range(num_blocks):
+        cells = [c for c in range(hg.num_cells) if assignment[c] == block]
+        if not cells:
+            continue
+        pieces.append(extract_subcircuit(hg, cells))
+    return pieces
+
+
+def merge_cells(
+    hg: Hypergraph, groups: Sequence[Iterable[int]]
+) -> Tuple[Hypergraph, List[int]]:
+    """Collapse each cell group into one cell of summed size.
+
+    Groups must be disjoint; ungrouped cells survive unchanged.  Returns
+    ``(new_hg, cell_map)`` where ``cell_map[old] = new``.  Nets collapse
+    accordingly (duplicate pins merge; padless nets reduced to one pin
+    are dropped; drivers survive when their cell group does).
+    """
+    group_of: Dict[int, int] = {}
+    for index, group in enumerate(groups):
+        for cell in group:
+            if cell in group_of:
+                raise ValueError(f"cell {cell} appears in two groups")
+            if not 0 <= cell < hg.num_cells:
+                raise ValueError(f"cell {cell} out of range")
+            group_of[cell] = index
+
+    cell_map: List[int] = [-1] * hg.num_cells
+    sizes: List[int] = []
+    group_new_id: Dict[int, int] = {}
+    for cell in range(hg.num_cells):
+        group = group_of.get(cell)
+        if group is None:
+            cell_map[cell] = len(sizes)
+            sizes.append(hg.cell_size(cell))
+        elif group in group_new_id:
+            new_id = group_new_id[group]
+            cell_map[cell] = new_id
+            sizes[new_id] += hg.cell_size(cell)
+        else:
+            new_id = len(sizes)
+            group_new_id[group] = new_id
+            cell_map[cell] = new_id
+            sizes.append(hg.cell_size(cell))
+
+    nets: List[Tuple[int, ...]] = []
+    drivers: List[Optional[int]] = []
+    terminal_nets: List[int] = []
+    for e in range(hg.num_nets):
+        pins = tuple(sorted({cell_map[p] for p in hg.pins_of(e)}))
+        pads = hg.net_terminal_count(e)
+        if len(pins) < 2 and pads == 0:
+            continue
+        nets.append(pins)
+        driver = hg.net_driver(e)
+        drivers.append(cell_map[driver] if driver is not None else None)
+        terminal_nets.extend([len(nets) - 1] * pads)
+
+    merged = Hypergraph(
+        sizes, nets, terminal_nets, name=hg.name, net_drivers=drivers
+    )
+    return merged, cell_map
+
+
+def remove_dangling(hg: Hypergraph) -> Tuple[Hypergraph, List[int]]:
+    """Drop padless single-pin nets; returns ``(new_hg, net_map)``.
+
+    ``net_map[old] = new`` index or ``-1`` for dropped nets.  Cells are
+    untouched (a cell with no nets left is legal — it still occupies
+    area).
+    """
+    nets: List[Tuple[int, ...]] = []
+    drivers: List[Optional[int]] = []
+    terminal_nets: List[int] = []
+    net_map: List[int] = []
+    for e in range(hg.num_nets):
+        pins = hg.pins_of(e)
+        pads = hg.net_terminal_count(e)
+        if len(pins) < 2 and pads == 0:
+            net_map.append(-1)
+            continue
+        net_map.append(len(nets))
+        nets.append(pins)
+        drivers.append(hg.net_driver(e))
+        terminal_nets.extend([len(nets) - 1] * pads)
+    cleaned = Hypergraph(
+        list(hg.cell_sizes),
+        nets,
+        terminal_nets,
+        name=hg.name,
+        cell_names=list(hg.cell_names) if hg.cell_names else None,
+        net_drivers=drivers,
+    )
+    return cleaned, net_map
+
+
+def relabel(
+    hg: Hypergraph,
+    cell_names: Optional[Sequence[str]] = None,
+    net_names: Optional[Sequence[str]] = None,
+    name: Optional[str] = None,
+) -> Hypergraph:
+    """Copy of ``hg`` with fresh labels (structure untouched)."""
+    return Hypergraph(
+        list(hg.cell_sizes),
+        [list(p) for p in hg.nets],
+        list(hg.terminal_nets),
+        name=name if name is not None else hg.name,
+        cell_names=cell_names
+        if cell_names is not None
+        else (list(hg.cell_names) if hg.cell_names else None),
+        net_names=net_names
+        if net_names is not None
+        else (list(hg.net_names) if hg.net_names else None),
+        net_drivers=list(hg.net_drivers),
+    )

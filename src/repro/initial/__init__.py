@@ -1,0 +1,18 @@
+"""Constructive initial-partition creation (section 3.2)."""
+
+from .greedy_merge import greedy_merge_bipartition
+from .growing import GrowingBlock
+from .initial import create_bipartition
+from .ratio_cut import SweepResult, ratio_cut_bipartition, ratio_cut_sweep
+from .seeds import bfs_distances_within, select_seeds
+
+__all__ = [
+    "GrowingBlock",
+    "select_seeds",
+    "bfs_distances_within",
+    "greedy_merge_bipartition",
+    "ratio_cut_sweep",
+    "ratio_cut_bipartition",
+    "SweepResult",
+    "create_bipartition",
+]

@@ -1,0 +1,146 @@
+"""Greedy two-seed merge (section 3.2, after Brasen/Hiol/Saucier [1]).
+
+Two blocks grow simultaneously from the two seeds — one node added to
+each block per step, which "slightly alleviates the greedy tendency" of
+single-block growth (the first block would otherwise absorb every
+well-connected node).  The merge candidate for a block maximizes the
+cost of [1]:
+
+    Cost(i+j) = S(i+j) / T(i+j)
+
+— the size-per-pin density of the block if the candidate joined (a pin
+count of zero is treated as infinitely good).  A block stops growing when
+no candidate fits under ``S_MAX``; when its frontier empties while space
+remains (disconnected circuits), growth jumps to the biggest fitting
+unassigned cell.  When both blocks are saturated, the bigger block is the
+produced device ``P_k`` and everything else forms the remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from ..core.device import Device
+from ..hypergraph import Hypergraph
+from .growing import GrowingBlock
+from .seeds import select_seeds
+
+__all__ = ["greedy_merge_bipartition"]
+
+
+def _merge_score(size: int, pins: int) -> float:
+    """Cost(i+j) = S / T with T = 0 treated as infinitely dense."""
+    if pins <= 0:
+        return float("inf")
+    return size / pins
+
+
+class _Grower:
+    """One growing block plus its candidate frontier with cached previews."""
+
+    def __init__(self, hg: Hypergraph, seed: int, s_max: float) -> None:
+        self.hg = hg
+        self.s_max = s_max
+        self.block = GrowingBlock(hg, [seed])
+        # cell -> pin-count delta if added.  Deltas only go stale for
+        # cells sharing a net with a newly added cell, which is exactly
+        # the set extend_frontier refreshes; absolute previews would go
+        # stale for *every* candidate on *every* add.
+        self.frontier: Dict[int, int] = {}
+        self.saturated = False
+
+    def refresh(self, cell: int) -> None:
+        """(Re)compute the cached pin delta for a candidate."""
+        _, pins_after = self.block.preview_add(cell)
+        self.frontier[cell] = pins_after - self.block.pins
+
+    def discard(self, cell: int) -> None:
+        self.frontier.pop(cell, None)
+
+    def extend_frontier(self, around: int, unassigned: Set[int]) -> None:
+        """Refresh previews of unassigned neighbours of ``around``."""
+        hg = self.hg
+        for e in hg.nets_of(around):
+            for v in hg.pins_of(e):
+                if v in unassigned:
+                    self.refresh(v)
+
+    def pick(self, unassigned: Set[int]) -> Optional[int]:
+        """Best-scoring fitting candidate, or a jump cell, or None."""
+        best_cell: Optional[int] = None
+        best_key: Optional[Tuple[float, int, int]] = None
+        for cell, pin_delta in self.frontier.items():
+            size = self.block.size + self.hg.cell_size(cell)
+            if size > self.s_max:
+                continue
+            pins = self.block.pins + pin_delta
+            # Higher score wins; ties prefer bigger cells, then low index.
+            key = (_merge_score(size, pins), self.hg.cell_size(cell), -cell)
+            if best_key is None or key > best_key:
+                best_key = key
+                best_cell = cell
+        if best_cell is not None:
+            return best_cell
+        # Frontier exhausted or nothing fits adjacently: jump to the
+        # biggest unassigned cell that still fits (handles disconnected
+        # components and tight tails).
+        budget = self.s_max - self.block.size
+        jump: Optional[int] = None
+        jump_key: Optional[Tuple[int, int]] = None
+        for cell in unassigned:
+            size = self.hg.cell_size(cell)
+            if size > budget:
+                continue
+            key = (size, -cell)
+            if jump_key is None or key > jump_key:
+                jump_key = key
+                jump = cell
+        return jump
+
+    def grow(self, unassigned: Set[int], other: "_Grower") -> bool:
+        """Add one cell if possible; returns True when a cell was added."""
+        if self.saturated:
+            return False
+        cell = self.pick(unassigned)
+        if cell is None:
+            self.saturated = True
+            return False
+        unassigned.discard(cell)
+        self.discard(cell)
+        other.discard(cell)
+        self.block.add(cell)
+        self.extend_frontier(cell, unassigned)
+        return True
+
+
+def greedy_merge_bipartition(
+    hg: Hypergraph, cells: Iterable[int], device: Device
+) -> Set[int]:
+    """Split ``cells`` constructively; returns the produced block ``P_k``.
+
+    The returned set is the bigger of the two grown blocks (ties prefer
+    fewer pins, then the block of the first seed); the complement within
+    ``cells`` is the remainder.  Always a proper non-empty subset.
+    """
+    cell_list = sorted(set(cells))
+    if len(cell_list) < 2:
+        raise ValueError("cannot bipartition fewer than two cells")
+    seed1, seed2 = select_seeds(hg, cell_list)
+    unassigned = set(cell_list) - {seed1, seed2}
+
+    grower_a = _Grower(hg, seed1, device.s_max)
+    grower_b = _Grower(hg, seed2, device.s_max)
+    grower_a.extend_frontier(seed1, unassigned)
+    grower_b.extend_frontier(seed2, unassigned)
+
+    while not (grower_a.saturated and grower_b.saturated):
+        grew_a = grower_a.grow(unassigned, grower_b)
+        grew_b = grower_b.grow(unassigned, grower_a)
+        if not (grew_a or grew_b):
+            break
+
+    a, b = grower_a.block, grower_b.block
+    # Bigger block becomes P_k; at equal size prefer the denser one.
+    if (a.size, -a.pins) >= (b.size, -b.pins):
+        return set(a.cells)
+    return set(b.cells)

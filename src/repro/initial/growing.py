@@ -1,0 +1,99 @@
+"""Incremental bookkeeping for a growing/shrinking cell set.
+
+The constructive initial-partition methods (section 3.2) repeatedly ask
+"what would this block's size and pin count be if cell ``c`` joined?".
+:class:`GrowingBlock` answers in O(degree(c)) and applies adds/removes in
+the same bound.
+
+Pin semantics match :class:`~repro.partition.PartitionState`: a net
+touching the set contributes one pin iff it also reaches *anything*
+outside the set — another interior cell (wherever it lives) or a primary
+I/O pad — so blocks grown on a remainder automatically account for nets
+that leave toward already-created blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from ..hypergraph import Hypergraph
+
+__all__ = ["GrowingBlock"]
+
+
+class GrowingBlock:
+    """A mutable cell set with incremental size / pin-count tracking."""
+
+    def __init__(self, hg: Hypergraph, cells: Iterable[int] = ()) -> None:
+        self.hg = hg
+        self.cells: Set[int] = set()
+        self.size = 0
+        self.pins = 0
+        self._net_inside: Dict[int, int] = {}  # net -> pins inside the set
+        for c in cells:
+            self.add(c)
+
+    def __contains__(self, cell: int) -> bool:
+        return cell in self.cells
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def _net_counts_pin(self, net: int, inside: int) -> bool:
+        """Does ``net`` contribute a pin given ``inside`` pins in the set?"""
+        if inside == 0:
+            return False
+        return inside < self.hg.net_degree(net) or self.hg.is_external_net(net)
+
+    def add(self, cell: int) -> None:
+        """Insert a cell, updating size and pins."""
+        if cell in self.cells:
+            raise ValueError(f"cell {cell} already in block")
+        self.cells.add(cell)
+        self.size += self.hg.cell_size(cell)
+        for e in self.hg.nets_of(cell):
+            before = self._net_inside.get(e, 0)
+            after = before + 1
+            self._net_inside[e] = after
+            self.pins += self._net_counts_pin(e, after) - self._net_counts_pin(
+                e, before
+            )
+
+    def remove(self, cell: int) -> None:
+        """Remove a cell, updating size and pins."""
+        if cell not in self.cells:
+            raise ValueError(f"cell {cell} not in block")
+        self.cells.remove(cell)
+        self.size -= self.hg.cell_size(cell)
+        for e in self.hg.nets_of(cell):
+            before = self._net_inside[e]
+            after = before - 1
+            if after:
+                self._net_inside[e] = after
+            else:
+                del self._net_inside[e]
+            self.pins += self._net_counts_pin(e, after) - self._net_counts_pin(
+                e, before
+            )
+
+    def preview_add(self, cell: int) -> Tuple[int, int]:
+        """``(size, pins)`` the block would have if ``cell`` joined."""
+        size = self.size + self.hg.cell_size(cell)
+        pins = self.pins
+        for e in self.hg.nets_of(cell):
+            before = self._net_inside.get(e, 0)
+            pins += self._net_counts_pin(e, before + 1) - self._net_counts_pin(
+                e, before
+            )
+        return size, pins
+
+    def net_inside_count(self, net: int) -> int:
+        """Pins of ``net`` currently inside the set."""
+        return self._net_inside.get(net, 0)
+
+    def check_consistency(self) -> None:
+        """Recompute from scratch and assert equality (test oracle)."""
+        fresh = GrowingBlock(self.hg, self.cells)
+        assert fresh.size == self.size, "size diverged"
+        assert fresh.pins == self.pins, "pins diverged"
+        assert fresh._net_inside == self._net_inside, "net counts diverged"

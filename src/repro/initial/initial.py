@@ -1,0 +1,69 @@
+"""Best-of-two initial bipartition driver (``Bipartition()`` of Algorithm 1).
+
+Runs both constructive methods — greedy two-seed merge and ratio-cut
+sweep — on the remainder block, evaluates each candidate split with the
+run's lexicographic cost, applies the better one to the partition state
+and returns the new block's index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from ..core.cost import CostEvaluator
+from ..core.device import Device
+from ..core.exceptions import UnpartitionableError
+from ..partition import PartitionState
+from .greedy_merge import greedy_merge_bipartition
+from .ratio_cut import ratio_cut_bipartition
+
+__all__ = ["create_bipartition"]
+
+
+def create_bipartition(
+    state: PartitionState,
+    remainder: int,
+    device: Device,
+    evaluator: CostEvaluator,
+) -> int:
+    """Split the remainder block; returns the new block's index.
+
+    The new block holds the produced subset ``P_k``; the remainder keeps
+    the rest.  Raises :class:`UnpartitionableError` when the remainder
+    has fewer than two cells (a single cell that violates constraints can
+    never be made feasible without replication).
+    """
+    cells = sorted(state.block_cells(remainder))
+    if len(cells) < 2:
+        raise UnpartitionableError(
+            f"remainder block {remainder} has {len(cells)} cell(s); "
+            "cannot bipartition further"
+        )
+    hg = state.hg
+
+    candidates = []
+    merge_subset = greedy_merge_bipartition(hg, cells, device)
+    if 0 < len(merge_subset) < len(cells):
+        candidates.append(merge_subset)
+    ratio_subset = ratio_cut_bipartition(hg, cells, device)
+    if ratio_subset is not None and 0 < len(ratio_subset) < len(cells):
+        candidates.append(ratio_subset)
+    if not candidates:
+        # Degenerate fallback (tiny remainders): peel the biggest cell.
+        biggest = max(cells, key=lambda c: (hg.cell_size(c), -c))
+        candidates.append({biggest})
+
+    new_block = state.add_block()
+    best_subset: Optional[Set[int]] = None
+    best_cost = None
+    for subset in candidates:
+        state.move_many(subset, new_block)
+        cost = evaluator.evaluate(state, remainder)
+        state.move_many(subset, remainder)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_subset = subset
+
+    assert best_subset is not None
+    state.move_many(best_subset, new_block)
+    return new_block

@@ -1,0 +1,192 @@
+"""Ratio-cut sweep (section 3.2, after Wei–Cheng [15]).
+
+Starting from a seed as the first block, cells are moved into it one at a
+time (greedily, most cut-reducing first) and the ratio
+
+    R = C / (S(P1) * S(P2))
+
+is evaluated after every move, where ``C`` is the cut size between the
+two sides of the swept cell set.  The sweep prefix with the smallest
+ratio *among prefixes where at least one side meets device constraints*
+becomes the bipartition.  The paper runs the sweep from each of the two
+seeds and keeps the better result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.device import Device
+from ..hypergraph import Hypergraph
+from .growing import GrowingBlock
+from .seeds import select_seeds
+
+__all__ = ["SweepResult", "ratio_cut_sweep", "ratio_cut_bipartition"]
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Best prefix of one ratio-cut sweep."""
+
+    subset: Tuple[int, ...]
+    """The produced block ``P_k`` — the feasible side of the best prefix
+    (the bigger side when both fit)."""
+    ratio: float
+    """The ratio ``R`` at the best prefix (``inf`` when no prefix had a
+    feasible side)."""
+    feasible: bool
+    """Whether any prefix had a side meeting device constraints."""
+
+
+class _Sweep:
+    """Incremental cut/gain bookkeeping for one sweep run."""
+
+    def __init__(self, hg: Hypergraph, cells: Sequence[int], seed: int):
+        self.hg = hg
+        self.cell_set = set(cells)
+        if seed not in self.cell_set:
+            raise ValueError("seed must belong to the swept cells")
+        # Pins of each net inside the swept set (constant) and inside A.
+        self.net_total: Dict[int, int] = {}
+        for c in cells:
+            for e in hg.nets_of(c):
+                self.net_total[e] = self.net_total.get(e, 0) + 1
+        self.in_a: Dict[int, int] = {}
+        self.cut = 0
+        self.a = GrowingBlock(hg, ())
+        self.b = GrowingBlock(hg, cells)
+        self.move(seed)
+
+    def _is_cut(self, net: int) -> bool:
+        inside = self.in_a.get(net, 0)
+        return 0 < inside < self.net_total[net]
+
+    def move(self, cell: int) -> None:
+        """Move a cell from side B to side A."""
+        for e in self.hg.nets_of(cell):
+            if e not in self.net_total:
+                continue
+            was_cut = self._is_cut(e)
+            self.in_a[e] = self.in_a.get(e, 0) + 1
+            self.cut += self._is_cut(e) - was_cut
+        self.b.remove(cell)
+        self.a.add(cell)
+
+    def gain(self, cell: int) -> int:
+        """Cut reduction if ``cell`` moved to A now."""
+        g = 0
+        for e in self.hg.nets_of(cell):
+            total = self.net_total.get(e)
+            if total is None or total == 1:
+                continue
+            inside = self.in_a.get(e, 0)
+            g += self._cut_state(inside, total) - self._cut_state(
+                inside + 1, total
+            )
+        return g
+
+    @staticmethod
+    def _cut_state(inside: int, total: int) -> int:
+        return 1 if 0 < inside < total else 0
+
+    def ratio(self) -> Optional[float]:
+        """Current ``R``; None at degenerate prefixes (an empty side)."""
+        if self.a.size == 0 or self.b.size == 0:
+            return None
+        return self.cut / (self.a.size * self.b.size)
+
+
+def ratio_cut_sweep(
+    hg: Hypergraph,
+    cells: Sequence[int],
+    device: Device,
+    seed: int,
+) -> SweepResult:
+    """Sweep from one seed; returns the best feasible-side prefix."""
+    cell_list = sorted(set(cells))
+    sweep = _Sweep(hg, cell_list, seed)
+
+    # Candidate gains, cached and invalidated for neighbours of each move.
+    gains: Dict[int, int] = {}
+
+    def refresh_around(cell: int) -> None:
+        for e in hg.nets_of(cell):
+            for v in hg.pins_of(e):
+                if v in sweep.b.cells:
+                    gains[v] = sweep.gain(v)
+
+    refresh_around(seed)
+
+    order: List[int] = [seed]
+    best_index: Optional[int] = None
+    best_ratio = float("inf")
+    best_side_a = True
+
+    def consider_prefix(index: int) -> None:
+        nonlocal best_index, best_ratio, best_side_a
+        ratio = sweep.ratio()
+        if ratio is None:
+            return
+        a_ok = device.fits(sweep.a.size, sweep.a.pins)
+        b_ok = device.fits(sweep.b.size, sweep.b.pins)
+        if not (a_ok or b_ok):
+            return
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_index = index
+            if a_ok and b_ok:
+                best_side_a = sweep.a.size >= sweep.b.size
+            else:
+                best_side_a = a_ok
+
+    consider_prefix(1)
+    while len(sweep.b.cells) > 1:
+        # Best candidate: max gain, then bigger cell, then low index.
+        # (gains only ever holds B-side cells: moves pop their entry and
+        # refresh_around only inserts members of B.)
+        if gains:
+            cell = max(
+                gains, key=lambda c: (gains[c], hg.cell_size(c), -c)
+            )
+        else:  # disconnected: jump to the biggest remaining cell
+            cell = max(
+                sweep.b.cells, key=lambda c: (hg.cell_size(c), -c)
+            )
+        sweep.move(cell)
+        gains.pop(cell, None)
+        refresh_around(cell)
+        order.append(cell)
+        consider_prefix(len(order))
+
+    if best_index is None:
+        return SweepResult(subset=(), ratio=float("inf"), feasible=False)
+    prefix = set(order[:best_index])
+    if best_side_a:
+        subset = tuple(sorted(prefix))
+    else:
+        subset = tuple(sorted(set(cell_list) - prefix))
+    return SweepResult(subset=subset, ratio=best_ratio, feasible=True)
+
+
+def ratio_cut_bipartition(
+    hg: Hypergraph, cells: Iterable[int], device: Device
+) -> Optional[Set[int]]:
+    """Best-of-two-seeds ratio-cut bipartition of ``cells``.
+
+    Returns the produced block ``P_k`` or ``None`` when no sweep prefix
+    had a feasible side (the greedy-merge pass then decides alone).
+    """
+    cell_list = sorted(set(cells))
+    if len(cell_list) < 2:
+        raise ValueError("cannot bipartition fewer than two cells")
+    seed1, seed2 = select_seeds(hg, cell_list)
+    results = [
+        ratio_cut_sweep(hg, cell_list, device, seed1),
+        ratio_cut_sweep(hg, cell_list, device, seed2),
+    ]
+    results = [r for r in results if r.feasible and 0 < len(r.subset) < len(cell_list)]
+    if not results:
+        return None
+    best = min(results, key=lambda r: r.ratio)
+    return set(best.subset)

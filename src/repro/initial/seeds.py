@@ -1,0 +1,68 @@
+"""Seed selection for the constructive initial partition (section 3.2).
+
+The first seed is the biggest-size cell; the second is the cell at
+maximal breadth-first distance from the first, with unreachable cells
+(other connected components) counting as infinitely far.  Ties break
+toward the lowest index so runs are deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, Set, Tuple
+
+from ..hypergraph import Hypergraph
+
+__all__ = ["bfs_distances_within", "select_seeds"]
+
+
+def bfs_distances_within(
+    hg: Hypergraph, cells: Set[int], start: int
+) -> Dict[int, int]:
+    """BFS hop distances from ``start`` restricted to ``cells``.
+
+    Only cells inside the set are traversed or reported; unreachable
+    members are absent from the result.
+    """
+    if start not in cells:
+        raise ValueError("start cell not in the restricted set")
+    dist: Dict[int, int] = {start: 0}
+    queue = deque([start])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for e in hg.nets_of(u):
+            for v in hg.pins_of(e):
+                if v in cells and v not in dist:
+                    dist[v] = du + 1
+                    queue.append(v)
+    return dist
+
+
+def select_seeds(hg: Hypergraph, cells: Iterable[int]) -> Tuple[int, int]:
+    """Pick the two growth seeds among ``cells``.
+
+    Returns ``(seed1, seed2)`` — the biggest cell and the farthest cell
+    from it.  Raises ``ValueError`` with fewer than two cells.
+    """
+    cell_list = sorted(set(cells))
+    if len(cell_list) < 2:
+        raise ValueError("need at least two cells to select seeds")
+    cell_set = set(cell_list)
+
+    seed1 = max(cell_list, key=lambda c: (hg.cell_size(c), -c))
+
+    dist = bfs_distances_within(hg, cell_set, seed1)
+    unreached = [c for c in cell_list if c not in dist]
+    if unreached:
+        return seed1, unreached[0]  # another component: infinitely far
+    best_cell = seed1
+    best_dist = -1
+    for c in cell_list:
+        if c == seed1:
+            continue
+        d = dist[c]
+        if d > best_dist:
+            best_dist = d
+            best_cell = c
+    return seed1, best_cell

@@ -1,0 +1,82 @@
+"""Cut-set metrics computed from scratch.
+
+These are reference (non-incremental) computations used by tests as
+oracles against :class:`~repro.partition.PartitionState`'s incremental
+counters, and by reports that only have a raw assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "cut_nets",
+    "cutset",
+    "block_pin_counts",
+    "block_ext_io_counts",
+    "block_sizes",
+]
+
+
+def _net_blocks(hg: Hypergraph, assignment: Sequence[int], net: int) -> Set[int]:
+    return {assignment[p] for p in hg.pins_of(net)}
+
+
+def cutset(hg: Hypergraph, assignment: Sequence[int]) -> List[int]:
+    """Nets spanning more than one block, ascending."""
+    return [
+        e
+        for e in range(hg.num_nets)
+        if len(_net_blocks(hg, assignment, e)) > 1
+    ]
+
+
+def cut_nets(hg: Hypergraph, assignment: Sequence[int]) -> int:
+    """Number of cut nets (``C_{i,j}`` summed over all block pairs)."""
+    return len(cutset(hg, assignment))
+
+
+def block_sizes(
+    hg: Hypergraph, assignment: Sequence[int], num_blocks: int
+) -> List[int]:
+    """``S_j`` per block, from scratch."""
+    sizes = [0] * num_blocks
+    for c, b in enumerate(assignment):
+        sizes[b] += hg.cell_size(c)
+    return sizes
+
+
+def block_pin_counts(
+    hg: Hypergraph, assignment: Sequence[int], num_blocks: int
+) -> List[int]:
+    """``|Y_j|`` per block, from scratch.
+
+    A net contributes one pin to each block it touches when it spans more
+    than one block or carries a primary-I/O pad.
+    """
+    pins = [0] * num_blocks
+    for e in range(hg.num_nets):
+        touched = _net_blocks(hg, assignment, e)
+        if len(touched) > 1 or hg.is_external_net(e):
+            for b in touched:
+                pins[b] += 1
+    return pins
+
+
+def block_ext_io_counts(
+    hg: Hypergraph, assignment: Sequence[int], num_blocks: int
+) -> List[int]:
+    """``T_j^E`` per block, from scratch.
+
+    Each pad is assigned to every block its net touches.
+    """
+    ext = [0] * num_blocks
+    for e in range(hg.num_nets):
+        pads = hg.net_terminal_count(e)
+        if pads == 0:
+            continue
+        for b in _net_blocks(hg, assignment, e):
+            ext[b] += pads
+    return ext

@@ -1,0 +1,345 @@
+"""Mutable k-way partition state with incremental bookkeeping.
+
+This is the workhorse shared by every algorithm in the package (FM,
+Sanchis multi-way, FPART, the baselines).  It tracks, per block ``j``:
+
+* ``S_j`` — block size (sum of cell sizes),
+* ``|Y_j|`` — block terminal (pin) count, the quantity the device pin
+  constraint ``T_MAX`` applies to,
+* ``T_j^E`` — the number of *external* primary I/O pads assigned to the
+  block (used by the paper's external-I/O balancing factor, section 3.4),
+
+plus the global cut-net count, all updated in ``O(pins(cell))`` per move.
+
+Pin semantics
+-------------
+A net contributes one pin to every block it touches **iff** it is visible
+outside that block: it either spans more than one block, or it carries a
+primary-I/O pad.  A net entirely inside one block with no pad contributes
+nothing.  External pads are "assigned" to every block their net touches
+(the pad's signal must physically reach each such device), which is how
+``T_j^E`` is counted.
+
+Moves are reversible: :meth:`move` returns the source block, and moving
+the cell back restores every derived quantity exactly, so FM-style pass
+rollback is just replaying the move log backwards.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..hypergraph import Hypergraph
+
+__all__ = ["PartitionState"]
+
+
+class PartitionState:
+    """Assignment of every interior cell to one of ``k`` blocks.
+
+    Create with :meth:`single_block` (all cells in block 0, the usual
+    starting point of the recursive paradigm) or :meth:`from_assignment`.
+    Blocks are dense integers ``0 .. num_blocks-1``; new empty blocks are
+    appended with :meth:`add_block`.
+
+    The state never decides *which* block is the remainder — that is
+    algorithm-level policy kept in the drivers.
+    """
+
+    def __init__(self, hg: Hypergraph, assignment: Sequence[int], num_blocks: int):
+        if len(assignment) != hg.num_cells:
+            raise ValueError(
+                f"assignment covers {len(assignment)} cells, "
+                f"hypergraph has {hg.num_cells}"
+            )
+        if num_blocks < 1:
+            raise ValueError("need at least one block")
+        self.hg = hg
+        self._block_of: List[int] = [int(b) for b in assignment]
+        self._num_blocks = num_blocks
+        for c, b in enumerate(self._block_of):
+            if not 0 <= b < num_blocks:
+                raise ValueError(f"cell {c} assigned to invalid block {b}")
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def single_block(cls, hg: Hypergraph) -> "PartitionState":
+        """All cells in block 0 — the initial remainder ``R_0 = H_0``."""
+        return cls(hg, [0] * hg.num_cells, 1)
+
+    @classmethod
+    def from_assignment(
+        cls, hg: Hypergraph, assignment: Sequence[int], num_blocks: Optional[int] = None
+    ) -> "PartitionState":
+        """Build from an explicit cell→block map."""
+        if num_blocks is None:
+            num_blocks = (max(assignment) + 1) if len(assignment) else 1
+        return cls(hg, assignment, num_blocks)
+
+    def copy(self) -> "PartitionState":
+        """Independent deep copy (shares only the immutable hypergraph)."""
+        return PartitionState(self.hg, list(self._block_of), self._num_blocks)
+
+    # ------------------------------------------------------------------
+    # Full (non-incremental) rebuild — also the consistency oracle
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        hg = self.hg
+        k = self._num_blocks
+        self._block_sizes: List[int] = [0] * k
+        self._block_cells: List[Set[int]] = [set() for _ in range(k)]
+        for c, b in enumerate(self._block_of):
+            self._block_sizes[b] += hg.cell_size(c)
+            self._block_cells[b].add(c)
+
+        self._net_blocks: List[Dict[int, int]] = []
+        self._block_pins: List[int] = [0] * k
+        self._block_ext_ios: List[int] = [0] * k
+        self._cut_nets = 0
+        for e in range(hg.num_nets):
+            dist: Dict[int, int] = {}
+            for p in hg.pins_of(e):
+                b = self._block_of[p]
+                dist[b] = dist.get(b, 0) + 1
+            self._net_blocks.append(dist)
+            span = len(dist)
+            pads = hg.net_terminal_count(e)
+            if span > 1:
+                self._cut_nets += 1
+            if span > 1 or pads > 0:
+                for b in dist:
+                    self._block_pins[b] += 1
+            if pads > 0:
+                for b in dist:
+                    self._block_ext_ios[b] += pads
+        self._total_pins = sum(self._block_pins)
+
+    def check_consistency(self) -> None:
+        """Recompute everything from scratch and compare (test oracle).
+
+        Raises ``AssertionError`` on any divergence between the
+        incremental state and a fresh rebuild.
+        """
+        fresh = PartitionState(self.hg, list(self._block_of), self._num_blocks)
+        assert self._block_sizes == fresh._block_sizes, "block sizes diverged"
+        assert self._block_pins == fresh._block_pins, "block pins diverged"
+        assert (
+            self._block_ext_ios == fresh._block_ext_ios
+        ), "external I/Os diverged"
+        assert self._cut_nets == fresh._cut_nets, "cut-net count diverged"
+        assert self._total_pins == fresh._total_pins, "total pins diverged"
+        assert self._net_blocks == fresh._net_blocks, "net distributions diverged"
+        assert self._block_cells == fresh._block_cells, "block cell sets diverged"
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        """Current number of blocks ``k``."""
+        return self._num_blocks
+
+    @property
+    def cut_nets(self) -> int:
+        """Number of nets spanning more than one block."""
+        return self._cut_nets
+
+    @property
+    def total_pins(self) -> int:
+        """``T_SUM = sum_j |Y_j|`` over all blocks."""
+        return self._total_pins
+
+    def block_of(self, cell: int) -> int:
+        """Block currently holding ``cell``."""
+        return self._block_of[cell]
+
+    def block_size(self, block: int) -> int:
+        """``S_j`` for one block."""
+        return self._block_sizes[block]
+
+    def block_pins(self, block: int) -> int:
+        """``|Y_j|`` for one block."""
+        return self._block_pins[block]
+
+    def block_ext_ios(self, block: int) -> int:
+        """``T_j^E`` — external pads assigned to one block."""
+        return self._block_ext_ios[block]
+
+    def block_cells(self, block: int) -> Set[int]:
+        """Cells in one block (live view; do not mutate)."""
+        return self._block_cells[block]
+
+    def block_num_cells(self, block: int) -> int:
+        """Number of cells in one block."""
+        return len(self._block_cells[block])
+
+    @property
+    def block_sizes(self) -> Tuple[int, ...]:
+        """All block sizes as a tuple."""
+        return tuple(self._block_sizes)
+
+    @property
+    def block_pin_counts(self) -> Tuple[int, ...]:
+        """All block pin counts as a tuple."""
+        return tuple(self._block_pins)
+
+    @property
+    def block_ext_io_counts(self) -> Tuple[int, ...]:
+        """All block external-pad counts as a tuple."""
+        return tuple(self._block_ext_ios)
+
+    def net_span(self, net: int) -> int:
+        """Number of blocks touched by ``net``."""
+        return len(self._net_blocks[net])
+
+    def is_cut(self, net: int) -> bool:
+        """True if ``net`` spans more than one block."""
+        return len(self._net_blocks[net]) > 1
+
+    def net_block_count(self, net: int, block: int) -> int:
+        """Pins of ``net`` inside ``block`` (0 if the net misses it)."""
+        return self._net_blocks[net].get(block, 0)
+
+    def net_distribution(self, net: int) -> Dict[int, int]:
+        """Live ``block -> pin count`` map for a net (do not mutate)."""
+        return self._net_blocks[net]
+
+    def assignment(self) -> List[int]:
+        """Copy of the cell→block array (a restorable snapshot)."""
+        return list(self._block_of)
+
+    def cells_of_blocks(self, blocks: Iterable[int]) -> List[int]:
+        """All cells in any of the given blocks, ascending order."""
+        result: List[int] = []
+        for b in blocks:
+            result.extend(self._block_cells[b])
+        return sorted(result)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_block(self) -> int:
+        """Append a new empty block; returns its index."""
+        self._num_blocks += 1
+        self._block_sizes.append(0)
+        self._block_pins.append(0)
+        self._block_ext_ios.append(0)
+        self._block_cells.append(set())
+        return self._num_blocks - 1
+
+    def move(self, cell: int, to_block: int) -> int:
+        """Move ``cell`` to ``to_block``; returns its previous block.
+
+        All derived quantities are updated incrementally.  Moving a cell
+        to the block it is already in is a no-op.
+        """
+        from_block = self._block_of[cell]
+        if to_block == from_block:
+            return from_block
+        if not 0 <= to_block < self._num_blocks:
+            raise ValueError(f"invalid destination block {to_block}")
+        hg = self.hg
+        size = hg.cell_size(cell)
+
+        self._block_of[cell] = to_block
+        self._block_sizes[from_block] -= size
+        self._block_sizes[to_block] += size
+        self._block_cells[from_block].discard(cell)
+        self._block_cells[to_block].add(cell)
+
+        pins = self._block_pins
+        ext = self._block_ext_ios
+        for e in hg.nets_of(cell):
+            dist = self._net_blocks[e]
+            pads = hg.net_terminal_count(e)
+            external = pads > 0
+            c_from = dist[from_block]
+            c_to = dist.get(to_block, 0)
+            span_old = len(dist)
+            from_leaves = c_from == 1
+            to_enters = c_to == 0
+
+            if from_leaves:
+                del dist[from_block]
+            else:
+                dist[from_block] = c_from - 1
+            dist[to_block] = c_to + 1
+            span_new = len(dist)
+
+            # --- pin / external-pad updates, case split on touch changes
+            if from_leaves and to_enters:
+                # Net slides from one block to another: span unchanged.
+                if span_old > 1 or external:
+                    # Total pins unchanged: the contribution just moves.
+                    pins[from_block] -= 1
+                    pins[to_block] += 1
+                if external:
+                    ext[from_block] -= pads
+                    ext[to_block] += pads
+            elif from_leaves:
+                # Net stops touching from_block; span drops by one.
+                pins[from_block] -= 1  # span_old >= 2 here, so it had a pin
+                self._total_pins -= 1
+                if external:
+                    ext[from_block] -= pads
+                if span_new == 1:
+                    self._cut_nets -= 1
+                    if not external:
+                        # The single surviving block no longer sees the net.
+                        pins[to_block] -= 1
+                        self._total_pins -= 1
+            elif to_enters:
+                # Net starts touching to_block; span grows by one.
+                pins[to_block] += 1  # span_new >= 2 here
+                self._total_pins += 1
+                if external:
+                    ext[to_block] += pads
+                if span_old == 1:
+                    self._cut_nets += 1
+                    if not external:
+                        # from_block's copy of the net just became visible.
+                        pins[from_block] += 1
+                        self._total_pins += 1
+            # else: net keeps touching both blocks; nothing changes.
+
+        return from_block
+
+    def move_many(self, cells: Iterable[int], to_block: int) -> None:
+        """Move several cells to one block."""
+        for cell in cells:
+            self.move(cell, to_block)
+
+    def restore(self, assignment: Sequence[int], num_blocks: Optional[int] = None) -> None:
+        """Restore a snapshot taken with :meth:`assignment` (full rebuild)."""
+        if num_blocks is None:
+            num_blocks = self._num_blocks
+        if len(assignment) != self.hg.num_cells:
+            raise ValueError("snapshot length mismatch")
+        self._block_of = [int(b) for b in assignment]
+        self._num_blocks = num_blocks
+        for c, b in enumerate(self._block_of):
+            if not 0 <= b < num_blocks:
+                raise ValueError(f"cell {c} assigned to invalid block {b}")
+        self._rebuild()
+
+    # ------------------------------------------------------------------
+    # Derived summaries
+    # ------------------------------------------------------------------
+
+    def nonempty_blocks(self) -> List[int]:
+        """Blocks currently holding at least one cell."""
+        return [b for b in range(self._num_blocks) if self._block_cells[b]]
+
+    def __repr__(self) -> str:
+        sizes = ",".join(str(s) for s in self._block_sizes)
+        return (
+            f"PartitionState(k={self._num_blocks}, sizes=[{sizes}], "
+            f"cut={self._cut_nets}, T_SUM={self._total_pins})"
+        )

@@ -1,0 +1,21 @@
+"""Functional replication — the enhancement FPART competes against."""
+
+from .optimizer import (
+    ReplicationOptimizer,
+    ReplicationResult,
+    replicate_for_pins,
+)
+from .replicate import (
+    ReplicatedNetlist,
+    apply_replication,
+    replication_pin_delta,
+)
+
+__all__ = [
+    "apply_replication",
+    "replication_pin_delta",
+    "ReplicatedNetlist",
+    "ReplicationOptimizer",
+    "ReplicationResult",
+    "replicate_for_pins",
+]

@@ -1,0 +1,199 @@
+"""Functional cell replication (the mechanism of [11]/[12]).
+
+The paper's point of comparison: PROP and r+p.0 improve partitions by
+*replicating* logic — duplicating a driver cell into a block so the
+block no longer needs the signal from outside, at the price of the
+copy's area and of importing the copy's own inputs.  FPART deliberately
+avoids replication; this package implements it anyway, both to complete
+the comparison and because the paper notes replication can reach results
+plain partitioning cannot.
+
+Semantics of replicating driver cell ``c`` (living in block ``A``) into
+block ``B``:
+
+* a copy ``c'`` of ``c`` is added to ``B`` (same size);
+* for every net **driven** by ``c``: its sink pins inside ``B`` move to a
+  new net driven by ``c'`` (the signal is produced locally); pads stay
+  with the original net;
+* for every net **read** by ``c``: ``c'`` joins it as a reader (the copy
+  needs the same inputs).
+
+Requires driver annotations (``Hypergraph.net_drivers``); nets without a
+known driver can not be replicated across.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..hypergraph import Hypergraph
+
+__all__ = ["ReplicatedNetlist", "apply_replication", "replication_pin_delta"]
+
+
+@dataclass(frozen=True)
+class ReplicatedNetlist:
+    """A netlist after one replication, with the updated assignment."""
+
+    hg: Hypergraph
+    assignment: Tuple[int, ...]
+    copy_cell: int
+    original_cell: int
+    target_block: int
+
+
+def apply_replication(
+    hg: Hypergraph,
+    assignment: Sequence[int],
+    cell: int,
+    target_block: int,
+) -> ReplicatedNetlist:
+    """Replicate ``cell`` into ``target_block``; returns the new netlist.
+
+    The produced hypergraph has one extra cell (the copy, assigned to
+    ``target_block``) and possibly extra nets (the local copies of the
+    driven signals).  Raises ``ValueError`` when the cell already lives
+    in the target block or drives no net toward it.
+    """
+    if len(assignment) != hg.num_cells:
+        raise ValueError("assignment length mismatch")
+    source_block = assignment[cell]
+    if source_block == target_block:
+        raise ValueError("cell already lives in the target block")
+
+    driven = hg.driven_nets(cell)
+    if not driven:
+        raise ValueError(f"cell {cell} drives no net (no driver info?)")
+
+    copy_cell = hg.num_cells
+    sizes = list(hg.cell_sizes) + [hg.cell_size(cell)]
+    names = (
+        list(hg.cell_names) + [f"{hg.cell_label(cell)}_rep"]
+        if hg.cell_names is not None
+        else None
+    )
+
+    nets: List[List[int]] = [list(pins) for pins in hg.nets]
+    drivers: List[Optional[int]] = list(hg.net_drivers)
+    net_names = list(hg.net_names) if hg.net_names is not None else None
+    pads_per_net: List[int] = list(hg.net_terminal_counts)
+
+    moved_any = False
+    for e in driven:
+        sinks_in_target = [
+            p
+            for p in hg.pins_of(e)
+            if p != cell and assignment[p] == target_block
+        ]
+        if not sinks_in_target:
+            continue
+        moved_any = True
+        # Remove those sinks from the original net...
+        nets[e] = [
+            p for p in nets[e] if p == cell or p not in sinks_in_target
+        ]
+        # ...and hang them on a fresh locally-driven net.
+        nets.append([copy_cell] + sinks_in_target)
+        drivers.append(copy_cell)
+        pads_per_net.append(0)
+        if net_names is not None:
+            net_names.append(f"{hg.net_label(e)}_rep")
+    if not moved_any:
+        raise ValueError(
+            f"cell {cell} drives nothing inside block {target_block}"
+        )
+
+    # The copy reads every input the original reads.
+    for e in hg.read_nets(cell):
+        nets[e].append(copy_cell)
+
+    terminal_nets: List[int] = []
+    for e, pads in enumerate(pads_per_net):
+        terminal_nets.extend([e] * pads)
+
+    new_hg = Hypergraph(
+        sizes,
+        nets,
+        terminal_nets,
+        name=hg.name,
+        cell_names=names,
+        net_names=net_names,
+        net_drivers=drivers,
+    )
+    new_assignment = tuple(assignment) + (target_block,)
+    return ReplicatedNetlist(
+        hg=new_hg,
+        assignment=new_assignment,
+        copy_cell=copy_cell,
+        original_cell=cell,
+        target_block=target_block,
+    )
+
+
+def replication_pin_delta(
+    hg: Hypergraph,
+    assignment: Sequence[int],
+    cell: int,
+    target_block: int,
+    num_blocks: int,
+) -> Optional[Dict[int, int]]:
+    """Predicted per-block pin-count change of a replication.
+
+    Returns ``{block: delta}`` for the affected blocks (absent = 0), or
+    ``None`` when the replication is not applicable (nothing driven into
+    the target).  This is the cheap O(degree) evaluation the optimizer
+    uses to rank candidates; `tests` cross-check it against a full
+    rebuild.
+    """
+    source_block = assignment[cell]
+    if source_block == target_block:
+        return None
+
+    def blocks_of(e: int) -> Set[int]:
+        return {assignment[p] for p in hg.pins_of(e)}
+
+    def has_pin(touched: Set[int], block: int, pads: int) -> bool:
+        return block in touched and (len(touched) > 1 or pads > 0)
+
+    delta: Dict[int, int] = {}
+
+    driven_into_target = False
+    for e in hg.driven_nets(cell):
+        touched = blocks_of(e)
+        if target_block not in touched:
+            continue
+        sinks_in_target = [
+            p
+            for p in hg.pins_of(e)
+            if p != cell and assignment[p] == target_block
+        ]
+        if not sinks_in_target:
+            continue
+        driven_into_target = True
+        pads = hg.net_terminal_count(e)
+        # After: original net loses the target block entirely; the new
+        # local net lives inside target (driver copy + sinks) — it is
+        # uncut and padless, so it contributes no pins.
+        new_touched = touched - {target_block}
+        for block in touched | new_touched:
+            before = has_pin(touched, block, pads)
+            after = has_pin(new_touched, block, pads)
+            if after != before:
+                delta[block] = delta.get(block, 0) + (1 if after else -1)
+    if not driven_into_target:
+        return None
+
+    for e in hg.read_nets(cell):
+        touched = blocks_of(e)
+        pads = hg.net_terminal_count(e)
+        new_touched = touched | {target_block}
+        if new_touched == touched:
+            continue
+        for block in new_touched:
+            before = has_pin(touched, block, pads)
+            after = has_pin(new_touched, block, pads)
+            if after != before:
+                delta[block] = delta.get(block, 0) + (1 if after else -1)
+
+    return {b: d for b, d in delta.items() if d}

@@ -1,0 +1,5 @@
+"""Sanchis multi-way iterative improvement engine."""
+
+from .engine import SanchisEngine, SanchisResult
+
+__all__ = ["SanchisEngine", "SanchisResult"]

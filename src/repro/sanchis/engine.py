@@ -1,0 +1,301 @@
+"""Sanchis-style multi-way iterative improvement ([14], sections 3.4–3.7).
+
+One engine serves every ``Improve()`` call of Algorithm 1: a 2-block call
+is simply the degenerate case with two participating blocks (classical
+FM), a multi-block call maintains ``k * (k - 1)`` per-direction gain
+structures.
+
+Mechanics per pass (the classical discipline):
+
+* every cell of a participating block is *free* at pass start and locks
+  in its destination after moving once;
+* the best move is chosen among the heads of all active direction
+  structures by ``(level-1 gain, level-2 gain)``, ties broken toward the
+  direction that best equilibrates sizes (``MAX(S_FROM - S_TO)``), then
+  LIFO;
+* a direction's structure is dropped while its source block may not
+  donate or its target block may not receive (the move-region boundary
+  rule of section 3.5);
+* after every applied move the full solution cost
+  ``(f, d_k, T_SUM, d_k^E)`` is evaluated and the best prefix remembered;
+  the pass rolls back to it;
+* negative-gain moves are accepted within a pass (hill climbing), which
+  with best-prefix rollback is what lets the method escape local minima.
+
+Implementation note: the per-direction "gain bucket + heap" of [14] is
+realized as one lazy max-heap per direction with version-stamped entries
+(stale entries are discarded at pop time) — the same asymptotic behaviour
+with far simpler invalidation in the presence of the level-2 gains, whose
+values change with every neighbouring lock.  Cells whose move is
+temporarily outside the feasible move region are parked per direction and
+re-offered when the region can have widened.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.config import FpartConfig
+from ..core.cost import CostEvaluator, SolutionCost
+from ..core.move_region import MoveRegion
+from ..fm.gains import move_gain_vector, pin_gain
+from ..partition import PartitionState
+
+__all__ = ["SanchisEngine", "SanchisResult"]
+
+# Heap entry: (-g1, -g2, -seq, version, cell).  heapq pops the smallest,
+# so this orders by max g1, then max g2, then LIFO (latest seq first).
+_Entry = Tuple[int, int, int, int, int]
+
+# Callback invoked with the pass-best cost; the engine's state is at that
+# solution when the callback runs (used for solution-stack collection).
+PassObserver = Callable[[SolutionCost], None]
+
+
+@dataclass(frozen=True)
+class SanchisResult:
+    """Outcome of one engine run (a series of passes)."""
+
+    initial_cost: SolutionCost
+    best_cost: SolutionCost
+    passes: int
+    moves_applied: int
+
+    @property
+    def improved(self) -> bool:
+        return self.best_cost < self.initial_cost
+
+
+class SanchisEngine:
+    """Multi-way iterative improvement over a set of participating blocks.
+
+    Parameters
+    ----------
+    state:
+        Partition state refined in place.
+    blocks:
+        Participating blocks; cells move between any ordered pair.
+    remainder:
+        The remainder block (must be among ``blocks`` when present); it is
+        exempt from the upper size cap and drives the cost's deviation
+        penalty.
+    evaluator:
+        Run-wide :class:`CostEvaluator` (device, M, |Y0| baked in).
+    region:
+        Move-legality oracle for this improvement call.
+    config:
+        Engine knobs (gain levels, pass limit, tie-breaks).
+    """
+
+    def __init__(
+        self,
+        state: PartitionState,
+        blocks: Sequence[int],
+        remainder: int,
+        evaluator: CostEvaluator,
+        region: MoveRegion,
+        config: FpartConfig,
+    ) -> None:
+        blocks = list(dict.fromkeys(blocks))
+        if len(blocks) < 2:
+            raise ValueError("need at least two participating blocks")
+        for b in blocks:
+            if not 0 <= b < state.num_blocks:
+                raise ValueError(f"invalid block {b}")
+        if remainder not in blocks:
+            raise ValueError("remainder must participate")
+        self.state = state
+        self.blocks = blocks
+        self.block_set: Set[int] = set(blocks)
+        self.remainder = remainder
+        self.evaluator = evaluator
+        self.region = region
+        self.config = config
+        self.directions: List[Tuple[int, int]] = [
+            (f, t) for f in blocks for t in blocks if f != t
+        ]
+
+    # ------------------------------------------------------------------
+    # One pass
+    # ------------------------------------------------------------------
+
+    def run_pass(self) -> Tuple[int, SolutionCost]:
+        """One improvement pass; returns ``(moves_applied, best_cost)``.
+
+        Leaves the state at the best prefix.
+        """
+        state = self.state
+        hg = state.hg
+        config = self.config
+        use_g2 = config.use_level2_gains
+        pin_mode = config.gain_mode == "pin"
+        stall_limit = config.pass_stall_limit
+
+        free: Set[int] = set()
+        for b in self.blocks:
+            free |= state.block_cells(b)
+
+        locked_in_block: List[Dict[int, int]] = [
+            {} for _ in range(hg.num_nets)
+        ]
+        version = [0] * hg.num_cells
+        seq = 0
+        heaps: Dict[Tuple[int, int], List[_Entry]] = {
+            d: [] for d in self.directions
+        }
+        parked: Dict[Tuple[int, int], List[_Entry]] = {
+            d: [] for d in self.directions
+        }
+
+        def push(cell: int) -> None:
+            nonlocal seq
+            f = state.block_of(cell)
+            if f not in self.block_set:
+                return
+            for t in self.blocks:
+                if t == f:
+                    continue
+                g1, g2 = move_gain_vector(state, cell, t, locked_in_block)
+                if not use_g2:
+                    g2 = 0
+                if pin_mode:
+                    # Future-work variant: primary = real pin gain,
+                    # cut gain demoted to the tie-break slot.
+                    g1, g2 = pin_gain(state, cell, t), g1
+                seq += 1
+                heapq.heappush(
+                    heaps[(f, t)], (-g1, -g2, -seq, version[cell], cell)
+                )
+
+        for cell in free:
+            push(cell)
+
+        def head(direction: Tuple[int, int]) -> Optional[_Entry]:
+            """Valid, legal top entry of a direction (left on the heap)."""
+            f, t = direction
+            heap = heaps[direction]
+            while heap:
+                entry = heap[0]
+                cell = entry[4]
+                if (
+                    cell not in free
+                    or entry[3] != version[cell]
+                    or state.block_of(cell) != f
+                ):
+                    heapq.heappop(heap)  # stale or locked
+                    continue
+                size = hg.cell_size(cell)
+                if not (
+                    self.region.can_donate(state, f, size)
+                    and self.region.can_receive(state, t, size)
+                ):
+                    parked[direction].append(heapq.heappop(heap))
+                    continue
+                return entry
+            return None
+
+        move_log: List[Tuple[int, int]] = []
+        best_cost = self.evaluator.evaluate(state, self.remainder)
+        initial_cost = best_cost
+        best_prefix = 0
+        stalled = 0  # moves since the pass-best last improved
+
+        while free:
+            if stall_limit is not None and stalled >= stall_limit:
+                break  # wandering in the infeasible region: cut losses
+            chosen: Optional[Tuple[int, int]] = None  # (cell, to_block)
+            chosen_key: Optional[Tuple[int, int, int, int]] = None
+            for direction in self.directions:
+                f, t = direction
+                if not (
+                    self.region.block_can_still_donate(state, f)
+                    and self.region.block_can_still_receive(state, t)
+                ):
+                    continue  # bucket removed from the heap (section 3.7)
+                entry = head(direction)
+                if entry is None:
+                    continue
+                neg_g1, neg_g2, neg_seq, _, cell = entry
+                balance = state.block_size(f) - state.block_size(t)
+                key = (-neg_g1, -neg_g2, balance, neg_seq)
+                if chosen_key is None or key > chosen_key:
+                    chosen_key = key
+                    chosen = (cell, t)
+            if chosen is None:
+                break
+
+            cell, to_block = chosen
+            from_block = state.move(cell, to_block)
+            free.discard(cell)
+            version[cell] += 1  # invalidate the cell's other entries
+            for e in hg.nets_of(cell):
+                lb = locked_in_block[e]
+                lb[to_block] = lb.get(to_block, 0) + 1
+            move_log.append((cell, from_block))
+
+            # Refresh gains of free neighbours (their nets changed).
+            refreshed: Set[int] = set()
+            for e in hg.nets_of(cell):
+                for v in hg.pins_of(e):
+                    if v in free and v not in refreshed:
+                        refreshed.add(v)
+                        version[v] += 1
+                        push(v)
+
+            # Size change may re-legalize parked moves of directions
+            # touching the two blocks involved.
+            for direction in self.directions:
+                f, t = direction
+                if f == to_block or t == from_block:
+                    stash = parked[direction]
+                    if stash:
+                        heap = heaps[direction]
+                        for entry in stash:
+                            heapq.heappush(heap, entry)
+                        stash.clear()
+
+            cost = self.evaluator.evaluate(state, self.remainder)
+            if cost < best_cost:
+                best_cost = cost
+                best_prefix = len(move_log)
+                stalled = 0
+            else:
+                stalled += 1
+
+        for cell, origin in reversed(move_log[best_prefix:]):
+            state.move(cell, origin)
+        return best_prefix, best_cost
+
+    # ------------------------------------------------------------------
+    # Runs
+    # ------------------------------------------------------------------
+
+    def run(self, observer: Optional[PassObserver] = None) -> SanchisResult:
+        """Passes until one fails to improve (or ``max_passes``).
+
+        ``observer`` is called after each pass with the pass-best cost
+        while the state sits at that solution — the hook the FPART driver
+        uses to feed the solution stacks.
+        """
+        initial_cost = self.evaluator.evaluate(self.state, self.remainder)
+        best_cost = initial_cost
+        passes = 0
+        total_moves = 0
+        while passes < self.config.max_passes:
+            moves, pass_cost = self.run_pass()
+            passes += 1
+            total_moves += moves
+            if observer is not None:
+                observer(pass_cost)
+            if pass_cost < best_cost:
+                best_cost = pass_cost
+            else:
+                break
+        return SanchisResult(
+            initial_cost=initial_cost,
+            best_cost=best_cost,
+            passes=passes,
+            moves_applied=total_moves,
+        )

@@ -1,0 +1,145 @@
+"""FBB, k-way.x and naive baselines."""
+
+import pytest
+
+from repro.baselines import (
+    bfs_pack,
+    fbb_bipartition,
+    fbb_multiway,
+    kwayx,
+    random_pack,
+)
+from repro.core import Device, UnpartitionableError
+from repro.initial import GrowingBlock
+
+
+class TestFbbBipartition:
+    def test_finds_bridge_cut(self, two_clusters):
+        side = fbb_bipartition(two_clusters, range(8), size_lo=3, size_hi=5)
+        assert side in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_size_window_respected(self, medium_circuit):
+        side = fbb_bipartition(
+            medium_circuit,
+            range(medium_circuit.num_cells),
+            size_lo=40,
+            size_hi=60,
+        )
+        size = sum(medium_circuit.cell_size(c) for c in side)
+        assert 40 <= size <= 60
+
+    def test_bad_window_rejected(self, two_clusters):
+        with pytest.raises(ValueError, match="size_lo"):
+            fbb_bipartition(two_clusters, range(8), 5, 3)
+
+    def test_too_few_cells(self, two_clusters):
+        with pytest.raises(ValueError, match="fewer than two"):
+            fbb_bipartition(two_clusters, [1], 1, 1)
+
+    def test_subset_of_cells(self, two_clusters):
+        side = fbb_bipartition(two_clusters, [4, 5, 6, 7], 2, 3)
+        assert side < {4, 5, 6, 7}
+        assert 2 <= len(side) <= 3
+
+
+class TestFbbMultiway:
+    def test_two_clusters(self, two_clusters, tiny_device):
+        result = fbb_multiway(two_clusters, tiny_device)
+        assert result.feasible
+        assert result.num_devices == 2
+        assert set(result.blocks[0]) in ({0, 1, 2, 3}, {4, 5, 6, 7})
+
+    def test_blocks_partition_everything(self, medium_circuit, small_device):
+        result = fbb_multiway(medium_circuit, small_device)
+        cells = sorted(c for block in result.blocks for c in block)
+        assert cells == list(range(medium_circuit.num_cells))
+
+    def test_all_blocks_feasible(self, medium_circuit, small_device):
+        result = fbb_multiway(medium_circuit, small_device)
+        assert result.feasible
+        for block in result.blocks:
+            grow = GrowingBlock(medium_circuit, block)
+            assert grow.size <= small_device.s_max
+            assert grow.pins <= small_device.t_max
+
+    def test_oversized_cell_rejected(self, tiny_device):
+        from repro.hypergraph import Hypergraph
+
+        hg = Hypergraph([10], [(0,)])
+        with pytest.raises(UnpartitionableError):
+            fbb_multiway(hg, tiny_device)
+
+    def test_bad_fill_target(self, two_clusters, tiny_device):
+        from repro.baselines import FbbMultiway
+
+        with pytest.raises(ValueError, match="fill_target"):
+            FbbMultiway(two_clusters, tiny_device, fill_target=0.0)
+
+
+class TestKwayx:
+    def test_two_clusters(self, two_clusters, tiny_device):
+        result = kwayx(two_clusters, tiny_device)
+        assert result.feasible
+        assert result.num_devices == 2
+
+    def test_feasible_on_generated(self, medium_circuit, small_device):
+        result = kwayx(medium_circuit, small_device)
+        assert result.feasible
+        assert result.num_devices >= result.lower_bound
+
+    def test_assignment_covers_all_cells(self, medium_circuit, small_device):
+        result = kwayx(medium_circuit, small_device)
+        assert len(result.assignment) == medium_circuit.num_cells
+
+    def test_deterministic(self, medium_circuit, small_device):
+        a = kwayx(medium_circuit, small_device)
+        b = kwayx(medium_circuit, small_device)
+        assert a.assignment == b.assignment
+
+
+class TestNaive:
+    def test_bfs_pack_feasible(self, medium_circuit, small_device):
+        result = bfs_pack(medium_circuit, small_device)
+        assert result.feasible
+        cells = sorted(c for block in result.blocks for c in block)
+        assert cells == list(range(medium_circuit.num_cells))
+
+    def test_random_pack_feasible(self, medium_circuit, small_device):
+        result = random_pack(medium_circuit, small_device, seed=1)
+        assert result.feasible
+
+    def test_random_worse_or_equal_bfs(self, medium_circuit, small_device):
+        bfs = bfs_pack(medium_circuit, small_device)
+        rnd = random_pack(medium_circuit, small_device, seed=1)
+        assert rnd.num_devices >= bfs.num_devices
+
+    def test_two_clusters_bfs_optimal(self, two_clusters, tiny_device):
+        result = bfs_pack(two_clusters, tiny_device)
+        assert result.num_devices == 2
+
+    def test_oversized_cell_rejected(self, tiny_device):
+        from repro.hypergraph import Hypergraph
+
+        hg = Hypergraph([10], [(0,)])
+        with pytest.raises(UnpartitionableError):
+            bfs_pack(hg, tiny_device)
+
+
+class TestOrdering:
+    """The paper's headline shape: FPART beats the greedy recursion."""
+
+    def test_fpart_not_worse_than_kwayx(self, medium_circuit, small_device):
+        from repro.core import fpart
+
+        assert (
+            fpart(medium_circuit, small_device).num_devices
+            <= kwayx(medium_circuit, small_device).num_devices
+        )
+
+    def test_fpart_not_worse_than_naive(self, medium_circuit, small_device):
+        from repro.core import fpart
+
+        assert (
+            fpart(medium_circuit, small_device).num_devices
+            <= bfs_pack(medium_circuit, small_device).num_devices
+        )

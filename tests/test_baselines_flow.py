@@ -1,0 +1,104 @@
+"""Dinic max-flow substrate."""
+
+import pytest
+
+from repro.baselines import INFINITY, FlowNetwork
+
+
+class TestMaxFlow:
+    def test_single_edge(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5)
+        assert net.max_flow(0, 1) == 5
+
+    def test_series_bottleneck(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 3)
+        assert net.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 2)
+        net.add_edge(1, 3, 2)
+        net.add_edge(0, 2, 3)
+        net.add_edge(2, 3, 3)
+        assert net.max_flow(0, 3) == 5
+
+    def test_classic_clrs_network(self):
+        # CLRS figure 26.1 instance; max flow 23.
+        net = FlowNetwork()
+        edges = [
+            (0, 1, 16), (0, 2, 13), (1, 2, 10), (2, 1, 4),
+            (1, 3, 12), (3, 2, 9), (2, 4, 14), (4, 3, 7),
+            (3, 5, 20), (4, 5, 4),
+        ]
+        for u, v, c in edges:
+            net.add_edge(u, v, c)
+        assert net.max_flow(0, 5) == 23
+
+    def test_disconnected_zero(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 5)
+        net.add_edge(2, 3, 5)
+        assert net.max_flow(0, 3) == 0
+
+    def test_rerouting_needed(self):
+        # Requires the residual (reverse) arcs to reach the optimum.
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1)
+        net.add_edge(0, 2, 1)
+        net.add_edge(1, 3, 1)
+        net.add_edge(2, 1, 1)
+        net.add_edge(1, 2, 1)
+        net.add_edge(2, 4, 1)
+        net.add_edge(3, 5, 1)
+        net.add_edge(4, 5, 1)
+        assert net.max_flow(0, 5) == 2
+
+    def test_infinite_capacity_edges(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, INFINITY)
+        net.add_edge(1, 2, 7)
+        assert net.max_flow(0, 2) == 7
+
+    def test_same_source_sink_rejected(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1)
+        with pytest.raises(ValueError):
+            net.max_flow(0, 0)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            FlowNetwork().add_edge(0, 1, -1)
+
+    def test_long_chain_no_recursion_blowup(self):
+        # 5000-node chain: a recursive DFS would hit Python's stack limit.
+        net = FlowNetwork()
+        for i in range(5000):
+            net.add_edge(i, i + 1, 2)
+        assert net.max_flow(0, 5000) == 2
+
+
+class TestMinCut:
+    def test_cut_side_after_flow(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 10)
+        net.add_edge(1, 2, 1)   # bottleneck
+        net.add_edge(2, 3, 10)
+        net.max_flow(0, 3)
+        assert net.min_cut_side(0) == {0, 1}
+
+    def test_edge_flow_query(self):
+        net = FlowNetwork()
+        eid = net.add_edge(0, 1, 5)
+        net.add_edge(1, 2, 3)
+        net.max_flow(0, 2)
+        assert net.edge_flow(eid) == 3
+
+    def test_counts(self):
+        net = FlowNetwork()
+        net.add_edge(0, 1, 1)
+        net.add_edge(1, 2, 1)
+        assert net.num_edges == 2
+        assert net.num_nodes == 3

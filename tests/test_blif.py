@@ -1,0 +1,156 @@
+"""Structural BLIF reader/writer."""
+
+import io
+
+import pytest
+
+from repro.hypergraph import dumps_blif, loads_blif
+from repro.partition import PartitionState
+
+SMALL = """\
+# a tiny mapped design
+.model tiny
+.inputs a b clk
+.outputs y
+.names a b t1
+11 1
+.names t1 q y
+1- 1
+.latch t1 q re clk 0
+.end
+"""
+
+
+class TestReadNames:
+    def test_counts(self):
+        hg = loads_blif(SMALL)
+        # Cells: n_t1, n_y, l_q -> 3 interior cells.
+        assert hg.num_cells == 3
+        assert hg.name == "tiny"
+        # Pads: a, b, clk, y.
+        assert hg.num_terminals == 4
+
+    def test_connectivity(self):
+        hg = loads_blif(SMALL)
+        by_name = {hg.net_label(e): e for e in range(hg.num_nets)}
+        # t1 connects its driver (n_t1) to both readers (n_y and l_q).
+        assert hg.net_degree(by_name["t1"]) == 3
+        # q connects the latch to n_y.
+        assert hg.net_degree(by_name["q"]) == 2
+
+    def test_cover_lines_skipped(self):
+        text = ".model m\n.inputs a\n.outputs o\n.names a o\n0 1\n1 1\n.end\n"
+        hg = loads_blif(text)
+        assert hg.num_cells == 1
+
+    def test_latch_clock_is_read(self):
+        hg = loads_blif(SMALL)
+        by_name = {hg.net_label(e): e for e in range(hg.num_nets)}
+        clk = by_name["clk"]
+        # The latch reads clk: net has one interior pin plus the pad.
+        assert hg.net_degree(clk) == 1
+        assert hg.net_terminal_count(clk) == 1
+
+
+class TestGates:
+    GATES = """\
+.model mapped
+.inputs a b
+.outputs y
+.gate nand2 A=a B=b O=t
+.gate inv A=t Y=y
+.end
+"""
+
+    def test_gate_cells(self):
+        hg = loads_blif(self.GATES)
+        assert hg.num_cells == 2
+        by_name = {hg.net_label(e): e for e in range(hg.num_nets)}
+        assert hg.net_degree(by_name["t"]) == 2
+
+    def test_subckt_alias(self):
+        hg = loads_blif(self.GATES.replace(".gate", ".subckt"))
+        assert hg.num_cells == 2
+
+    def test_continuation_lines(self):
+        text = ".model m\n.inputs a \\\nb\n.outputs y\n.gate g A=a B=b \\\nO=y\n.end\n"
+        hg = loads_blif(text)
+        assert hg.num_terminals == 3
+        assert hg.num_cells == 1
+
+
+class TestEdgeCases:
+    def test_passthrough_pad_gets_buffer(self):
+        # Input wired straight to an output: needs a synthetic cell.
+        text = ".model m\n.inputs a\n.outputs a\n.end\n"
+        hg = loads_blif(text)
+        assert hg.num_cells == 1
+        assert hg.cell_label(0) == "buf_a"
+
+    def test_no_model_rejected(self):
+        with pytest.raises(ValueError, match="no .model"):
+            loads_blif(".inputs a\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError, match="unsupported"):
+            loads_blif(".model m\n.frobnicate\n.end\n")
+
+    def test_malformed_latch(self):
+        with pytest.raises(ValueError, match="latch"):
+            loads_blif(".model m\n.latch x\n.end\n")
+
+    def test_malformed_gate_binding(self):
+        with pytest.raises(ValueError, match="without '='"):
+            loads_blif(".model m\n.gate g pin\n.end\n")
+
+    def test_second_model_ignored(self):
+        text = SMALL + "\n.model second\n.inputs z\n.end\n"
+        hg = loads_blif(text)
+        assert hg.name == "tiny"
+
+
+class TestRoundTrip:
+    def test_connectivity_roundtrip(self, two_clusters):
+        back = loads_blif(dumps_blif(two_clusters))
+        # Connectivity-equivalent: same cell count; every original net
+        # with >= 2 pins maps to a net with the same degree.
+        assert back.num_cells == two_clusters.num_cells
+        original = sorted(
+            two_clusters.net_degree(e)
+            for e in range(two_clusters.num_nets)
+        )
+        restored = sorted(
+            back.net_degree(e) for e in range(back.num_nets)
+        )
+        assert restored == original
+
+    def test_partitionable_after_import(self, tiny_device):
+        from repro.core import fpart
+
+        hg = loads_blif(dumps_blif_two_clusters())
+        result = fpart(hg, tiny_device)
+        assert result.feasible
+
+
+def dumps_blif_two_clusters():
+    """A BLIF text for the two-cluster fixture, built inline."""
+    lines = [".model clusters", ".inputs pad0 pad1", ".outputs"]
+    nets = [
+        (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3),
+        (4, 5), (4, 6), (4, 7), (5, 6), (5, 7), (6, 7),
+        (3, 4),
+    ]
+    incident = {c: [] for c in range(8)}
+    for e, (u, v) in enumerate(nets):
+        incident[u].append(e)
+        incident[v].append(e)
+    for cell, es in incident.items():
+        bindings = " ".join(
+            f"{'O' if i == 0 else f'i{i}'}=n{e}" for i, e in enumerate(es)
+        )
+        lines.append(f".gate lut {bindings}")
+    # Attach the pads to two nets.
+    lines.append(".gate buf A=n0 O=pad0")
+    lines.append(".gate buf A=n6 O=pad1")
+    lines.append(".end")
+    return "\n".join(lines)

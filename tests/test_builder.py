@@ -1,0 +1,91 @@
+"""Unit tests for HypergraphBuilder."""
+
+import pytest
+
+from repro.hypergraph import HypergraphBuilder
+
+
+class TestCells:
+    def test_add_and_lookup(self):
+        b = HypergraphBuilder()
+        assert b.add_cell("u1", size=3) == 0
+        assert b.add_cell() == 1  # auto-named
+        assert b.cell_id("u1") == 0
+        assert b.has_cell("cell1")
+        assert b.num_cells == 2
+
+    def test_duplicate_cell_rejected(self):
+        b = HypergraphBuilder()
+        b.add_cell("u")
+        with pytest.raises(ValueError, match="duplicate cell"):
+            b.add_cell("u")
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            HypergraphBuilder().add_cell("u", size=0)
+
+
+class TestNets:
+    def test_pins_by_name_and_index(self):
+        b = HypergraphBuilder()
+        b.add_cell("u1")
+        b.add_cell("u2")
+        b.add_net("n", ["u1", 1])
+        hg = b.build()
+        assert hg.pins_of(0) == (0, 1)
+
+    def test_duplicate_pins_merged(self):
+        b = HypergraphBuilder()
+        b.add_cell("u")
+        b.add_cell("v")
+        b.add_net("n", ["u", "v", "u"])
+        assert b.build().net_degree(0) == 2
+
+    def test_duplicate_net_name_rejected(self):
+        b = HypergraphBuilder()
+        b.add_cell("u")
+        b.add_net("n", ["u"])
+        with pytest.raises(ValueError, match="duplicate net"):
+            b.add_net("n", ["u"])
+
+    def test_empty_net_rejected(self):
+        b = HypergraphBuilder()
+        b.add_cell("u")
+        with pytest.raises(ValueError, match="no interior pins"):
+            b.add_net("n", [])
+
+    def test_invalid_pin_rejected(self):
+        b = HypergraphBuilder()
+        b.add_cell("u")
+        with pytest.raises(ValueError, match="invalid pin"):
+            b.add_net("n", [7])
+
+    def test_negative_terminals_rejected(self):
+        b = HypergraphBuilder()
+        b.add_cell("u")
+        with pytest.raises(ValueError, match="non-negative"):
+            b.add_net("n", ["u"], terminals=-1)
+
+
+class TestTerminals:
+    def test_terminals_and_add_terminal(self):
+        b = HypergraphBuilder("t")
+        b.add_cell("u")
+        b.add_cell("v")
+        b.add_net("n1", ["u", "v"], terminals=2)
+        b.add_net("n2", ["v"])
+        b.add_terminal("n2")
+        b.add_terminal(0)
+        hg = b.build()
+        assert hg.num_terminals == 4
+        assert hg.net_terminal_count(0) == 3
+        assert hg.net_terminal_count(1) == 1
+
+    def test_build_carries_names(self):
+        b = HypergraphBuilder("named")
+        b.add_cell("alpha", size=2)
+        b.add_net("beta", ["alpha"])
+        hg = b.build()
+        assert hg.name == "named"
+        assert hg.cell_label(0) == "alpha"
+        assert hg.net_label(0) == "beta"

@@ -1,0 +1,105 @@
+"""CLI subcommands via main()."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hypergraph import read_hgr
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    path = tmp_path / "c.hgr"
+    assert main(
+        ["generate", "cli-demo", "--cells", "120", "--ios", "16",
+         "-o", str(path)]
+    ) == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_hgr(self, netlist_file):
+        hg = read_hgr(netlist_file)
+        assert hg.num_cells == 120
+        assert hg.num_terminals == 16
+
+    def test_nets_format(self, tmp_path):
+        path = tmp_path / "c.nets"
+        main(["generate", "x", "--cells", "20", "--ios", "4", "-o", str(path)])
+        from repro.hypergraph import read_netlist
+
+        assert read_netlist(path).num_cells == 20
+
+    def test_seed_flag(self, tmp_path):
+        a, b = tmp_path / "a.hgr", tmp_path / "b.hgr"
+        main(["generate", "n1", "--cells", "20", "--ios", "2",
+              "--seed", "7", "-o", str(a)])
+        main(["generate", "n2", "--cells", "20", "--ios", "2",
+              "--seed", "7", "-o", str(b)])
+        assert read_hgr(a).nets == read_hgr(b).nets
+
+
+class TestInfo:
+    def test_prints_stats(self, netlist_file, capsys):
+        assert main(["info", str(netlist_file)]) == 0
+        out = capsys.readouterr().out
+        assert "120 cells" in out
+        assert "pads=16" in out
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such netlist"):
+            main(["info", str(tmp_path / "nope.hgr")])
+
+
+class TestPartition:
+    @pytest.mark.parametrize("algorithm", ["fpart", "kwayx", "fbb", "pack"])
+    def test_algorithms_run(self, netlist_file, capsys, algorithm):
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--algorithm", algorithm]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "devices" in out
+
+    def test_output_file(self, netlist_file, tmp_path, capsys):
+        out_file = tmp_path / "assignment.txt"
+        main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--output", str(out_file)]
+        )
+        lines = out_file.read_text().splitlines()
+        assert len(lines) == 120
+        assert all(len(line.split()) == 2 for line in lines)
+
+    def test_verbose_blocks(self, netlist_file, capsys):
+        main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--verbose"]
+        )
+        assert "block 0:" in capsys.readouterr().out
+
+    def test_delta_override(self, netlist_file, capsys):
+        main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--delta", "1.0"]
+        )
+        assert "devices" in capsys.readouterr().out
+
+
+class TestTable:
+    def test_small_table(self, capsys):
+        assert main(
+            ["table", "XC3042", "--circuits", "c3540",
+             "--methods", "FPART"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "FPART (ours)" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])

@@ -1,0 +1,53 @@
+"""CLI split subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.hypergraph import read_hgr, read_netlist
+
+
+@pytest.fixture
+def partitioned(tmp_path):
+    netlist = tmp_path / "c.hgr"
+    assignment = tmp_path / "a.txt"
+    main(["generate", "split-demo", "--cells", "100", "--ios", "12",
+          "-o", str(netlist)])
+    main(["partition", str(netlist), "--device", "XC3020",
+          "--output", str(assignment)])
+    return netlist, assignment
+
+
+class TestSplit:
+    def test_writes_one_file_per_device(self, partitioned, tmp_path, capsys):
+        netlist, assignment = partitioned
+        out = tmp_path / "devices"
+        code = main(["split", str(netlist), str(assignment),
+                     "-d", str(out)])
+        assert code == 0
+        files = sorted(out.glob("*.hgr"))
+        assert len(files) >= 2
+        total = sum(read_hgr(f).total_size for f in files)
+        assert total == 100
+
+    def test_pieces_have_pads(self, partitioned, tmp_path):
+        netlist, assignment = partitioned
+        out = tmp_path / "devices"
+        main(["split", str(netlist), str(assignment), "-d", str(out)])
+        for f in out.glob("*.hgr"):
+            assert read_hgr(f).num_terminals > 0
+
+    def test_nets_format(self, partitioned, tmp_path):
+        netlist, assignment = partitioned
+        out = tmp_path / "devices"
+        main(["split", str(netlist), str(assignment), "-d", str(out),
+              "--format", "nets"])
+        files = sorted(out.glob("*.nets"))
+        assert files
+        assert read_netlist(files[0]).num_cells > 0
+
+    def test_bad_assignment(self, partitioned, tmp_path):
+        netlist, _ = partitioned
+        bad = tmp_path / "bad.txt"
+        bad.write_text("ghost 0\n")
+        with pytest.raises(SystemExit, match="error"):
+            main(["split", str(netlist), str(bad), "-d", str(tmp_path / "o")])

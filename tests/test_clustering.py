@@ -1,0 +1,127 @@
+"""Coarsening and the multilevel V-cycle."""
+
+import pytest
+
+from repro.circuits import generate_circuit, mcnc_circuit
+from repro.clustering import (
+    coarsen_once,
+    coarsen_to_size,
+    fpart_multilevel,
+)
+from repro.core import XC3020, Device, fpart
+from repro.partition import PartitionState
+
+
+class TestCoarsenOnce:
+    def test_pairs_tight_cells(self, two_clusters):
+        level = coarsen_once(two_clusters)
+        # 8 cells match into 4 clusters.
+        assert level.hg.num_cells == 4
+        assert len(level.cluster_of) == 8
+        # Total size conserved.
+        assert level.hg.total_size == two_clusters.total_size
+
+    def test_clusters_respect_locality(self, two_clusters):
+        level = coarsen_once(two_clusters)
+        # No cluster may straddle the bridge: cells 0-3 never share a
+        # cluster with 4-7 (their pair weights are far heavier inside).
+        for a in range(4):
+            for b in range(4, 8):
+                assert level.cluster_of[a] != level.cluster_of[b]
+
+    def test_size_cap(self, two_clusters):
+        level = coarsen_once(two_clusters, max_cluster_size=1)
+        assert level.hg.num_cells == 8  # nothing may merge
+
+    def test_pads_survive(self, two_clusters):
+        level = coarsen_once(two_clusters)
+        assert level.hg.num_terminals == two_clusters.num_terminals
+
+    def test_project_roundtrip(self, two_clusters):
+        level = coarsen_once(two_clusters)
+        coarse_assignment = [
+            0 if level.hg.cell_size(c) and c < level.hg.num_cells // 2 else 1
+            for c in range(level.hg.num_cells)
+        ]
+        fine = level.project(coarse_assignment)
+        assert len(fine) == 8
+        for cell in range(8):
+            assert fine[cell] == coarse_assignment[level.cluster_of[cell]]
+
+    def test_weighted_cells(self, clique5):
+        level = coarsen_once(clique5)
+        assert level.hg.total_size == clique5.total_size
+
+
+class TestCoarsenToSize:
+    def test_reaches_target(self):
+        hg = generate_circuit("coarse", num_cells=400, num_ios=40, seed=8)
+        levels = coarsen_to_size(hg, target_cells=100)
+        assert levels
+        assert levels[-1].hg.num_cells <= 110  # within one halving step
+        # Monotone shrink.
+        cells = [hg.num_cells] + [lvl.hg.num_cells for lvl in levels]
+        assert all(a > b for a, b in zip(cells, cells[1:]))
+
+    def test_already_small(self, two_clusters):
+        assert coarsen_to_size(two_clusters, target_cells=100) == []
+
+    def test_validation(self, two_clusters):
+        with pytest.raises(ValueError, match="target_cells"):
+            coarsen_to_size(two_clusters, 1)
+
+    def test_cut_preserved_structurally(self, two_clusters):
+        # The bridge stays a net at every level.
+        levels = coarsen_to_size(two_clusters, 2)
+        coarse = levels[-1].hg
+        assert coarse.num_cells >= 2
+        # Composing the maps: cells 0-3 vs 4-7 end in different clusters.
+        def compose(cell):
+            for level in levels:
+                cell = level.cluster_of[cell]
+            return cell
+
+        assert compose(0) != compose(7)
+
+
+class TestMultilevel:
+    def test_feasible_on_standin(self):
+        hg = mcnc_circuit("s9234", "XC3000")
+        result = fpart_multilevel(hg, XC3020, target_cells=150)
+        assert result.feasible
+        assert result.num_devices >= result.lower_bound
+        assert result.levels >= 1
+        # Assignment covers the fine netlist.
+        assert len(result.assignment) == hg.num_cells
+
+    def test_blocks_validate(self):
+        hg = generate_circuit("ml", num_cells=500, num_ios=50, seed=12)
+        device = Device("ML", s_ds=80, t_max=60, delta=1.0)
+        result = fpart_multilevel(hg, device, target_cells=120)
+        state = PartitionState.from_assignment(
+            hg, result.assignment, result.num_devices
+        )
+        assert result.feasible
+        for b in range(result.num_devices):
+            assert state.block_size(b) <= device.s_max
+            assert state.block_pins(b) <= device.t_max
+
+    def test_quality_near_flat_fpart(self):
+        hg = mcnc_circuit("s9234", "XC3000")
+        flat = fpart(hg, XC3020)
+        multi = fpart_multilevel(hg, XC3020, target_cells=150)
+        assert multi.num_devices <= flat.num_devices + 2
+
+    def test_no_coarsening_needed(self, two_clusters, tiny_device):
+        result = fpart_multilevel(
+            two_clusters, tiny_device, target_cells=100
+        )
+        assert result.levels == 0
+        assert result.feasible
+        assert result.num_devices == 2
+
+    def test_summary(self):
+        hg = generate_circuit("ml-sum", num_cells=300, num_ios=30, seed=3)
+        device = Device("ML", s_ds=80, t_max=60, delta=1.0)
+        text = fpart_multilevel(hg, device, target_cells=80).summary()
+        assert "multilevel" in text

@@ -1,0 +1,69 @@
+"""Convergence series and sparkline rendering."""
+
+import pytest
+
+from repro.analysis import (
+    convergence_series,
+    render_convergence,
+    sparkline,
+)
+from repro.core import FpartPartitioner
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant(self):
+        assert sparkline([2.0, 2.0, 2.0]) == "▁▁▁"
+
+    def test_monotone(self):
+        line = sparkline([0, 1, 2, 3])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+        assert len(line) == 4
+
+    def test_extremes_mapped(self):
+        line = sparkline([5.0, 0.0, 10.0])
+        assert line[1] == "▁" and line[2] == "█"
+
+
+class TestConvergence:
+    @pytest.fixture(scope="class")
+    def result(self, ):
+        from repro.circuits import generate_circuit
+        from repro.core import Device
+
+        hg = generate_circuit("conv", num_cells=250, num_ios=30, seed=2)
+        device = Device("C", s_ds=60, t_max=45, delta=1.0)
+        return FpartPartitioner(hg, device).run()
+
+    def test_series_matches_trace(self, result):
+        series = convergence_series(result)
+        assert len(series) == len(result.trace)
+        assert [p.label for p in series] == [
+            e.label for e in result.trace
+        ]
+
+    def test_distance_reaches_zero(self, result):
+        series = convergence_series(result)
+        assert series[-1].distance == 0.0  # the run ends feasible
+
+    def test_indices_sequential(self, result):
+        series = convergence_series(result)
+        assert [p.index for p in series] == list(range(len(series)))
+
+    def test_render(self, result):
+        text = render_convergence(result)
+        assert "d_k:" in text
+        assert "iter " in text
+
+    def test_render_empty_trace(self, result):
+        from repro.core import FpartResult
+
+        empty = FpartResult(
+            circuit="x", device="y", num_devices=1, lower_bound=1,
+            feasible=True, assignment=[], block_sizes=[], block_pins=[],
+            iterations=0, runtime_seconds=0.0, trace=[],
+        )
+        assert render_convergence(empty) == "no trace recorded"

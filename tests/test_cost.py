@@ -1,0 +1,114 @@
+"""Lexicographic solution cost (section 3.4)."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_CONFIG,
+    CostEvaluator,
+    Device,
+    FpartConfig,
+    SolutionCost,
+)
+from repro.partition import PartitionState
+
+
+def cost(f=2, d=0.0, t=10, e=0.0, cut=5, infeas=True):
+    return SolutionCost(
+        feasible_blocks=f,
+        distance=d,
+        total_pins=t,
+        ext_balance=e,
+        cut_nets=cut,
+        use_infeasibility=infeas,
+    )
+
+
+class TestOrdering:
+    def test_more_feasible_blocks_wins(self):
+        assert cost(f=3, d=9.0, t=99) < cost(f=2, d=0.0, t=1)
+
+    def test_distance_breaks_feasible_tie(self):
+        assert cost(d=0.1) < cost(d=0.2)
+
+    def test_pins_break_distance_tie(self):
+        assert cost(t=8) < cost(t=9)
+
+    def test_ext_balance_is_last(self):
+        assert cost(e=0.1) < cost(e=0.5)
+        assert cost(t=8, e=0.9) < cost(t=9, e=0.0)
+
+    def test_equality_by_key(self):
+        assert cost() == cost(cut=999)  # cut not in the infeasibility key
+
+    def test_cut_only_mode(self):
+        a = cost(cut=3, d=5.0, infeas=False)
+        b = cost(cut=4, d=0.0, infeas=False)
+        assert a < b
+        assert cost(f=3, cut=9, infeas=False) < cost(f=2, cut=0, infeas=False)
+
+    def test_total_ordering_helpers(self):
+        assert cost(d=0.1) <= cost(d=0.1)
+        assert cost(d=0.2) > cost(d=0.1)
+
+    def test_repr_readable(self):
+        text = repr(cost())
+        assert "f=2" in text and "T_SUM=10" in text
+
+
+class TestEvaluator:
+    DEV = Device("D", s_ds=3, t_max=4, delta=1.0)
+
+    def test_rejects_bad_lower_bound(self):
+        with pytest.raises(ValueError):
+            CostEvaluator(self.DEV, DEFAULT_CONFIG, 0, 4)
+
+    def test_counts_and_distance(self, chain4):
+        evaluator = CostEvaluator(self.DEV, DEFAULT_CONFIG, 2, chain4.num_terminals)
+        state = PartitionState.from_assignment(chain4, [0, 0, 0, 1], 2)
+        c = evaluator.evaluate(state, remainder=0)
+        assert c.feasible_blocks == 2  # sizes 3 and 1, pins small
+        assert c.distance == 0.0
+        assert c.total_pins == state.total_pins
+        assert c.cut_nets == state.cut_nets
+
+    def test_infeasible_block_counted(self, chain4):
+        tight = Device("T", s_ds=2, t_max=4, delta=1.0)
+        evaluator = CostEvaluator(tight, DEFAULT_CONFIG, 2, chain4.num_terminals)
+        state = PartitionState.from_assignment(chain4, [0, 0, 0, 1], 2)
+        c = evaluator.evaluate(state, remainder=0)
+        assert c.feasible_blocks == 1
+        assert c.distance > 0.0
+
+    def test_ext_balance_counts_shortfall(self, clique5):
+        # One pad-bearing net entirely in block 0: block 1 has 0 ext I/Os
+        # while the average is 2/2 = 1 per block (M = 2).
+        evaluator = CostEvaluator(
+            Device("D", s_ds=5, t_max=6, delta=1.0),
+            DEFAULT_CONFIG,
+            2,
+            clique5.num_terminals,
+        )
+        state = PartitionState.from_assignment(clique5, [0, 0, 1, 1, 0])
+        c = evaluator.evaluate(state, remainder=1)
+        assert c.ext_balance == pytest.approx(1.0)  # block1 fully short
+
+    def test_no_terminals_no_balance(self, two_clusters):
+        from repro.hypergraph import Hypergraph
+
+        hg = Hypergraph([1, 1], [(0, 1)])
+        evaluator = CostEvaluator(self.DEV, DEFAULT_CONFIG, 1, 0)
+        state = PartitionState.from_assignment(hg, [0, 1])
+        assert evaluator.evaluate(state, 0).ext_balance == 0.0
+
+    def test_deviation_penalty_reflected(self, chain4):
+        config = FpartConfig(lambda_r=1.0)
+        tiny = Device("T", s_ds=1, t_max=9, delta=1.0)
+        # M=2, one block created: the remainder (size 3) must split into
+        # 2 more blocks -> S_AVG = 1.5 > S_MAX = 1 -> penalty fires.
+        evaluator = CostEvaluator(tiny, config, 2, chain4.num_terminals)
+        state = PartitionState.from_assignment(chain4, [0, 0, 0, 1], 2)
+        with_pen = evaluator.evaluate(state, remainder=0)
+        no_pen = CostEvaluator(
+            tiny, FpartConfig(lambda_r=0.0), 2, chain4.num_terminals
+        ).evaluate(state, remainder=0)
+        assert with_pen.distance > no_pen.distance

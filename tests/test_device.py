@@ -1,0 +1,80 @@
+"""Device model: capacities, lower bounds, and the paper's M columns."""
+
+import pytest
+
+from repro.analysis import published_table_for_device
+from repro.circuits import mcnc_circuit
+from repro.core import (
+    DEVICE_CATALOG,
+    XC2064,
+    XC3020,
+    XC3042,
+    XC3090,
+    Device,
+    device_by_name,
+)
+
+
+class TestDevice:
+    def test_s_max_applies_delta(self):
+        assert XC3020.s_max == pytest.approx(57.6)   # 64 * 0.9
+        assert XC3042.s_max == pytest.approx(129.6)  # 144 * 0.9
+        assert XC3090.s_max == pytest.approx(288.0)  # 320 * 0.9
+        assert XC2064.s_max == pytest.approx(64.0)   # delta = 1.0
+
+    def test_with_delta(self):
+        assert XC3020.with_delta(1.0).s_max == 64
+        assert XC3020.delta == 0.9  # original untouched
+
+    def test_fits(self):
+        assert XC2064.fits(64, 58)
+        assert not XC2064.fits(65, 58)
+        assert not XC2064.fits(64, 59)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Device("X", s_ds=0, t_max=10)
+        with pytest.raises(ValueError):
+            Device("X", s_ds=10, t_max=0)
+        with pytest.raises(ValueError):
+            Device("X", s_ds=10, t_max=10, delta=1.5)
+        with pytest.raises(ValueError):
+            Device("X", s_ds=10, t_max=10, delta=0.0)
+
+    def test_catalog_lookup(self):
+        assert device_by_name("xc3042") is XC3042
+        assert set(DEVICE_CATALOG) == {"XC3020", "XC3042", "XC3090", "XC2064"}
+        with pytest.raises(KeyError, match="unknown device"):
+            device_by_name("XC9999")
+
+    def test_str(self):
+        assert "S_MAX=57.6" in str(XC3020)
+
+
+class TestLowerBound:
+    def test_empty_circuit(self, chain4):
+        assert XC3090.lower_bound(chain4) == 1
+
+    @pytest.mark.parametrize(
+        "device,column",
+        [(XC3020, "M"), (XC3042, "M"), (XC3090, "M"), (XC2064, "M")],
+    )
+    def test_matches_paper_m_column(self, device, column):
+        """Our M formula on the Table 1 stand-ins must reproduce the M
+        column of the paper's Tables 2-5 exactly — this pins down the
+        S_MAX/delta interpretation and the pin-bound term."""
+        table = published_table_for_device(device.name)
+        family = "XC2000" if device.name == "XC2064" else "XC3000"
+        for circuit, row in table.rows.items():
+            expected_m = row[table.columns.index("M")]
+            hg = mcnc_circuit(circuit, family)
+            assert device.lower_bound(hg) == expected_m, (
+                f"{circuit} on {device.name}"
+            )
+
+    def test_io_bound_can_dominate(self):
+        from repro.hypergraph import Hypergraph
+
+        # 10 cells, 200 pads on one net: pin bound = ceil(200/58) = 4.
+        hg = Hypergraph([1] * 10, [tuple(range(10))], [0] * 200)
+        assert XC2064.lower_bound(hg) == 4

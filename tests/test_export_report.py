@@ -1,0 +1,117 @@
+"""Result export (JSON/CSV) and the markdown report generator."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    ExperimentRecord,
+    generate_report,
+    read_records_json,
+    records_to_csv,
+    records_to_dicts,
+    records_to_json,
+    write_records,
+)
+from repro.circuits import generate_circuit
+from repro.core import Device
+
+
+def make_records():
+    return [
+        ExperimentRecord("c3540", "XC3020", "FPART", 5, 5, True, 0.3),
+        ExperimentRecord("s9234", "XC3020", "k-way.x*", 9, 8, True, 0.5),
+    ]
+
+
+class TestExport:
+    def test_dicts(self):
+        dicts = records_to_dicts(make_records())
+        assert dicts[0]["circuit"] == "c3540"
+        assert dicts[1]["num_devices"] == 9
+
+    def test_json_roundtrip(self, tmp_path):
+        records = make_records()
+        path = write_records(records, tmp_path / "r.json")
+        back = read_records_json(path)
+        assert back == records
+
+    def test_json_is_valid(self):
+        data = json.loads(records_to_json(make_records()))
+        assert len(data) == 2
+
+    def test_csv(self):
+        text = records_to_csv(make_records())
+        lines = text.strip().splitlines()
+        assert lines[0].startswith("circuit,device,method")
+        assert len(lines) == 3
+        assert "c3540" in lines[1]
+
+    def test_csv_empty(self):
+        assert records_to_csv([]) == ""
+
+    def test_write_csv(self, tmp_path):
+        path = write_records(make_records(), tmp_path / "r.csv")
+        assert path.read_text().startswith("circuit")
+
+    def test_bad_extension(self, tmp_path):
+        with pytest.raises(ValueError, match="extension"):
+            write_records(make_records(), tmp_path / "r.xlsx")
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        hg = generate_circuit("report", num_cells=150, num_ios=20, seed=3)
+        device = Device("RPT", s_ds=50, t_max=40, delta=1.0)
+        return generate_report(hg, device)
+
+    def test_sections_present(self, report):
+        assert report.startswith("# Partitioning report")
+        for heading in (
+            "## Per-device utilization",
+            "## Quality metrics",
+            "## Convergence",
+            "## Baseline comparison",
+        ):
+            assert heading in report
+
+    def test_mentions_devices_and_bound(self, report):
+        assert "devices**" in report
+        assert "M=" in report
+
+    def test_baselines_listed(self, report):
+        assert "k-way.x*" in report
+        assert "BFS packing" in report
+
+    def test_no_baselines_flag(self):
+        hg = generate_circuit("report2", num_cells=80, num_ios=10, seed=4)
+        device = Device("RPT", s_ds=40, t_max=30, delta=1.0)
+        text = generate_report(hg, device, include_baselines=False)
+        assert "## Baseline comparison" not in text
+
+
+class TestCliIntegration:
+    def test_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        netlist = tmp_path / "c.hgr"
+        main(["generate", "cli-report", "--cells", "80", "--ios", "10",
+              "-o", str(netlist)])
+        out_file = tmp_path / "report.md"
+        assert main(
+            ["report", str(netlist), "--device", "XC3020",
+             "--no-baselines", "-o", str(out_file)]
+        ) == 0
+        assert out_file.read_text().startswith("# Partitioning report")
+
+    def test_table_export(self, tmp_path, capsys):
+        from repro.cli import main
+
+        export = tmp_path / "records.json"
+        assert main(
+            ["table", "XC3042", "--circuits", "c3540",
+             "--methods", "FPART", "--export", str(export)]
+        ) == 0
+        back = read_records_json(export)
+        assert back[0].circuit == "c3540"

@@ -1,0 +1,122 @@
+"""The paper's future-work extensions (section 5).
+
+Pin-count gains (instead of cut-net gains) and early pass abort — both
+implemented as config knobs and validated here.
+"""
+
+import pytest
+
+from repro.circuits import mcnc_circuit
+from repro.core import XC3020, FpartConfig, fpart
+from repro.fm import pin_gain
+from repro.partition import PartitionState, block_pin_counts
+
+
+def brute_force_pin_gain(state, cell, to_block):
+    """Oracle: -(delta T_f + delta T_t) measured by applying the move."""
+    f = state.block_of(cell)
+    before = state.block_pins(f) + state.block_pins(to_block)
+    origin = state.move(cell, to_block)
+    after = state.block_pins(f) + state.block_pins(to_block)
+    state.move(cell, origin)
+    return before - after
+
+
+class TestPinGain:
+    def test_matches_oracle_two_way(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        for cell in range(8):
+            to = 1 - state.block_of(cell)
+            assert pin_gain(state, cell, to) == brute_force_pin_gain(
+                state, cell, to
+            ), cell
+
+    def test_matches_oracle_multiway(self, medium_circuit):
+        state = PartitionState.from_assignment(
+            medium_circuit,
+            [c % 4 for c in range(medium_circuit.num_cells)],
+        )
+        for cell in range(0, medium_circuit.num_cells, 5):
+            for to in range(4):
+                if to == state.block_of(cell):
+                    continue
+                assert pin_gain(state, cell, to) == brute_force_pin_gain(
+                    state, cell, to
+                ), (cell, to)
+
+    def test_matches_oracle_with_pads(self, clique5):
+        state = PartitionState.from_assignment(clique5, [0, 0, 1, 1, 0])
+        for cell in range(5):
+            to = 1 - state.block_of(cell)
+            assert pin_gain(state, cell, to) == brute_force_pin_gain(
+                state, cell, to
+            ), cell
+
+    def test_differs_from_cut_gain(self):
+        from repro.fm import move_gain
+        from repro.hypergraph import Hypergraph
+
+        # Net (0,1) with a pad, blocks {0} and {1}: moving cell 0 to
+        # block 1 keeps the pad pin (external) but uncuts the net.
+        hg = Hypergraph([1, 1], [(0, 1)], terminal_nets=[0])
+        state = PartitionState.from_assignment(hg, [0, 1])
+        assert move_gain(state, 0, 1) == 1      # cut 1 -> 0
+        assert pin_gain(state, 0, 1) == 1       # pins 2 -> 1 on (f, t)
+
+
+class TestPinGainMode:
+    def test_fpart_feasible_in_pin_mode(self, medium_circuit, small_device):
+        result = fpart(
+            medium_circuit, small_device, FpartConfig(gain_mode="pin")
+        )
+        assert result.feasible
+        assert result.num_devices >= result.lower_bound
+
+    def test_pin_mode_on_standin(self):
+        hg = mcnc_circuit("c3540", "XC3000")
+        result = fpart(hg, XC3020, FpartConfig(gain_mode="pin"))
+        assert result.feasible
+        assert result.num_devices <= 7  # within one of the cut mode
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="gain_mode"):
+            FpartConfig(gain_mode="area")
+
+
+class TestPassStall:
+    def test_stall_limit_feasible(self, medium_circuit, small_device):
+        result = fpart(
+            medium_circuit,
+            small_device,
+            FpartConfig(pass_stall_limit=25),
+        )
+        assert result.feasible
+
+    def test_stall_limit_validation(self):
+        with pytest.raises(ValueError, match="pass_stall_limit"):
+            FpartConfig(pass_stall_limit=0)
+
+    def test_stall_caps_pass_moves(self, medium_circuit, small_device):
+        """With a stall limit the engine must apply at most
+        best_prefix + limit moves per pass."""
+        from repro.core import CostEvaluator, MoveRegion, DEFAULT_CONFIG
+        from repro.sanchis import SanchisEngine
+
+        config = FpartConfig(pass_stall_limit=5, max_passes=1)
+        n = medium_circuit.num_cells
+        state = PartitionState.from_assignment(
+            medium_circuit, [c % 2 for c in range(n)]
+        )
+        evaluator = CostEvaluator(
+            small_device, config, 4, medium_circuit.num_terminals
+        )
+        region = MoveRegion(small_device, config, 1, True, 2, 4)
+        engine = SanchisEngine(
+            state, [0, 1], 1, evaluator, region, config
+        )
+        moves, _ = engine.run_pass()
+        # A full pass would move every free cell (n); a stalled pass
+        # stops far earlier on an already-balanced random split.
+        assert moves < n

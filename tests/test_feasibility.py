@@ -1,0 +1,108 @@
+"""Feasibility classification and infeasibility distances (section 3.3)."""
+
+import pytest
+
+from repro.core import (
+    DEFAULT_CONFIG,
+    Device,
+    Feasibility,
+    FpartConfig,
+    block_distance,
+    block_is_feasible,
+    classify,
+    count_feasible_blocks,
+    infeasibility_distance,
+    size_deviation_penalty,
+    solution_points,
+)
+from repro.partition import PartitionState
+
+DEV = Device("D", s_ds=10, t_max=8, delta=1.0)
+CFG = DEFAULT_CONFIG
+
+
+class TestBlockLevel:
+    def test_block_is_feasible(self):
+        assert block_is_feasible(10, 8, DEV)
+        assert not block_is_feasible(11, 8, DEV)
+        assert not block_is_feasible(10, 9, DEV)
+
+    def test_distance_zero_inside(self):
+        assert block_distance(10, 8, DEV, CFG) == 0.0
+        assert block_distance(1, 1, DEV, CFG) == 0.0
+
+    def test_distance_size_component(self):
+        # d_S = (15-10)/10 = 0.5, weighted by lambda_S = 0.4.
+        assert block_distance(15, 8, DEV, CFG) == pytest.approx(0.4 * 0.5)
+
+    def test_distance_io_component(self):
+        # d_T = (12-8)/8 = 0.5, weighted by lambda_T = 0.6.
+        assert block_distance(10, 12, DEV, CFG) == pytest.approx(0.6 * 0.5)
+
+    def test_distance_combined(self):
+        expected = 0.4 * 0.5 + 0.6 * 0.5
+        assert block_distance(15, 12, DEV, CFG) == pytest.approx(expected)
+
+    def test_io_weighted_heavier_than_size(self):
+        # Same relative violation: the I/O distance must dominate.
+        assert block_distance(10, 12, DEV, CFG) > block_distance(
+            15, 8, DEV, CFG
+        )
+
+
+class TestClassification:
+    def _state(self, chain4, assignment, k):
+        return PartitionState.from_assignment(chain4, assignment, k)
+
+    def test_feasible(self, chain4):
+        state = self._state(chain4, [0, 0, 1, 1], 2)
+        assert classify(state, DEV) is Feasibility.FEASIBLE
+        assert count_feasible_blocks(state, DEV) == 2
+
+    def test_semi_feasible(self, chain4):
+        tight = Device("T", s_ds=2, t_max=8, delta=1.0)
+        state = self._state(chain4, [0, 0, 0, 1], 2)  # block0 size 3 > 2
+        assert classify(state, tight) is Feasibility.SEMI_FEASIBLE
+
+    def test_infeasible(self, chain4):
+        tight = Device("T", s_ds=1, t_max=8, delta=1.0)
+        state = self._state(chain4, [0, 0, 1, 1], 2)
+        assert classify(state, tight) is Feasibility.INFEASIBLE
+
+    def test_solution_points(self, chain4):
+        state = self._state(chain4, [0, 0, 1, 1], 2)
+        points = solution_points(state, DEV, CFG)
+        assert len(points) == 2
+        assert all(p.feasible for p in points)
+        assert points[0].size == 2
+
+
+class TestDeviationPenalty:
+    def test_zero_when_remainder_splits(self):
+        # S_AVG = 30 / (5-2+1) = 7.5 <= 10.
+        assert size_deviation_penalty(30, 5, 2, DEV) == 0.0
+
+    def test_positive_when_too_big(self):
+        # S_AVG = 50 / (5-2+1) = 12.5 > 10 -> penalty 1.25.
+        assert size_deviation_penalty(50, 5, 2, DEV) == pytest.approx(1.25)
+
+    def test_beyond_lower_bound_uses_one_split(self):
+        # blocks_created >= M: remaining = 1, so any oversize fires.
+        assert size_deviation_penalty(11, 3, 5, DEV) == pytest.approx(1.1)
+        assert size_deviation_penalty(10, 3, 5, DEV) == 0.0
+
+    def test_solution_distance_includes_penalty(self, chain4):
+        config = FpartConfig(lambda_r=0.5)
+        tight = Device("T", s_ds=2, t_max=8, delta=1.0)
+        state = PartitionState.from_assignment(chain4, [0, 0, 0, 1], 2)
+        d = infeasibility_distance(state, tight, config, remainder=0, lower_bound=2)
+        # Block 0: size 3 > 2 -> d_S = 0.5 * 0.4 = 0.2 (pins: 2 <= 8 ok).
+        # Penalty: S_AVG = 3/(2-1+1) = 1.5 <= 2 -> 0... blocks_created=1.
+        assert d == pytest.approx(0.4 * 0.5)
+
+    def test_feasible_solution_distance_zero(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1], 2)
+        assert (
+            infeasibility_distance(state, DEV, CFG, remainder=1, lower_bound=1)
+            == 0.0
+        )

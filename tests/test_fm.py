@@ -1,0 +1,123 @@
+"""Classic FM bipartitioner."""
+
+import pytest
+
+from repro.fm import FmBipartitioner, fm_refine
+from repro.partition import PartitionState, cut_nets
+
+
+def bounds(a, b, lo=0, hi=float("inf")):
+    return {a: (lo, hi), b: (lo, hi)}
+
+
+class TestRefinement:
+    def test_finds_natural_cut(self, two_clusters):
+        # Start from a deliberately bad split mixing the clusters.
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 1, 0, 1, 0, 1, 0, 1]
+        )
+        assert state.cut_nets > 1
+        result = fm_refine(
+            state, 0, 1, size_bounds={0: (2, 6), 1: (2, 6)}
+        )
+        assert result.improved
+        assert state.cut_nets == 1  # the bridge net
+        # The clusters must have been separated.
+        blocks = {state.block_of(c) for c in (0, 1, 2, 3)}
+        assert len(blocks) == 1
+
+    def test_never_worsens(self, medium_circuit):
+        n = medium_circuit.num_cells
+        state = PartitionState.from_assignment(
+            medium_circuit, [c % 2 for c in range(n)]
+        )
+        before = state.cut_nets
+        result = fm_refine(
+            state, 0, 1, size_bounds={0: (n // 4, 3 * n // 4), 1: (n // 4, 3 * n // 4)}
+        )
+        assert state.cut_nets <= before
+        assert result.final_cut == state.cut_nets
+        assert result.initial_cut == before
+
+    def test_size_bounds_respected(self, medium_circuit):
+        n = medium_circuit.num_cells
+        lo, hi = 50, 70
+        state = PartitionState.from_assignment(
+            medium_circuit, [0 if c < 60 else 1 for c in range(n)]
+        )
+        fm_refine(state, 0, 1, size_bounds={0: (lo, hi), 1: (lo, hi)})
+        assert lo <= state.block_size(0) <= hi
+        assert lo <= state.block_size(1) <= hi
+        state.check_consistency()
+
+    def test_incremental_state_consistent_after_run(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 1, 0, 1, 0, 1, 0, 1]
+        )
+        fm_refine(state, 0, 1, size_bounds=bounds(0, 1))
+        state.check_consistency()
+
+    def test_cells_subset_only_moves_those(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 1, 0, 1, 0, 1, 0, 1]
+        )
+        frozen = {c: state.block_of(c) for c in (0, 1)}
+        FmBipartitioner(
+            state, 0, 1, cells=[2, 3, 4, 5, 6, 7],
+            size_bounds=bounds(0, 1),
+        ).run()
+        for cell, block in frozen.items():
+            assert state.block_of(cell) == block
+
+
+class TestValidation:
+    def test_same_blocks_rejected(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        with pytest.raises(ValueError, match="must differ"):
+            FmBipartitioner(state, 1, 1, [0], bounds(0, 1))
+
+    def test_foreign_cell_rejected(self, chain4):
+        state = PartitionState.from_assignment(
+            chain4, [0, 0, 1, 2], num_blocks=3
+        )
+        with pytest.raises(ValueError, match="not in"):
+            FmBipartitioner(state, 0, 1, [3], bounds(0, 1))
+
+    def test_missing_bounds_rejected(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        with pytest.raises(ValueError, match="missing size bounds"):
+            FmBipartitioner(state, 0, 1, [0, 1], {0: (0, 9)})
+
+
+class TestPassMechanics:
+    def test_pass_rolls_back_to_best_prefix(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        # Already optimal: a pass may wander but must return to cut=1.
+        fm = FmBipartitioner(
+            state, 0, 1, range(8), size_bounds={0: (2, 6), 1: (2, 6)}
+        )
+        moves, best_cut = fm.run_pass()
+        assert best_cut == 1
+        assert state.cut_nets == 1
+
+    def test_result_reports_passes(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 1, 0, 1, 0, 1, 0, 1]
+        )
+        result = FmBipartitioner(
+            state, 0, 1, range(8), size_bounds={0: (2, 6), 1: (2, 6)},
+            max_passes=3,
+        ).run()
+        assert 1 <= result.passes <= 3
+        assert result.moves_applied >= 0
+
+    def test_oracle_agreement(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 1, 0, 1, 0, 1, 0, 1]
+        )
+        fm_refine(state, 0, 1, size_bounds=bounds(0, 1))
+        assert state.cut_nets == cut_nets(
+            two_clusters, state.assignment()
+        )

@@ -1,0 +1,130 @@
+"""Move gains: level-1 against a brute-force oracle, level-2 semantics."""
+
+from repro.fm import max_possible_gain, move_gain, move_gain_vector
+from repro.partition import PartitionState, cut_nets
+
+
+def brute_force_gain(state, cell, to_block):
+    """Oracle: apply the move, measure the cut delta, undo."""
+    before = cut_nets(state.hg, state.assignment())
+    origin = state.move(cell, to_block)
+    after = cut_nets(state.hg, state.assignment())
+    state.move(cell, origin)
+    return before - after
+
+
+class TestLevel1:
+    def test_matches_oracle_everywhere(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        for cell in range(8):
+            for to in range(2):
+                if to == state.block_of(cell):
+                    continue
+                assert move_gain(state, cell, to) == brute_force_gain(
+                    state, cell, to
+                ), (cell, to)
+
+    def test_matches_oracle_three_way(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 1, 1, 2, 2, 2, 2]
+        )
+        for cell in range(8):
+            for to in range(3):
+                if to == state.block_of(cell):
+                    continue
+                assert move_gain(state, cell, to) == brute_force_gain(
+                    state, cell, to
+                ), (cell, to)
+
+    def test_matches_oracle_generated(self, medium_circuit):
+        state = PartitionState.from_assignment(
+            medium_circuit,
+            [c % 3 for c in range(medium_circuit.num_cells)],
+        )
+        for cell in range(0, medium_circuit.num_cells, 7):
+            for to in range(3):
+                if to == state.block_of(cell):
+                    continue
+                assert move_gain(state, cell, to) == brute_force_gain(
+                    state, cell, to
+                ), (cell, to)
+
+    def test_bridge_cell_gain(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        # Moving cell 3 to block 1 uncuts the bridge but cuts its three
+        # cluster nets: gain = 1 - 3 = -2.
+        assert move_gain(state, 3, 1) == -2
+
+    def test_max_possible_gain(self, two_clusters):
+        assert max_possible_gain(
+            PartitionState.single_block(two_clusters)
+        ) == 4  # every cell touches 4 nets
+
+
+class TestLevel2:
+    def test_level1_component_matches(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        locked = [dict() for _ in range(two_clusters.num_nets)]
+        for cell in range(8):
+            to = 1 - state.block_of(cell)
+            g1, _ = move_gain_vector(state, cell, to, locked)
+            assert g1 == move_gain(state, cell, to)
+
+    def test_cut_with_recoverable_leftover(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        locked = [dict() for _ in range(chain4.num_nets)]
+        g1, g2 = move_gain_vector(state, 0, 1, locked)
+        # net (0,1) entirely in block 0 with 2 pins: cut it (-1), but the
+        # leftover pin is free and alone -> recoverable, no g2 penalty.
+        assert (g1, g2) == (-1, 0)
+
+    def test_positive_lookahead(self):
+        from repro.hypergraph import Hypergraph
+
+        # Net (0,1,2) with pins 0,1 in block 0 and pin 2 in block 1:
+        # moving cell 0 to block 1 leaves one free pin behind whose move
+        # would uncut the net -> level-2 credit.
+        hg = Hypergraph([1, 1, 1], [(0, 1, 2)])
+        state = PartitionState.from_assignment(hg, [0, 0, 1])
+        locked = [dict()]
+        g1, g2 = move_gain_vector(state, 0, 1, locked)
+        assert (g1, g2) == (0, 1)
+
+    def test_lookahead_blocked_by_lock(self, chain4):
+        # Net (1,2) spans blocks {0: cell1, 1: cell2}... consider moving
+        # cell 1 toward block 1 when net (0,1) has a locked companion.
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        free_locked = [dict() for _ in range(chain4.num_nets)]
+        g1_free, g2_free = move_gain_vector(state, 1, 1, free_locked)
+        locked = [dict() for _ in range(chain4.num_nets)]
+        locked[0][0] = 1  # net (0,1): companion pin locked in block 0
+        g1_lock, g2_lock = move_gain_vector(state, 1, 1, locked)
+        assert g1_free == g1_lock  # level 1 ignores locks
+        assert g2_lock <= g2_free  # lock can only hurt the look-ahead
+
+    def test_unrecoverable_cut_penalized(self):
+        from repro.hypergraph import Hypergraph
+
+        # One 3-pin net entirely in block 0; a second block exists.
+        hg = Hypergraph([1, 1, 1], [(0, 1, 2)])
+        state = PartitionState.from_assignment(hg, [0, 0, 0], num_blocks=2)
+        locked = [dict()]
+        g1, g2 = move_gain_vector(state, 0, 1, locked)
+        # Cutting a 3-pin net leaves 2 pins behind: not recoverable in
+        # one move -> level-2 penalty.
+        assert (g1, g2) == (-1, -1)
+
+    def test_recoverable_cut_not_penalized(self):
+        from repro.hypergraph import Hypergraph
+
+        hg = Hypergraph([1, 1], [(0, 1)])
+        state = PartitionState.from_assignment(hg, [0, 0], num_blocks=2)
+        locked = [dict()]
+        g1, g2 = move_gain_vector(state, 0, 1, locked)
+        assert (g1, g2) == (-1, 0)

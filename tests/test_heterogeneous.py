@@ -1,0 +1,109 @@
+"""Heterogeneous (mixed-device, minimum-cost) partitioning extension."""
+
+import pytest
+
+from repro.circuits import generate_circuit, mcnc_circuit
+from repro.core import (
+    XILINX_LIBRARY,
+    Device,
+    DeviceLibrary,
+    PricedDevice,
+    UnpartitionableError,
+    partition_heterogeneous,
+)
+from repro.partition import validate_assignment
+
+
+class TestLibrary:
+    def test_cheapest_fitting(self):
+        entry = XILINX_LIBRARY.cheapest_fitting(size=50, pins=40)
+        assert entry.device.name == "XC2064"  # cheapest that fits
+        entry = XILINX_LIBRARY.cheapest_fitting(size=50, pins=60)
+        assert entry.device.name == "XC3020"  # XC2064 has only 58 pins
+        entry = XILINX_LIBRARY.cheapest_fitting(size=200, pins=100)
+        assert entry.device.name == "XC3090"
+
+    def test_nothing_fits(self):
+        assert XILINX_LIBRARY.cheapest_fitting(10_000, 10) is None
+
+    def test_by_name(self):
+        assert XILINX_LIBRARY.by_name("XC3042").price == 2.0
+        with pytest.raises(KeyError):
+            XILINX_LIBRARY.by_name("XC9000")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="empty"):
+            DeviceLibrary([])
+        d = Device("D", s_ds=10, t_max=10)
+        with pytest.raises(ValueError, match="positive"):
+            PricedDevice(d, price=0)
+        with pytest.raises(ValueError, match="duplicate"):
+            DeviceLibrary([PricedDevice(d, 1), PricedDevice(d, 2)])
+
+
+class TestPartitionHeterogeneous:
+    def test_blocks_fit_assigned_devices(self):
+        hg = generate_circuit("hetero", num_cells=500, num_ios=60, seed=11)
+        result = partition_heterogeneous(hg)
+        assert len(result.block_devices) == result.num_devices
+        for name, size, pins in zip(
+            result.block_devices, result.block_sizes, result.block_pins
+        ):
+            device = XILINX_LIBRARY.by_name(name).device
+            assert device.fits(size, pins), (name, size, pins)
+
+    def test_cost_is_sum_of_block_prices(self):
+        hg = generate_circuit("hetero", num_cells=500, num_ios=60, seed=11)
+        result = partition_heterogeneous(hg)
+        expected = sum(
+            XILINX_LIBRARY.by_name(n).price for n in result.block_devices
+        )
+        assert result.total_cost == pytest.approx(expected)
+
+    def test_never_worse_than_best_homogeneous(self):
+        from repro.core import fpart
+
+        hg = mcnc_circuit("c3540", "XC3000")
+        hetero = partition_heterogeneous(hg)
+        for entry in XILINX_LIBRARY:
+            try:
+                homo = fpart(hg, entry.device)
+            except UnpartitionableError:
+                continue
+            homo_cost = homo.num_devices * entry.price
+            assert hetero.total_cost <= homo_cost + 1e-9, entry.device.name
+
+    def test_downsizing_actually_mixes(self):
+        # A circuit slightly over one XC3090: the tail block should
+        # downsize to something cheaper than a second XC3090.
+        hg = generate_circuit("mix", num_cells=330, num_ios=40, seed=5)
+        result = partition_heterogeneous(hg)
+        # cost beats the all-XC3090 solution
+        assert result.total_cost < 2 * 4.0 + 1e-9
+
+    def test_assignment_validates(self):
+        hg = generate_circuit("hetero-v", num_cells=400, num_ios=50, seed=2)
+        result = partition_heterogeneous(hg)
+        for block, name in enumerate(result.block_devices):
+            device = XILINX_LIBRARY.by_name(name).device
+            sub_assignment = [
+                0 if b == block else 1 for b in result.assignment
+            ]
+            # Validate just the one block against its own device.
+            report = validate_assignment(hg, sub_assignment, device, 2)
+            assert report.block_sizes[0] == result.block_sizes[block]
+
+    def test_unpartitionable(self):
+        from repro.hypergraph import Hypergraph
+
+        tiny_lib = DeviceLibrary(
+            [PricedDevice(Device("T", s_ds=2, t_max=2), 1.0)]
+        )
+        hg = Hypergraph([5], [(0,)])
+        with pytest.raises(UnpartitionableError):
+            partition_heterogeneous(hg, tiny_lib)
+
+    def test_summary_mentions_mix(self):
+        hg = generate_circuit("hetero", num_cells=300, num_ios=30, seed=1)
+        text = partition_heterogeneous(hg).summary()
+        assert "cost" in text and "x" in text

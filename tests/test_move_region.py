@@ -1,0 +1,99 @@
+"""Feasible move regions (section 3.5)."""
+
+import pytest
+
+from repro.core import DEFAULT_CONFIG, Device, FpartConfig, MoveRegion
+from repro.partition import PartitionState
+
+DEV = Device("D", s_ds=100, t_max=50, delta=1.0)  # S_MAX = 100
+
+
+def region(remainder=0, two_block=True, k=2, m=5, config=DEFAULT_CONFIG):
+    return MoveRegion(DEV, config, remainder, two_block, k, m)
+
+
+class TestWindows:
+    def test_two_block_window(self):
+        r = region(two_block=True)
+        assert r.size_cap == pytest.approx(105.0)
+        assert r.size_floor == pytest.approx(95.0)
+
+    def test_multi_block_window(self):
+        r = region(two_block=False)
+        assert r.size_cap == pytest.approx(105.0)
+        assert r.size_floor == pytest.approx(30.0)
+
+    def test_two_block_floor_stricter_than_multi(self):
+        assert region(two_block=True).size_floor > region(
+            two_block=False
+        ).size_floor
+
+    def test_cap_disabled_beyond_lower_bound(self):
+        # k > M: size violations disabled, cap = S_MAX exactly.
+        r = region(k=6, m=5)
+        assert r.size_cap == pytest.approx(100.0)
+
+    def test_literal_epsilon_ablation(self):
+        config = FpartConfig(literal_epsilons=True)
+        r = region(config=config, two_block=True)
+        assert r.size_cap == pytest.approx(205.0)
+        assert r.size_floor == pytest.approx(5.0)
+
+
+class TestLegality:
+    def _state(self, chain4, sizes):
+        # Build a 2-block state over a synthetic weighted hypergraph.
+        from repro.hypergraph import Hypergraph
+
+        hg = Hypergraph(sizes, [tuple(range(len(sizes)))])
+        return PartitionState.from_assignment(
+            hg, [0] * (len(sizes) - 1) + [1], 2
+        )
+
+    def test_remainder_receives_anything(self, chain4):
+        state = self._state(chain4, [99, 99, 99])
+        r = region(remainder=0)
+        assert r.can_receive(state, 0, 10_000)
+
+    def test_non_remainder_capped(self, chain4):
+        state = self._state(chain4, [100, 3, 50])  # block0 = 103
+        r = region(remainder=1)
+        assert r.can_receive(state, 0, 2)       # 105 <= 105
+        assert not r.can_receive(state, 0, 3)   # 106 > 105
+
+    def test_remainder_donates_anything(self, chain4):
+        state = self._state(chain4, [10, 10, 10])
+        r = region(remainder=0)
+        assert r.can_donate(state, 0, 20)
+
+    def test_floor_blocks_small_donors(self, chain4):
+        state = self._state(chain4, [90, 6, 4])  # block0 = 96
+        r = region(remainder=1, two_block=True)  # floor 95
+        assert r.can_donate(state, 0, 1)         # 95 >= 95
+        assert not r.can_donate(state, 0, 2)     # 94 < 95
+
+    def test_allows_combines_both_sides(self, chain4):
+        state = self._state(chain4, [96, 1, 3])  # blocks: 0 -> 97, 1 -> 3
+        r = region(remainder=1, two_block=True)
+        # cell 1 (size 1): donate ok (97-1=96 >= 95), remainder receives.
+        assert r.allows(state, 1, 1)
+        # cell 0 (size 96): 97-96=1 < floor 95 -> blocked.
+        assert not r.allows(state, 0, 1)
+        # moving within the same block never allowed
+        assert not r.allows(state, 2, 1)
+
+    def test_block_level_queries(self, chain4):
+        state = self._state(chain4, [105, 1, 3])
+        r = region(remainder=1, two_block=True)
+        assert not r.block_can_still_receive(state, 0)  # at the cap
+        assert r.block_can_still_donate(state, 0)
+        drained = self._state(chain4, [94, 1, 3])  # block0 = 95 = floor
+        assert not r.block_can_still_donate(drained, 0)  # would go below
+        assert r.block_can_still_donate(drained, 1)  # remainder exempt
+
+    def test_io_never_constrained(self, clique5):
+        # MoveRegion has no pin argument anywhere: compile-time property
+        # checked by exercising a pin-heavy state.
+        state = PartitionState.from_assignment(clique5, [0, 0, 1, 1, 0])
+        r = MoveRegion(DEV, DEFAULT_CONFIG, 1, True, 2, 5)
+        assert r.can_receive(state, 0, 1)

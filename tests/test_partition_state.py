@@ -1,0 +1,188 @@
+"""PartitionState: incremental bookkeeping vs from-scratch oracles."""
+
+import pytest
+
+from repro.partition import (
+    PartitionState,
+    block_ext_io_counts,
+    block_pin_counts,
+    block_sizes,
+    cut_nets,
+)
+
+
+class TestConstruction:
+    def test_single_block(self, chain4):
+        state = PartitionState.single_block(chain4)
+        assert state.num_blocks == 1
+        assert state.block_size(0) == 4
+        assert state.cut_nets == 0
+        # Only the external net counts as a pin.
+        assert state.block_pins(0) == 1
+        assert state.block_ext_ios(0) == 1
+
+    def test_from_assignment(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        assert state.num_blocks == 2
+        assert state.block_size(0) == state.block_size(1) == 2
+        assert state.cut_nets == 1  # net (1,2)
+
+    def test_rejects_length_mismatch(self, chain4):
+        with pytest.raises(ValueError, match="covers"):
+            PartitionState(chain4, [0, 0], 1)
+
+    def test_rejects_invalid_block(self, chain4):
+        with pytest.raises(ValueError, match="invalid block"):
+            PartitionState(chain4, [0, 0, 0, 5], 2)
+
+
+class TestPinSemantics:
+    def test_internal_net_no_pin(self, chain4):
+        state = PartitionState.single_block(chain4)
+        # nets (1,2) and (2,3) are internal without pads: no pins.
+        assert state.total_pins == 1
+
+    def test_cut_net_pins_both_sides(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        # net (1,2) cut -> pin in each block; net (0,1) has pad -> pin
+        # in block 0 only; net (2,3) internal to block 1 -> none.
+        assert state.block_pins(0) == 2
+        assert state.block_pins(1) == 1
+
+    def test_external_net_spanning_counts_everywhere(self, clique5):
+        state = PartitionState.from_assignment(clique5, [0, 0, 1, 1, 0])
+        # net 1 (0,4)+2 pads is inside block 0: 1 pin there, plus cut
+        # net 0 in both blocks.
+        assert state.block_pins(0) == 2
+        assert state.block_pins(1) == 1
+        assert state.block_ext_ios(0) == 2
+        assert state.block_ext_ios(1) == 0
+
+    def test_ext_ios_follow_spans(self, clique5):
+        state = PartitionState.from_assignment(clique5, [0, 1, 1, 1, 1])
+        # net 1 (0,4) with 2 pads spans both blocks now.
+        assert state.block_ext_ios(0) == 2
+        assert state.block_ext_ios(1) == 2
+
+
+class TestMoves:
+    def test_move_updates_and_reverses(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        before = (
+            state.block_sizes,
+            state.block_pin_counts,
+            state.cut_nets,
+            state.total_pins,
+        )
+        origin = state.move(3, 1)
+        assert origin == 0
+        state.check_consistency()
+        state.move(3, origin)
+        state.check_consistency()
+        after = (
+            state.block_sizes,
+            state.block_pin_counts,
+            state.cut_nets,
+            state.total_pins,
+        )
+        assert before == after
+
+    def test_move_noop_same_block(self, chain4):
+        state = PartitionState.single_block(chain4)
+        assert state.move(0, 0) == 0
+        state.check_consistency()
+
+    def test_move_invalid_block(self, chain4):
+        state = PartitionState.single_block(chain4)
+        with pytest.raises(ValueError, match="invalid destination"):
+            state.move(0, 3)
+
+    def test_every_move_matches_oracle(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        sequence = [(3, 1), (4, 0), (0, 1), (7, 0), (3, 0), (1, 1)]
+        for cell, to in sequence:
+            state.move(cell, to)
+            assignment = state.assignment()
+            k = state.num_blocks
+            assert list(state.block_sizes) == block_sizes(
+                two_clusters, assignment, k
+            )
+            assert list(state.block_pin_counts) == block_pin_counts(
+                two_clusters, assignment, k
+            )
+            assert list(state.block_ext_io_counts) == block_ext_io_counts(
+                two_clusters, assignment, k
+            )
+            assert state.cut_nets == cut_nets(two_clusters, assignment)
+
+    def test_move_many(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0] * 8, num_blocks=2
+        )
+        state.move_many([4, 5, 6, 7], 1)
+        assert state.block_size(1) == 4
+        assert state.cut_nets == 1
+        state.check_consistency()
+
+
+class TestBlocks:
+    def test_add_block(self, chain4):
+        state = PartitionState.single_block(chain4)
+        b = state.add_block()
+        assert b == 1
+        assert state.num_blocks == 2
+        assert state.block_size(1) == 0
+        state.move(3, 1)
+        state.check_consistency()
+
+    def test_block_cells_views(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 1, 0, 1])
+        assert state.block_cells(0) == {0, 2}
+        assert state.block_num_cells(1) == 2
+        assert state.cells_of_blocks([0, 1]) == [0, 1, 2, 3]
+
+    def test_nonempty_blocks(self, chain4):
+        state = PartitionState.from_assignment(
+            chain4, [0, 0, 0, 0], num_blocks=3
+        )
+        assert state.nonempty_blocks() == [0]
+
+    def test_copy_is_independent(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        clone = state.copy()
+        clone.move(0, 1)
+        assert state.block_of(0) == 0
+        assert clone.block_of(0) == 1
+        state.check_consistency()
+        clone.check_consistency()
+
+    def test_restore(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1]
+        )
+        snapshot = state.assignment()
+        state.move_many([0, 1, 2], 1)
+        state.restore(snapshot)
+        assert state.assignment() == snapshot
+        state.check_consistency()
+
+    def test_restore_rejects_bad_snapshot(self, chain4):
+        state = PartitionState.single_block(chain4)
+        with pytest.raises(ValueError, match="mismatch"):
+            state.restore([0, 0])
+
+
+class TestNetQueries:
+    def test_span_and_counts(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        assert state.net_span(1) == 2
+        assert state.is_cut(1)
+        assert not state.is_cut(0)
+        assert state.net_block_count(1, 0) == 1
+        assert state.net_block_count(1, 1) == 1
+        assert state.net_block_count(0, 1) == 0
+        assert state.net_distribution(0) == {0: 2}

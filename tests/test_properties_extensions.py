@@ -1,0 +1,164 @@
+"""Property-based tests for the extension subsystems."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering import coarsen_once
+from repro.hypergraph import Hypergraph, merge_cells, split_into_devices
+from repro.partition import block_pin_counts
+from repro.replication import apply_replication, replication_pin_delta
+
+
+@st.composite
+def driven_hypergraphs(draw, max_cells=10, max_nets=14):
+    """Random hypergraphs where every net has a known driver."""
+    num_cells = draw(st.integers(2, max_cells))
+    sizes = draw(
+        st.lists(st.integers(1, 4), min_size=num_cells, max_size=num_cells)
+    )
+    num_nets = draw(st.integers(1, max_nets))
+    nets = []
+    drivers = []
+    for _ in range(num_nets):
+        degree = draw(st.integers(1, min(5, num_cells)))
+        pins = draw(
+            st.lists(
+                st.integers(0, num_cells - 1),
+                min_size=degree,
+                max_size=degree,
+                unique=True,
+            )
+        )
+        nets.append(tuple(pins))
+        drivers.append(pins[draw(st.integers(0, degree - 1))])
+    num_pads = draw(st.integers(0, 3))
+    terminal_nets = draw(
+        st.lists(
+            st.integers(0, num_nets - 1),
+            min_size=num_pads,
+            max_size=num_pads,
+        )
+    )
+    return Hypergraph(sizes, nets, terminal_nets, net_drivers=drivers)
+
+
+class TestReplicationProperties:
+    @given(driven_hypergraphs(), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_delta_prediction_matches_rebuild(self, hg, data):
+        k = data.draw(st.integers(2, 4))
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, k - 1),
+                min_size=hg.num_cells,
+                max_size=hg.num_cells,
+            )
+        )
+        cell = data.draw(st.integers(0, hg.num_cells - 1))
+        target = data.draw(st.integers(0, k - 1))
+        predicted = replication_pin_delta(hg, assignment, cell, target, k)
+        if predicted is None:
+            return
+        before = block_pin_counts(hg, assignment, k)
+        rep = apply_replication(hg, assignment, cell, target)
+        after = block_pin_counts(rep.hg, list(rep.assignment), k)
+        actual = {
+            b: after[b] - before[b]
+            for b in range(k)
+            if after[b] != before[b]
+        }
+        assert predicted == actual
+
+    @given(driven_hypergraphs(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_replication_conserves_other_blocks_cells(self, hg, data):
+        k = 3
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, k - 1),
+                min_size=hg.num_cells,
+                max_size=hg.num_cells,
+            )
+        )
+        cell = data.draw(st.integers(0, hg.num_cells - 1))
+        target = data.draw(st.integers(0, k - 1))
+        if replication_pin_delta(hg, assignment, cell, target, k) is None:
+            return
+        rep = apply_replication(hg, assignment, cell, target)
+        # Exactly one new cell, in the target block, same size.
+        assert rep.hg.num_cells == hg.num_cells + 1
+        assert rep.assignment[:-1] == tuple(assignment)
+        assert rep.assignment[-1] == target
+        assert rep.hg.total_size == hg.total_size + hg.cell_size(cell)
+
+
+class TestCoarseningProperties:
+    @given(driven_hypergraphs(max_cells=12, max_nets=18))
+    @settings(max_examples=80, deadline=None)
+    def test_conservation(self, hg):
+        level = coarsen_once(hg)
+        assert level.hg.total_size == hg.total_size
+        assert level.hg.num_terminals == hg.num_terminals
+        assert level.hg.num_cells <= hg.num_cells
+        # cluster_of maps onto a dense range.
+        assert set(level.cluster_of) == set(range(level.hg.num_cells))
+
+    @given(driven_hypergraphs(max_cells=12, max_nets=18), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_projection_preserves_cut_structure(self, hg, data):
+        """A coarse assignment and its projection cut the same signals:
+        coarse cut nets map onto fine cut nets (padless duplicates were
+        deduped, so compare via cluster-level spans)."""
+        level = coarsen_once(hg)
+        k = 2
+        coarse_assignment = data.draw(
+            st.lists(
+                st.integers(0, k - 1),
+                min_size=level.hg.num_cells,
+                max_size=level.hg.num_cells,
+            )
+        )
+        fine_assignment = level.project(coarse_assignment)
+        for e in range(hg.num_nets):
+            fine_blocks = {fine_assignment[p] for p in hg.pins_of(e)}
+            coarse_blocks = {
+                coarse_assignment[level.cluster_of[p]]
+                for p in hg.pins_of(e)
+            }
+            assert fine_blocks == coarse_blocks
+
+
+class TestTransformProperties:
+    @given(driven_hypergraphs(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_split_partitions_cells(self, hg, data):
+        k = data.draw(st.integers(1, 3))
+        assignment = data.draw(
+            st.lists(
+                st.integers(0, k - 1),
+                min_size=hg.num_cells,
+                max_size=hg.num_cells,
+            )
+        )
+        pieces = split_into_devices(hg, assignment, k)
+        seen = sorted(
+            parent
+            for piece in pieces
+            for parent in piece.cell_to_parent
+        )
+        assert seen == list(range(hg.num_cells))
+
+    @given(driven_hypergraphs(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_merge_conserves_size(self, hg, data):
+        group = data.draw(
+            st.sets(
+                st.integers(0, hg.num_cells - 1),
+                min_size=1,
+                max_size=hg.num_cells,
+            )
+        )
+        merged, cell_map = merge_cells(hg, [sorted(group)])
+        assert merged.total_size == hg.total_size
+        assert len(cell_map) == hg.num_cells
+        assert merged.num_cells == hg.num_cells - len(group) + 1

@@ -1,0 +1,99 @@
+"""Partition quality analysis and SVG figure rendering."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_partition,
+    figure2_solutions,
+    figure2_svg,
+    figure3_svg,
+    render_quality,
+)
+from repro.core import DEFAULT_CONFIG, Device, XC3020, fpart
+from repro.circuits import generate_circuit
+
+
+class TestQuality:
+    DEV = Device("Q", s_ds=4, t_max=6, delta=1.0)
+
+    def test_two_clusters_metrics(self, two_clusters):
+        q = analyze_partition(
+            two_clusters, [0, 0, 0, 0, 1, 1, 1, 1], self.DEV
+        )
+        assert q.num_blocks == 2
+        assert q.cut_nets == 1
+        assert q.span_histogram == {2: 1}
+        assert q.board_traces == 1
+        assert q.avg_fill == 1.0
+        assert q.gap_to_lower_bound == 0
+
+    def test_fpart_result_quality(self, medium_circuit, small_device):
+        result = fpart(medium_circuit, small_device)
+        q = analyze_partition(
+            medium_circuit,
+            result.assignment,
+            small_device,
+            result.num_devices,
+        )
+        assert q.total_pins == sum(result.block_pins)
+        assert 0 < q.avg_fill <= 1.0
+        assert q.max_pin_use <= 1.0  # feasible => within pin budget
+        assert sum(q.span_histogram.values()) == q.cut_nets
+
+    def test_imbalance_zero_without_pads(self):
+        from repro.hypergraph import Hypergraph
+
+        hg = Hypergraph([1, 1], [(0, 1)])
+        q = analyze_partition(hg, [0, 1], self.DEV)
+        assert q.ext_io_imbalance == 0.0
+
+    def test_render(self, two_clusters):
+        text = render_quality(
+            analyze_partition(
+                two_clusters, [0, 0, 0, 0, 1, 1, 1, 1], self.DEV
+            ),
+            title="Q",
+        )
+        assert "board traces" in text
+        assert "gap to M" in text
+
+
+class TestSvg:
+    @pytest.fixture(scope="class")
+    def solutions(self):
+        hg = generate_circuit("svg-demo", num_cells=200, num_ios=30, seed=6)
+        result = fpart(hg, XC3020)
+        return figure2_solutions(
+            hg, result.assignment, XC3020, DEFAULT_CONFIG
+        )
+
+    def test_figure2_svg_structure(self, solutions):
+        svg = figure2_svg(solutions, XC3020)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<circle" in svg          # first solution's markers
+        assert 'fill="#cfe8cf"' in svg   # feasible rectangle
+        # Infeasible blocks are drawn red.
+        assert "#d43b3b" in svg
+
+    def test_figure2_svg_deterministic(self, solutions):
+        assert figure2_svg(solutions, XC3020) == figure2_svg(
+            solutions, XC3020
+        )
+
+    def test_figure3_svg_structure(self):
+        svg = figure3_svg(XC3020, DEFAULT_CONFIG)
+        assert svg.startswith("<svg")
+        assert "two_block_non_remainder" in svg
+        assert "S_MAX" in svg
+        assert "&#8734;" in svg  # the remainder's infinite cap
+
+    def test_figure3_svg_well_formed_xml(self):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(figure3_svg(XC3020, DEFAULT_CONFIG))
+
+    def test_figure2_svg_well_formed_xml(self, solutions):
+        import xml.etree.ElementTree as ET
+
+        ET.fromstring(figure2_svg(solutions, XC3020))

@@ -1,0 +1,41 @@
+"""r+p.0-style baseline (recursion + replication + re-pack)."""
+
+from repro.baselines import kwayx, rp0
+from repro.circuits import generate_circuit, mcnc_circuit
+from repro.core import XC3020, Device
+
+
+class TestRp0:
+    def test_feasible_and_bounded(self):
+        hg = mcnc_circuit("c3540", "XC3000")
+        result = rp0(hg, XC3020)
+        assert result.feasible
+        assert result.num_devices >= result.lower_bound
+
+    def test_never_more_devices_than_kwayx(self):
+        hg = mcnc_circuit("s9234", "XC3000")
+        assert (
+            rp0(hg, XC3020).num_devices
+            <= kwayx(hg, XC3020).num_devices
+        )
+
+    def test_replication_saves_pins(self):
+        hg = mcnc_circuit("c3540", "XC3000")
+        result = rp0(hg, XC3020)
+        assert result.replications > 0
+        assert result.pins_saved > 0
+
+    def test_driverless_netlist_degrades_gracefully(self):
+        from repro.hypergraph import Hypergraph
+
+        nets = [(i, i + 1) for i in range(49)]
+        hg = Hypergraph([1] * 50, nets, [0], name="plain")
+        device = Device("D", s_ds=20, t_max=20, delta=1.0)
+        result = rp0(hg, device)
+        assert result.feasible
+        assert result.replications == 0
+
+    def test_summary(self):
+        hg = generate_circuit("rp0-sum", num_cells=120, num_ios=16, seed=4)
+        device = Device("D", s_ds=50, t_max=40, delta=1.0)
+        assert "replications" in rp0(hg, device).summary()

@@ -1,0 +1,94 @@
+"""Dual solution stacks (section 3.6)."""
+
+from repro.core import DualSolutionStacks, Feasibility, SolutionCost
+from repro.core.solution_stack import SolutionStack
+
+
+def cost(d, f=1):
+    return SolutionCost(
+        feasible_blocks=f,
+        distance=d,
+        total_pins=0,
+        ext_balance=0.0,
+        cut_nets=0,
+    )
+
+
+class TestSolutionStack:
+    def test_keeps_best_first(self):
+        stack = SolutionStack(3)
+        stack.offer(cost(0.3), [3])
+        stack.offer(cost(0.1), [1])
+        stack.offer(cost(0.2), [2])
+        assert [a for _, a in stack.entries] == [[1], [2], [3]]
+        assert stack.best()[1] == [1]
+        assert stack.worst()[1] == [3]
+
+    def test_depth_bound_drops_worst(self):
+        stack = SolutionStack(2)
+        for d in (0.3, 0.1, 0.2):
+            stack.offer(cost(d), [d])
+        assert len(stack) == 2
+        assert [a for _, a in stack.entries] == [[0.1], [0.2]]
+
+    def test_rejects_when_full_and_worse(self):
+        stack = SolutionStack(2)
+        stack.offer(cost(0.1), [1])
+        stack.offer(cost(0.2), [2])
+        assert not stack.offer(cost(0.9), [9])
+        assert stack.offer(cost(0.05), [0])
+
+    def test_rejects_duplicates(self):
+        stack = SolutionStack(4)
+        assert stack.offer(cost(0.1), [7, 8])
+        assert not stack.offer(cost(0.2), [7, 8])
+        assert len(stack) == 1
+
+    def test_snapshot_is_copied(self):
+        stack = SolutionStack(2)
+        assignment = [1, 2]
+        stack.offer(cost(0.1), assignment)
+        assignment.append(3)
+        assert stack.best()[1] == [1, 2]
+
+    def test_depth_zero_rejects_everything(self):
+        stack = SolutionStack(0)
+        assert not stack.offer(cost(0.1), [1])
+
+    def test_clear(self):
+        stack = SolutionStack(2)
+        stack.offer(cost(0.1), [1])
+        stack.clear()
+        assert len(stack) == 0 and stack.best() is None
+
+
+class TestDualStacks:
+    def test_routing(self):
+        dual = DualSolutionStacks(2)
+        assert dual.offer(Feasibility.SEMI_FEASIBLE, cost(0.1), [1])
+        assert dual.offer(Feasibility.INFEASIBLE, cost(0.2), [2])
+        assert not dual.offer(Feasibility.FEASIBLE, cost(0.0), [3])
+        assert len(dual.semi_feasible) == 1
+        assert len(dual.infeasible) == 1
+
+    def test_starting_solutions_semi_first(self):
+        dual = DualSolutionStacks(2)
+        dual.offer(Feasibility.INFEASIBLE, cost(0.0), [9])
+        dual.offer(Feasibility.SEMI_FEASIBLE, cost(0.5), [1])
+        starts = [a for _, a in dual.starting_solutions()]
+        assert starts == [[1], [9]]
+
+    def test_bounded_total(self):
+        dual = DualSolutionStacks(4)
+        for i in range(20):
+            dual.offer(Feasibility.SEMI_FEASIBLE, cost(i * 0.01), [i])
+            dual.offer(Feasibility.INFEASIBLE, cost(i * 0.01), [100 + i])
+        # at most 2 * D_stack restart points (the paper's 2*D+1 includes
+        # the original first solution, which lives outside the stacks).
+        assert len(dual.starting_solutions()) == 8
+
+    def test_clear(self):
+        dual = DualSolutionStacks(2)
+        dual.offer(Feasibility.SEMI_FEASIBLE, cost(0.1), [1])
+        dual.clear()
+        assert dual.starting_solutions() == []

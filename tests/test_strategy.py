@@ -1,0 +1,115 @@
+"""Improvement strategy: block selections and scheduling (section 3.1)."""
+
+from repro.core import (
+    DEFAULT_CONFIG,
+    Device,
+    FpartConfig,
+    free_space,
+    iteration_schedule,
+    select_max_free,
+    select_min_io,
+    select_min_size,
+)
+from repro.partition import PartitionState
+
+DEV = Device("D", s_ds=10, t_max=10, delta=1.0)
+
+
+def make_state(chain4_like, sizes_to_blocks):
+    return PartitionState.from_assignment(*sizes_to_blocks)
+
+
+class TestSelections:
+    def _state(self, two_clusters):
+        # blocks: 0 = {0,1}, 1 = {2,3}, 2 = {4,5,6,7} (remainder)
+        return PartitionState.from_assignment(
+            two_clusters, [0, 0, 1, 1, 2, 2, 2, 2]
+        )
+
+    def test_min_size(self, two_clusters):
+        state = self._state(two_clusters)
+        assert select_min_size(state, remainder=2) in (0, 1)
+        state.move(0, 1)
+        assert select_min_size(state, remainder=2) == 0
+
+    def test_min_io(self, two_clusters):
+        state = self._state(two_clusters)
+        chosen = select_min_io(state, remainder=2)
+        pins = [state.block_pins(0), state.block_pins(1)]
+        assert state.block_pins(chosen) == min(pins)
+
+    def test_max_free(self, two_clusters):
+        state = self._state(two_clusters)
+        chosen = select_max_free(state, remainder=2, device=DEV, config=DEFAULT_CONFIG)
+        f0 = free_space(state, 0, DEV, DEFAULT_CONFIG)
+        f1 = free_space(state, 1, DEV, DEFAULT_CONFIG)
+        expected = 0 if f0 >= f1 else 1
+        assert chosen == expected
+
+    def test_selection_excludes_remainder(self, two_clusters):
+        state = self._state(two_clusters)
+        for selector in (select_min_size, select_min_io):
+            assert selector(state, remainder=2) != 2
+
+    def test_no_partner_when_single_block(self, chain4):
+        state = PartitionState.single_block(chain4)
+        assert select_min_size(state, remainder=0) is None
+        assert select_min_io(state, remainder=0) is None
+        assert select_max_free(state, 0, DEV, DEFAULT_CONFIG) is None
+
+    def test_free_space_formula(self, two_clusters):
+        state = self._state(two_clusters)
+        # Block 0: size 2, measure against S_MAX=10, T_MAX=10.
+        expected = 0.5 * (10 - 2) / 10 + 0.5 * (10 - state.block_pins(0)) / 10
+        assert free_space(state, 0, DEV, DEFAULT_CONFIG) == expected
+
+
+class TestSchedule:
+    def _steps(self, state, remainder, new_block, m, config=DEFAULT_CONFIG):
+        return list(
+            iteration_schedule(state, remainder, new_block, m, DEV, config)
+        )
+
+    def test_small_m_includes_all_blocks(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 1, 1, 2, 2, 2, 2]
+        )
+        steps = self._steps(state, remainder=2, new_block=1, m=3)
+        labels = [s.label for s in steps]
+        assert labels[0] == "last_pair"
+        assert "all_blocks" in labels
+        assert {"min_size", "min_io", "max_free"} <= set(labels)
+
+    def test_big_m_skips_all_blocks(self, two_clusters):
+        config = FpartConfig(n_small=1)  # force the big-M strategy
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 1, 1, 2, 2, 2, 2]
+        )
+        labels = [
+            s.label
+            for s in self._steps(state, 2, 1, m=3, config=config)
+        ]
+        assert "all_blocks" not in labels
+        assert labels[0] == "last_pair"
+
+    def test_k_equals_m_adds_pair_sweep(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 1, 1, 2, 2, 2, 2]
+        )
+        labels = [s.label for s in self._steps(state, 2, 1, m=2)]
+        # produced blocks = 2 = M and M <= N_small: pair_i steps appear.
+        assert "pair_0" in labels and "pair_1" in labels
+
+    def test_remainder_always_participates(self, two_clusters):
+        state = PartitionState.from_assignment(
+            two_clusters, [0, 0, 1, 1, 2, 2, 2, 2]
+        )
+        for step in self._steps(state, 2, 1, m=3):
+            assert 2 in step.blocks
+
+    def test_two_block_state(self, chain4):
+        state = PartitionState.from_assignment(chain4, [0, 0, 1, 1])
+        labels = [s.label for s in self._steps(state, 1, 0, m=2)]
+        # No all_blocks step with only two blocks (it would be identical
+        # to last_pair).
+        assert "all_blocks" not in labels

@@ -1,0 +1,75 @@
+"""Subcircuit extraction semantics: cut nets must grow pads."""
+
+import pytest
+
+from repro.hypergraph import Hypergraph, compute_stats, extract_subcircuit
+
+
+class TestExtraction:
+    def test_interior_subset(self, two_clusters):
+        sub = extract_subcircuit(two_clusters, [0, 1, 2, 3])
+        hg = sub.sub
+        assert hg.num_cells == 4
+        # Cluster-internal nets survive; the bridge net (3,4) becomes a
+        # 1-pin net with a new pad; net 0 keeps its original pad.
+        assert hg.total_size == 4
+        bridge_nets = [
+            e for e in range(hg.num_nets) if hg.net_degree(e) == 1
+        ]
+        assert len(bridge_nets) == 1
+        assert hg.net_terminal_count(bridge_nets[0]) == 1
+
+    def test_cut_net_gets_exactly_one_pad(self, chain4):
+        sub = extract_subcircuit(chain4, [0, 1]).sub
+        # net (1,2) is cut -> pad; net (0,1) keeps its pad; 2 nets total.
+        assert sub.num_cells == 2
+        assert sub.num_nets == 2
+        assert sub.num_terminals == 2
+
+    def test_external_net_not_double_padded(self, chain4):
+        # Net 0 has a pad and is also cut when only cell 1 is taken:
+        # still exactly one pad in the subcircuit.
+        sub = extract_subcircuit(chain4, [1]).sub
+        assert all(
+            sub.net_terminal_count(e) == 1 for e in range(sub.num_nets)
+        )
+
+    def test_nets_outside_dropped(self, two_clusters):
+        sub = extract_subcircuit(two_clusters, [0, 1]).sub
+        # Only nets touching cells 0 or 1 survive.
+        stats = compute_stats(sub)
+        assert stats.num_nets == 5  # (0,1),(0,2),(0,3),(1,2),(1,3)
+
+    def test_index_maps(self, two_clusters):
+        sub = extract_subcircuit(two_clusters, [4, 6])
+        assert sub.cell_to_parent == (4, 6)
+        assert sub.parent_to_cell == {4: 0, 6: 1}
+        assert sub.lift_cells([1, 0]) == [6, 4]
+
+    def test_sizes_carried(self, clique5):
+        sub = extract_subcircuit(clique5, [0, 4]).sub
+        assert sub.cell_sizes == (2, 3)
+
+    def test_names_carried(self):
+        hg = Hypergraph(
+            [1, 1], [(0, 1)], cell_names=["a", "b"]
+        )
+        sub = extract_subcircuit(hg, [1]).sub
+        assert sub.cell_label(0) == "b"
+
+    def test_whole_circuit_identity_shape(self, two_clusters):
+        sub = extract_subcircuit(two_clusters, range(8)).sub
+        assert sub.num_cells == 8
+        assert sub.num_nets == two_clusters.num_nets
+        assert sub.num_terminals == two_clusters.num_terminals
+
+    def test_invalid_cell_rejected(self, chain4):
+        with pytest.raises(ValueError, match="out of range"):
+            extract_subcircuit(chain4, [99])
+
+    def test_io_saturation_effect(self, medium_circuit):
+        """Splitting a circuit in half creates pads on each side — the
+        'I/Os saturate faster than logic' effect of recursive cutting."""
+        half = list(range(medium_circuit.num_cells // 2))
+        sub = extract_subcircuit(medium_circuit, half).sub
+        assert sub.num_terminals > 0

@@ -1,0 +1,138 @@
+"""Netlist transformation utilities."""
+
+import pytest
+
+from repro.core import fpart
+from repro.hypergraph import (
+    Hypergraph,
+    compute_stats,
+    merge_cells,
+    relabel,
+    remove_dangling,
+    split_into_devices,
+)
+
+
+class TestSplitIntoDevices:
+    def test_two_clusters(self, two_clusters, tiny_device):
+        result = fpart(two_clusters, tiny_device)
+        pieces = split_into_devices(
+            two_clusters, result.assignment, result.num_devices
+        )
+        assert len(pieces) == 2
+        assert {len(p.sub.cell_sizes) for p in pieces} == {4}
+        # The bridge net gave each side one extra pad.
+        for piece in pieces:
+            assert piece.sub.num_terminals >= 1
+
+    def test_sizes_conserved(self, medium_circuit, small_device):
+        result = fpart(medium_circuit, small_device)
+        pieces = split_into_devices(medium_circuit, result.assignment)
+        assert (
+            sum(p.sub.total_size for p in pieces)
+            == medium_circuit.total_size
+        )
+
+    def test_piece_pins_match_block_pins(self, medium_circuit, small_device):
+        """Each piece's pad count equals the block's pin count — the
+        subcircuit-extraction and PartitionState pin models agree."""
+        from repro.partition import block_pin_counts
+
+        result = fpart(medium_circuit, small_device)
+        pins = block_pin_counts(
+            medium_circuit, result.assignment, result.num_devices
+        )
+        pieces = split_into_devices(
+            medium_circuit, result.assignment, result.num_devices
+        )
+        piece_index = 0
+        for block in range(result.num_devices):
+            piece = pieces[piece_index]
+            piece_index += 1
+            assert piece.sub.num_terminals == pins[block], block
+
+    def test_empty_blocks_skipped(self, chain4):
+        pieces = split_into_devices(chain4, [0, 0, 2, 2], num_blocks=3)
+        assert len(pieces) == 2
+
+    def test_length_mismatch(self, chain4):
+        with pytest.raises(ValueError, match="mismatch"):
+            split_into_devices(chain4, [0, 0])
+
+
+class TestMergeCells:
+    def test_basic_merge(self, two_clusters):
+        merged, cell_map = merge_cells(two_clusters, [[0, 1, 2, 3]])
+        assert merged.num_cells == 5
+        cluster = cell_map[0]
+        assert all(cell_map[c] == cluster for c in range(4))
+        # Total size conserved.
+        assert merged.total_size == two_clusters.total_size
+        # Cluster-internal padless nets vanish; the bridge survives.
+        assert merged.num_nets < two_clusters.num_nets
+
+    def test_multiple_groups(self, two_clusters):
+        merged, cell_map = merge_cells(
+            two_clusters, [[0, 1], [4, 5], [6, 7]]
+        )
+        assert merged.num_cells == 5
+        assert cell_map[4] == cell_map[5]
+        assert cell_map[4] != cell_map[6]
+
+    def test_overlap_rejected(self, chain4):
+        with pytest.raises(ValueError, match="two groups"):
+            merge_cells(chain4, [[0, 1], [1, 2]])
+
+    def test_out_of_range_rejected(self, chain4):
+        with pytest.raises(ValueError, match="out of range"):
+            merge_cells(chain4, [[0, 9]])
+
+    def test_drivers_follow(self):
+        hg = Hypergraph(
+            [1, 1, 1], [(0, 1), (1, 2)], net_drivers=[0, 1]
+        )
+        merged, cell_map = merge_cells(hg, [[0, 1]])
+        # Net (1,2) survives with its driver mapped into the cluster.
+        assert merged.num_nets == 1
+        assert merged.net_driver(0) == cell_map[1]
+
+    def test_pads_keep_nets_alive(self, chain4):
+        # Net 0 has a pad: merging its two pins keeps the net.
+        merged, _ = merge_cells(chain4, [[0, 1]])
+        padded = [
+            e
+            for e in range(merged.num_nets)
+            if merged.net_terminal_count(e)
+        ]
+        assert len(padded) == 1
+
+
+class TestRemoveDangling:
+    def test_drops_single_pin_padless(self):
+        hg = Hypergraph([1, 1], [(0,), (0, 1), (1,)], terminal_nets=[2])
+        cleaned, net_map = remove_dangling(hg)
+        assert cleaned.num_nets == 2
+        assert net_map == [-1, 0, 1]
+        assert cleaned.num_terminals == 1
+
+    def test_idempotent(self, two_clusters):
+        cleaned, net_map = remove_dangling(two_clusters)
+        assert cleaned == two_clusters
+        assert all(m >= 0 for m in net_map)
+
+
+class TestRelabel:
+    def test_labels_replaced(self, chain4):
+        renamed = relabel(
+            chain4,
+            cell_names=["a", "b", "c", "d"],
+            name="renamed",
+        )
+        assert renamed.cell_label(2) == "c"
+        assert renamed.name == "renamed"
+        assert renamed == chain4  # structure untouched
+
+    def test_defaults_keep_old(self, chain4):
+        clone = relabel(chain4)
+        assert clone.name == chain4.name
+        assert clone == chain4
