@@ -1,0 +1,268 @@
+"""Perf-regression harness: whole-run and evaluator-path timings.
+
+Standalone (NOT a pytest-benchmark bench)::
+
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py --smoke
+    PYTHONPATH=src python benchmarks/bench_perf_regression.py --profile
+
+Measures two things and writes ``BENCH_perf.json`` at the repo root
+(schema documented in EXPERIMENTS.md):
+
+1. **Whole-run wall time** of canonical FPART workloads, once with
+   ``incremental_cost=True`` and once with ``False``; the two runs must
+   produce identical assignments (the incremental evaluator is
+   bit-identical by construction, so any divergence is a bug).
+
+2. **Evaluator-path speedup** — the per-move cost-evaluation work,
+   which is what this harness guards against regressing.  The pre-change
+   engine re-evaluated the full O(k) sweep (plus a frozen-dataclass
+   ``SolutionCost``) after every applied move; the incremental path does
+   an O(1) two-block refresh plus a raw comparison key.  Both are timed
+   over the same recorded move trace on a mid-run FPART state, and the
+   harness fails (exit 1) if the speedup drops below the floor.
+
+Cross-PR trajectory: commit the refreshed ``BENCH_perf.json`` whenever
+the numbers move materially; ``git log -p BENCH_perf.json`` then shows
+the perf history of the repo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.circuits import mcnc_circuit  # noqa: E402
+from repro.core import (  # noqa: E402
+    CostEvaluator,
+    FpartConfig,
+    IncrementalCostEvaluator,
+    device_by_name,
+    fpart,
+)
+from repro.partition import PartitionState  # noqa: E402
+
+#: Minimum acceptable evaluator-path speedup (the acceptance bar) on
+#: the canonical s15850 workload (k=7 blocks).  The legacy sweep is
+#: O(k), so the achievable ratio shrinks with the block count; the
+#: smoke workload (s9234, k=4) gets a proportionally lower floor.
+SPEEDUP_FLOOR = 3.0
+SMOKE_SPEEDUP_FLOOR = 2.0
+
+#: Canonical workloads: (circuit, device).  s15850/XC3042 is the
+#: largest Table 3 row exercised by default (M=7 ⇒ 42 directions).
+WORKLOADS: Tuple[Tuple[str, str], ...] = (
+    ("s9234", "XC3042"),
+    ("s15850", "XC3042"),
+)
+SMOKE_WORKLOADS: Tuple[Tuple[str, str], ...] = (("s9234", "XC3042"),)
+
+
+def _time_run(circuit: str, device_name: str, incremental: bool):
+    hg = mcnc_circuit(circuit)
+    device = device_by_name(device_name)
+    config = FpartConfig(incremental_cost=incremental)
+    start = time.perf_counter()
+    result = fpart(hg, device, config=config)
+    elapsed = time.perf_counter() - start
+    return elapsed, result
+
+
+def bench_whole_runs(workloads) -> List[Dict]:
+    rows: List[Dict] = []
+    for circuit, device_name in workloads:
+        t_inc, r_inc = _time_run(circuit, device_name, incremental=True)
+        t_full, r_full = _time_run(circuit, device_name, incremental=False)
+        identical = list(r_inc.assignment) == list(r_full.assignment)
+        rows.append(
+            {
+                "circuit": circuit,
+                "device": device_name,
+                "devices_used": r_inc.num_devices,
+                "wall_s_incremental": round(t_inc, 4),
+                "wall_s_full": round(t_full, 4),
+                "assignments_identical": identical,
+            }
+        )
+        print(
+            f"run {circuit}/{device_name}: "
+            f"incremental={t_inc:.2f}s full-sweep={t_full:.2f}s "
+            f"identical={identical}"
+        )
+        if not identical:
+            raise SystemExit(
+                f"FATAL: {circuit}/{device_name} diverged between "
+                "incremental and full-sweep cost modes"
+            )
+    return rows
+
+
+def bench_evaluator_path(
+    circuit: str = "s15850",
+    device_name: str = "XC3042",
+    moves: int = 20000,
+    floor: float = SPEEDUP_FLOOR,
+) -> Dict:
+    """Per-move evaluator work: pre-change full sweep vs incremental.
+
+    Replays one recorded random move trace on a real mid-run partition
+    (the workload's final FPART state, whose block count matches a real
+    run) through both evaluator paths.
+    """
+    hg = mcnc_circuit(circuit)
+    device = device_by_name(device_name)
+    result = fpart(hg, device, config=FpartConfig())
+    k = result.num_devices
+    state = PartitionState.from_assignment(hg, result.assignment, k)
+    m = device.lower_bound(hg)
+    config = FpartConfig()
+
+    rng = random.Random(1999)
+    trace = [
+        (rng.randrange(hg.num_cells), rng.randrange(k)) for _ in range(moves)
+    ]
+    baseline = state.assignment()
+    repeats = 3
+    perf_counter = time.perf_counter
+
+    # Both loops apply the same moves; only the time spent inside the
+    # cost-evaluation work is accumulated (the move itself is common to
+    # both paths and excluded).
+
+    # Pre-change path: full O(k) sweep + SolutionCost per applied move
+    # (exactly what the engine did before the incremental evaluator).
+    legacy = CostEvaluator(device, config, m, hg.num_terminals)
+
+    def legacy_loop() -> float:
+        total = 0.0
+        for cell, to_block in trace:
+            state.move(cell, to_block)
+            start = perf_counter()
+            legacy.evaluate(state, 0).key  # noqa: B018 — timed expression
+            total += perf_counter() - start
+        return total
+
+    # Incremental path: the two-block refresh (normally riding on
+    # ``state.move()`` as a listener — driven by hand here so it can be
+    # timed) plus the O(1) raw comparison key.
+    inc = IncrementalCostEvaluator(device, config, m, hg.num_terminals)
+    inc.attach(state)
+    state.remove_listener(inc)  # notify manually inside the timed window
+
+    def incremental_loop() -> float:
+        total = 0.0
+        for cell, to_block in trace:
+            from_block = state.block_of(cell)
+            state.move(cell, to_block)
+            start = perf_counter()
+            inc.on_move(from_block, to_block)
+            inc.current_key(0)
+            total += perf_counter() - start
+        return total
+
+    t_legacy = float("inf")
+    t_inc = float("inf")
+    for _ in range(repeats):
+        t_legacy = min(t_legacy, legacy_loop())
+        state.restore(baseline)
+        t_inc = min(t_inc, incremental_loop())
+        state.restore(baseline)
+        inc.attach(state)  # resync after the untracked restore
+        state.remove_listener(inc)
+    inc.detach()
+
+    t_inc = max(t_inc, 1e-9)
+    speedup = t_legacy / t_inc
+    row = {
+        "circuit": circuit,
+        "device": device_name,
+        "blocks": k,
+        "moves": moves,
+        "per_move_us_full_sweep": round(t_legacy / moves * 1e6, 3),
+        "per_move_us_incremental": round(t_inc / moves * 1e6, 3),
+        "speedup": round(speedup, 2),
+        "floor": floor,
+    }
+    print(
+        f"evaluator path {circuit}/{device_name} (k={k}, {moves} moves): "
+        f"full-sweep={row['per_move_us_full_sweep']}us/move "
+        f"incremental={row['per_move_us_incremental']}us/move "
+        f"speedup={speedup:.1f}x (floor {floor}x)"
+    )
+    return row
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small workload set for CI (s9234 only, shorter trace)",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_perf.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also print a cProfile hotspot table of the largest workload",
+    )
+    args = parser.parse_args(argv)
+
+    workloads = SMOKE_WORKLOADS if args.smoke else WORKLOADS
+    moves = 4000 if args.smoke else 20000
+    floor = SMOKE_SPEEDUP_FLOOR if args.smoke else SPEEDUP_FLOOR
+    eval_circuit = workloads[-1][0]
+
+    runs = bench_whole_runs(workloads)
+    evaluator = bench_evaluator_path(
+        eval_circuit, "XC3042", moves=moves, floor=floor
+    )
+
+    report = {
+        "schema": 1,
+        "generated_utc": time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "python": platform.python_version(),
+        "mode": "smoke" if args.smoke else "full",
+        "speedup_floor": floor,
+        "whole_runs": runs,
+        "evaluator_path": evaluator,
+    }
+    out = Path(args.output)
+    out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"report written to {out}")
+
+    if args.profile:
+        from repro.analysis.profiling import profile_call
+
+        circuit, device_name = workloads[-1]
+        rep = profile_call(
+            lambda: _time_run(circuit, device_name, incremental=True)
+        )
+        print(f"\nhotspots for {circuit}/{device_name}:")
+        print(rep.render())
+
+    if evaluator["speedup"] < floor:
+        print(
+            f"FAIL: evaluator-path speedup {evaluator['speedup']}x is "
+            f"below the {floor}x floor"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

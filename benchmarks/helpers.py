@@ -5,13 +5,14 @@ text goes to ``benchmarks/results/<name>.txt`` *and* to stdout (visible
 with ``pytest -s``), so a full ``pytest benchmarks/ --benchmark-only``
 leaves a results directory mirroring the paper's evaluation section.
 
-Environment knobs:
+Environment knob (see DESIGN.md section 4):
 
-* ``REPRO_SMALL=1`` — restrict FPART to the six smaller circuits
-  (default: all ten; the pure-Python run takes ~1 minute per device).
-* ``REPRO_FULL=1``  — run the reimplemented baselines (k-way.x*,
-  FBB-MW*) on the two largest circuits as well (slow: the flow-based
-  baseline needs minutes there).
+* ``REPRO_FULL=1`` — include the four largest circuits
+  (s13207…s38584) in the FPART runs and run the reimplemented
+  baselines (k-way.x*, FBB-MW*) on them too.  The default is the six
+  smaller circuits, so a laptop run finishes in minutes; the large
+  circuits are slow in pure Python (the flow-based baseline needs
+  minutes each).
 """
 
 from __future__ import annotations
@@ -24,7 +25,6 @@ from repro.circuits import (
     COMBINATIONAL_CIRCUITS,
     LARGE_CIRCUITS,
     MCNC_NAMES,
-    SMALL_CIRCUITS,
 )
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -42,13 +42,16 @@ def save(name: str, text: str) -> None:
 
 
 def fpart_circuits(device: str) -> Tuple[str, ...]:
-    """Circuit set for FPART measurements on one device."""
+    """Circuit set for FPART measurements on one device.
+
+    Small-by-default; ``REPRO_FULL=1`` adds the large circuits.
+    """
     base = (
         COMBINATIONAL_CIRCUITS if device.upper() == "XC2064" else MCNC_NAMES
     )
-    if os.environ.get("REPRO_SMALL"):
-        return tuple(c for c in base if c in SMALL_CIRCUITS)
-    return base
+    if os.environ.get("REPRO_FULL"):
+        return base
+    return tuple(c for c in base if c not in LARGE_CIRCUITS)
 
 
 def baseline_circuits(device: str) -> Tuple[str, ...]:

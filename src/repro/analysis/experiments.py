@@ -4,9 +4,10 @@ Builds each benchmark circuit (Table 1 stand-ins), runs FPART and the
 reimplemented baselines, and renders comparison tables whose published
 columns carry the paper's verbatim numbers next to the measured ones.
 
-The default circuit set is everything — pure-Python FPART finishes the
-full suite in under a minute per device.  Set ``REPRO_SMALL=1`` to
-restrict to the six smaller circuits on slow machines.
+The default circuit set is the six smaller circuits (DESIGN.md
+section 4), so a laptop run finishes in minutes.  Set ``REPRO_FULL=1``
+to include the four large circuits (s13207…s38584 — slow in pure
+Python).
 """
 
 from __future__ import annotations
@@ -19,8 +20,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..baselines import bfs_pack, fbb_multiway, kwayx
 from ..circuits import (
     COMBINATIONAL_CIRCUITS,
+    LARGE_CIRCUITS,
     MCNC_NAMES,
-    SMALL_CIRCUITS,
     mcnc_circuit,
 )
 from ..core import DEFAULT_CONFIG, Device, FpartConfig, device_by_name, fpart
@@ -87,15 +88,19 @@ MEASURED_METHODS: Dict[str, Callable] = {
 
 
 def selected_circuits(device: str) -> Tuple[str, ...]:
-    """Benchmark circuits for one device, honoring ``REPRO_SMALL``."""
+    """Benchmark circuits for one device.
+
+    Small-by-default (DESIGN.md section 4); ``REPRO_FULL=1`` adds the
+    four large circuits.
+    """
     base = (
         COMBINATIONAL_CIRCUITS
         if device.upper() == "XC2064"
         else MCNC_NAMES
     )
-    if os.environ.get("REPRO_SMALL"):
-        return tuple(c for c in base if c in SMALL_CIRCUITS)
-    return base
+    if os.environ.get("REPRO_FULL"):
+        return base
+    return tuple(c for c in base if c not in LARGE_CIRCUITS)
 
 
 def circuit_for_device(name: str, device: str) -> Hypergraph:

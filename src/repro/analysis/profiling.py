@@ -1,0 +1,120 @@
+"""Profiling helpers for the perf-regression harness and the CLI.
+
+Thin wrappers around :mod:`cProfile` producing deterministic, plain-text
+hotspot tables — the same rendering is used by ``fpart partition
+--profile`` and by ``benchmarks/bench_perf_regression.py`` when invoked
+with ``--profile``.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Tuple
+
+__all__ = [
+    "HotSpot",
+    "ProfileReport",
+    "profile_call",
+    "time_call",
+    "render_hotspots",
+]
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One row of a profile hotspot table."""
+
+    function: str
+    calls: int
+    tottime: float
+    cumtime: float
+
+
+@dataclass(frozen=True)
+class ProfileReport:
+    """Result of :func:`profile_call`."""
+
+    result: Any
+    elapsed: float
+    hotspots: Tuple[HotSpot, ...]
+
+    def render(self, limit: int = 15) -> str:
+        return render_hotspots(self.hotspots[:limit])
+
+
+def _format_location(func: Tuple[str, int, str]) -> str:
+    filename, lineno, name = func
+    if filename == "~":
+        return name  # builtins
+    short = filename
+    for marker in ("/src/", "/repro/"):
+        idx = filename.rfind(marker)
+        if idx >= 0:
+            short = filename[idx + 1 :]
+            break
+    return f"{short}:{lineno}({name})"
+
+
+def profile_call(
+    fn: Callable[..., Any], *args: Any, top: int = 25, **kwargs: Any
+) -> ProfileReport:
+    """Run ``fn(*args, **kwargs)`` under cProfile.
+
+    Returns the call's result, its wall time and the ``top`` hotspots
+    ordered by cumulative time.
+    """
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    elapsed = time.perf_counter() - start
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[HotSpot] = []
+    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+        cc, nc, tt, ct, _ = stats.stats[func]  # type: ignore[attr-defined]
+        rows.append(
+            HotSpot(
+                function=_format_location(func),
+                calls=nc,
+                tottime=tt,
+                cumtime=ct,
+            )
+        )
+    return ProfileReport(result=result, elapsed=elapsed, hotspots=tuple(rows))
+
+
+def time_call(
+    fn: Callable[..., Any], *args: Any, repeat: int = 1, **kwargs: Any
+) -> Tuple[Any, float]:
+    """``(result, best wall time over repeat runs)`` of ``fn``."""
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    best = float("inf")
+    result: Any = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return result, best
+
+
+def render_hotspots(hotspots: Tuple[HotSpot, ...]) -> str:
+    """Fixed-width hotspot table (sorted as given)."""
+    lines = [
+        f"{'calls':>10}  {'tottime':>8}  {'cumtime':>8}  function",
+        "-" * 72,
+    ]
+    for h in hotspots:
+        lines.append(
+            f"{h.calls:>10}  {h.tottime:>8.3f}  {h.cumtime:>8.3f}  "
+            f"{h.function}"
+        )
+    return "\n".join(lines)

@@ -32,6 +32,7 @@ from ..core import (
     UnpartitionableError,
     classify,
 )
+from ..core.cost import IncrementalCostEvaluator, make_evaluator
 from ..core.feasibility import Feasibility
 from ..hypergraph import Hypergraph
 from ..partition import PartitionState
@@ -63,7 +64,7 @@ class AnnealingResult:
 def _energy(
     state: PartitionState, evaluator: CostEvaluator, device: Device
 ) -> float:
-    cost = evaluator.evaluate(state, remainder=0)
+    cost = evaluator.cost_of(state, remainder=0)
     k = state.num_blocks
     infeasible = k - cost.feasible_blocks
     return (
@@ -82,9 +83,11 @@ def _anneal_once(
     moves_budget: int,
 ) -> Tuple[PartitionState, int]:
     m = device.lower_bound(hg)
-    evaluator = CostEvaluator(device, config, m, hg.num_terminals)
+    evaluator = make_evaluator(device, config, m, hg.num_terminals)
     assignment = [rng.randrange(k) for _ in range(hg.num_cells)]
     state = PartitionState.from_assignment(hg, assignment, k)
+    if isinstance(evaluator, IncrementalCostEvaluator):
+        evaluator.attach(state)
 
     energy = _energy(state, evaluator, device)
     best_energy = energy

@@ -20,13 +20,13 @@ from typing import List, Optional, Tuple
 
 from ..core import (
     DEFAULT_CONFIG,
-    CostEvaluator,
     Device,
     FpartConfig,
     UnpartitionableError,
     classify,
     improve,
 )
+from ..core.cost import make_evaluator
 from ..core.feasibility import Feasibility
 from ..hypergraph import Hypergraph
 from ..initial import GrowingBlock, bfs_distances_within
@@ -144,7 +144,7 @@ def direct_kway(
             state = PartitionState.from_assignment(
                 hg, _seeded_initial(hg, k), k
             )
-            evaluator = CostEvaluator(device, config, m, hg.num_terminals)
+            evaluator = make_evaluator(device, config, m, hg.num_terminals)
             # The remainder role goes to the worst block.
             remainder = max(
                 range(k),

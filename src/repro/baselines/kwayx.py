@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.config import DEFAULT_CONFIG, FpartConfig
-from ..core.cost import CostEvaluator
+from ..core.cost import make_evaluator
 from ..core.device import Device
 from ..core.exceptions import IterationLimitError, UnpartitionableError
 from ..fm import fm_refine
@@ -106,7 +106,7 @@ class KwayxPartitioner:
         hg = self.hg
         device = self.device
         m = self.lower_bound
-        evaluator = CostEvaluator(device, self.config, m, hg.num_terminals)
+        evaluator = make_evaluator(device, self.config, m, hg.num_terminals)
         state = PartitionState.single_block(hg)
         remainder = 0
         max_iterations = 4 * m + 16

@@ -99,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--verbose", action="store_true", help="per-block detail"
     )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print a hotspot table",
+    )
 
     g = sub.add_parser("generate", help="generate a synthetic netlist")
     g.add_argument("name", help="circuit name (also the seed)")
@@ -176,39 +181,50 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     device = device_by_name(args.device)
     if args.delta is not None:
         device = device.with_delta(args.delta)
+
+    runners = {
+        "fpart": lambda: fpart(hg, device),
+        "kwayx": lambda: kwayx(hg, device),
+        "rp0": lambda: rp0(hg, device),
+        "fbb": lambda: fbb_multiway(hg, device),
+        "pack": lambda: bfs_pack(hg, device),
+    }
+    profile_report = None
+    if args.profile:
+        from .analysis.profiling import profile_call
+
+        profile_report = profile_call(runners[args.algorithm])
+        res = profile_report.result
+    else:
+        res = runners[args.algorithm]()
+
+    assignment: Optional[List[int]]
     if args.algorithm == "fpart":
-        result = fpart(hg, device)
-        assignment: Optional[List[int]] = result.assignment
-        print(result.summary())
+        assignment = res.assignment
+        print(res.summary())
         if args.verbose:
             for b, (size, pins) in enumerate(
-                zip(result.block_sizes, result.block_pins)
+                zip(res.block_sizes, res.block_pins)
             ):
                 print(f"  block {b}: size={size} pins={pins}")
     elif args.algorithm == "kwayx":
-        res = kwayx(hg, device)
         assignment = list(res.assignment)
         print(res.summary())
     elif args.algorithm == "rp0":
-        res = rp0(hg, device)
         # The replicated netlist has extra cells; only the verdict is
         # reported (the assignment refers to the transformed netlist).
         assignment = None
         print(res.summary())
-    elif args.algorithm == "fbb":
-        res = fbb_multiway(hg, device)
+    else:  # fbb / pack report block lists
         assignment = [0] * hg.num_cells
         for b, block in enumerate(res.blocks):
             for c in block:
                 assignment[c] = b
         print(res.summary())
-    else:
-        res = bfs_pack(hg, device)
-        assignment = [0] * hg.num_cells
-        for b, block in enumerate(res.blocks):
-            for c in block:
-                assignment[c] = b
-        print(res.summary())
+
+    if profile_report is not None:
+        print(f"wall time: {profile_report.elapsed:.3f}s")
+        print(profile_report.render())
 
     if args.output and assignment is not None:
         with open(args.output, "w", encoding="ascii") as stream:

@@ -22,13 +22,13 @@ from typing import List
 
 from ..core import (
     DEFAULT_CONFIG,
-    CostEvaluator,
     Device,
     FpartConfig,
     FpartPartitioner,
     FpartResult,
     improve,
 )
+from ..core.cost import make_evaluator
 from ..hypergraph import Hypergraph
 from ..partition import PartitionState
 from .coarsen import coarsen_to_size
@@ -97,7 +97,7 @@ def fpart_multilevel(
             state = PartitionState.from_assignment(
                 parent, assignment, num_blocks
             )
-            evaluator = CostEvaluator(
+            evaluator = make_evaluator(
                 device, config, m, parent.num_terminals
             )
             remainder = max(

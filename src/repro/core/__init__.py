@@ -5,7 +5,12 @@ the improvement driver and the Algorithm 1 partitioner.
 """
 
 from .config import DEFAULT_CONFIG, FpartConfig
-from .cost import CostEvaluator, SolutionCost
+from .cost import (
+    CostEvaluator,
+    IncrementalCostEvaluator,
+    SolutionCost,
+    make_evaluator,
+)
 from .device import (
     DEVICE_CATALOG,
     XC2064,
@@ -72,6 +77,8 @@ __all__ = [
     "solution_points",
     "SolutionCost",
     "CostEvaluator",
+    "IncrementalCostEvaluator",
+    "make_evaluator",
     "MoveRegion",
     "SolutionStack",
     "DualSolutionStacks",

@@ -99,6 +99,11 @@ class FpartConfig:
     use_infeasibility_cost: bool = True
     """Select best solutions by the lexicographic infeasibility cost; if
     False, fall back to cut-net count only (ablation: the [9] cost)."""
+    incremental_cost: bool = True
+    """Maintain the solution cost incrementally (O(1) per applied move)
+    instead of re-sweeping all blocks after every move.  Costs are
+    bit-identical either way (see ``repro.core.cost``); False exists for
+    the perf-regression bench and as a paranoia fallback."""
     balance_tie_break: bool = True
     """Among equal-gain moves prefer the one maximizing S_FROM - S_TO."""
 

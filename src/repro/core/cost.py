@@ -14,24 +14,42 @@ by the tuple ``(f, d_k, T_SUM, d_k^E)`` in lexicographic order:
 
 For the cost-function ablation (the net-count-only cost of Kuznar's
 k-way.x) the comparison degrades to ``(f, cut_nets)``.
+
+Incremental evaluation
+----------------------
+Both evaluators compute the float terms (``d_k``, ``d_k^E``) from
+*integer aggregates* through one shared closed-form expression::
+
+    d_k   = lambda_S (sum_S - n_S S_MAX) / S_MAX
+          + lambda_T (sum_T - n_T T_MAX) / T_MAX  + lambda_R d_k^R
+    d_k^E = (n_B T_AVG^E - sum_E) / T_AVG^E
+
+where ``n_S``/``sum_S`` count and sum the sizes of over-capacity blocks,
+``n_T``/``sum_T`` do the same for over-pin blocks, and ``n_B``/``sum_E``
+for blocks whose external-pad count sits below ``T_AVG^E``.  The
+aggregates are exact integers, so :class:`IncrementalCostEvaluator` —
+which maintains them under O(1) per-move updates — produces costs
+*bit-identical* to a fresh O(k) :meth:`CostEvaluator.evaluate` sweep (no
+floating-point drift from repeated add/subtract).
 """
 
 from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Optional, Tuple
 
-from ..partition import PartitionState
+from ..partition import PartitionState, StateListener
 from .config import FpartConfig
 from .device import Device
-from .feasibility import (
-    block_distance,
-    block_is_feasible,
-    size_deviation_penalty,
-)
+from .feasibility import size_deviation_penalty
 
-__all__ = ["SolutionCost", "CostEvaluator"]
+__all__ = [
+    "SolutionCost",
+    "CostEvaluator",
+    "IncrementalCostEvaluator",
+    "make_evaluator",
+]
 
 
 @functools.total_ordering
@@ -97,31 +115,84 @@ class CostEvaluator:
         self.num_terminals = num_terminals
         self.t_avg_ext = num_terminals / lower_bound
 
-    def evaluate(self, state: PartitionState, remainder: int) -> SolutionCost:
-        """Cost of ``state`` with ``remainder`` as the remainder block."""
+    # -- shared aggregate machinery -------------------------------------
+
+    def _block_terms(
+        self, size: int, pins: int, ext: int
+    ) -> Tuple[int, int, int, int, int, int, int]:
+        """One block's contribution to the integer aggregates.
+
+        ``(feasible, n_S, sum_S, n_T, sum_T, n_B, sum_E)`` — see the
+        module docstring for the aggregate definitions.
+        """
         device = self.device
-        config = self.config
-        feasible = 0
-        distance = 0.0
-        ext_balance = 0.0
-        t_avg = self.t_avg_ext
-        for b in range(state.num_blocks):
-            size = state.block_size(b)
-            pins = state.block_pins(b)
-            if block_is_feasible(size, pins, device):
-                feasible += 1
-            else:
-                distance += block_distance(size, pins, device, config)
-            if t_avg > 0:
-                ext = state.block_ext_ios(b)
-                if ext < t_avg:
-                    ext_balance += (t_avg - ext) / t_avg
-        blocks_created = state.num_blocks - 1
-        distance += config.lambda_r * size_deviation_penalty(
+        over_s = size > device.s_max
+        over_t = pins > device.t_max
+        below = ext < self.t_avg_ext
+        return (
+            0 if (over_s or over_t) else 1,
+            1 if over_s else 0,
+            size if over_s else 0,
+            1 if over_t else 0,
+            pins if over_t else 0,
+            1 if below else 0,
+            ext if below else 0,
+        )
+
+    def _deviation_penalty(
+        self, state: PartitionState, remainder: int
+    ) -> float:
+        """``d_k^R`` of the remainder — memoized by the incremental
+        subclass (the function is pure, so the memo is bit-identical)."""
+        return size_deviation_penalty(
             state.block_size(remainder),
             self.lower_bound,
-            blocks_created,
-            device,
+            state.num_blocks - 1,
+            self.device,
+        )
+
+    def _float_terms(
+        self,
+        n_s: int,
+        sum_s: int,
+        n_t: int,
+        sum_t: int,
+        n_b: int,
+        sum_ext: int,
+        state: PartitionState,
+        remainder: int,
+    ) -> Tuple[float, float]:
+        """``(d_k, d_k^E)`` from the integer aggregates.
+
+        This is the *only* place the float terms are computed, so the
+        O(k) sweep and the incremental path are bit-identical.
+        """
+        device = self.device
+        config = self.config
+        distance = (
+            config.lambda_s * ((sum_s - n_s * device.s_max) / device.s_max)
+            + config.lambda_t * ((sum_t - n_t * device.t_max) / device.t_max)
+            + config.lambda_r * self._deviation_penalty(state, remainder)
+        )
+        t_avg = self.t_avg_ext
+        ext_balance = (n_b * t_avg - sum_ext) / t_avg if t_avg > 0 else 0.0
+        return distance, ext_balance
+
+    def _assemble(
+        self,
+        feasible: int,
+        n_s: int,
+        sum_s: int,
+        n_t: int,
+        sum_t: int,
+        n_b: int,
+        sum_ext: int,
+        state: PartitionState,
+        remainder: int,
+    ) -> SolutionCost:
+        """Build a :class:`SolutionCost` from the integer aggregates."""
+        distance, ext_balance = self._float_terms(
+            n_s, sum_s, n_t, sum_t, n_b, sum_ext, state, remainder
         )
         return SolutionCost(
             feasible_blocks=feasible,
@@ -129,5 +200,300 @@ class CostEvaluator:
             total_pins=state.total_pins,
             ext_balance=ext_balance,
             cut_nets=state.cut_nets,
-            use_infeasibility=config.use_infeasibility_cost,
+            use_infeasibility=self.config.use_infeasibility_cost,
         )
+
+    def evaluate(self, state: PartitionState, remainder: int) -> SolutionCost:
+        """Cost of ``state`` with ``remainder`` as the remainder block.
+
+        A full O(k) sweep — the consistency oracle for the incremental
+        evaluator.
+        """
+        feasible = n_s = sum_s = n_t = sum_t = n_b = sum_ext = 0
+        for b in range(state.num_blocks):
+            terms = self._block_terms(
+                state.block_size(b), state.block_pins(b), state.block_ext_ios(b)
+            )
+            feasible += terms[0]
+            n_s += terms[1]
+            sum_s += terms[2]
+            n_t += terms[3]
+            sum_t += terms[4]
+            n_b += terms[5]
+            sum_ext += terms[6]
+        return self._assemble(
+            feasible, n_s, sum_s, n_t, sum_t, n_b, sum_ext, state, remainder
+        )
+
+    def cost_of(self, state: PartitionState, remainder: int) -> SolutionCost:
+        """Cost of ``state`` — overridden incrementally where possible."""
+        return self.evaluate(state, remainder)
+
+    def key_of(self, state: PartitionState, remainder: int) -> Tuple:
+        """Comparison key of ``state`` (same ordering as the cost)."""
+        return self.evaluate(state, remainder).key
+
+
+class IncrementalCostEvaluator(CostEvaluator, StateListener):
+    """Cost evaluator with O(1) per-move updates.
+
+    :meth:`attach` registers the evaluator as a listener of one
+    :class:`~repro.partition.PartitionState` and seeds per-block term
+    caches plus the integer aggregates with one O(k) sweep.  Each
+    ``state.move()`` then triggers ``on_move(from, to)``, which refreshes
+    only the two touched blocks (a move can change sizes/pins/pads of
+    *only* its source and destination).  :meth:`current_cost` assembles
+    the full lexicographic cost from the aggregates in O(1).
+
+    The inherited :meth:`evaluate` stays available as the from-scratch
+    oracle; by construction both produce bit-identical costs.
+    """
+
+    def __init__(
+        self,
+        device: Device,
+        config: FpartConfig,
+        lower_bound: int,
+        num_terminals: int,
+    ) -> None:
+        super().__init__(device, config, lower_bound, num_terminals)
+        # Flattened constants for the per-move hot path (the same float
+        # objects as on device/config, so the arithmetic stays
+        # bit-identical to the O(k) sweep).
+        self._s_max = device.s_max
+        self._t_max = device.t_max
+        self._lam_s = config.lambda_s
+        self._lam_t = config.lambda_t
+        self._lam_r = config.lambda_r
+        self._use_infeas = config.use_infeasibility_cost
+        # Last-value memo for the deviation penalty used by
+        # ``current_key`` (two int compares instead of a dict probe).
+        self._pen_size = -1
+        self._pen_blocks = -1
+        self._pen_val = 0.0
+        self._state: Optional[PartitionState] = None
+        self._terms: List[Tuple[int, int, int, int, int, int, int]] = []
+        # Aggregates [feasible, n_S, sum_S, n_T, sum_T, n_B, sum_E] in
+        # one list — cheaper to update in the per-move hot path than
+        # seven instance attributes.
+        self._agg: List[int] = [0] * 7
+        # Live (sizes, pins, ext) list views of the attached state,
+        # re-captured on attach/rebuild.
+        self._sizes: List[int] = []
+        self._pins: List[int] = []
+        self._ext: List[int] = []
+        # Memo for the pure deviation penalty, keyed by
+        # (remainder size, num blocks).
+        self._pen_cache: dict = {}
+
+    @property
+    def attached_state(self) -> Optional[PartitionState]:
+        """The state currently tracked (None when detached)."""
+        return self._state
+
+    def attach(self, state: PartitionState) -> None:
+        """Track ``state``; detaches from any previously tracked state."""
+        if self._state is not state:
+            if self._state is not None:
+                self._state.remove_listener(self)
+            self._state = state
+            state.add_listener(self)
+        self._resync()
+
+    def detach(self) -> None:
+        """Stop tracking; :meth:`cost_of` falls back to full sweeps."""
+        if self._state is not None:
+            self._state.remove_listener(self)
+            self._state = None
+            self._terms = []
+
+    def _resync(self) -> None:
+        state = self._state
+        self._sizes, self._pins, self._ext = state.block_arrays()
+        terms = [
+            self._block_terms(
+                state.block_size(b), state.block_pins(b), state.block_ext_ios(b)
+            )
+            for b in range(state.num_blocks)
+        ]
+        self._terms = terms
+        self._agg = [sum(t[i] for t in terms) for i in range(7)]
+
+    def _refresh_block(self, b: int) -> None:
+        # Inlined _block_terms on the captured array views.  on_move
+        # fuses this logic for its two blocks; this method serves the
+        # remaining (cold) callers.
+        size = self._sizes[b]
+        pins = self._pins[b]
+        ext = self._ext[b]
+        over_s = size > self._s_max
+        over_t = pins > self._t_max
+        below = ext < self.t_avg_ext
+        new = (
+            0 if (over_s or over_t) else 1,
+            1 if over_s else 0,
+            size if over_s else 0,
+            1 if over_t else 0,
+            pins if over_t else 0,
+            1 if below else 0,
+            ext if below else 0,
+        )
+        terms = self._terms
+        old = terms[b]
+        if new == old:
+            return
+        terms[b] = new
+        agg = self._agg
+        for i in range(7):
+            agg[i] += new[i] - old[i]
+
+    def _deviation_penalty(
+        self, state: PartitionState, remainder: int
+    ) -> float:
+        key = (state.block_size(remainder), state.num_blocks)
+        cached = self._pen_cache.get(key)
+        if cached is None:
+            cached = super()._deviation_penalty(state, remainder)
+            self._pen_cache[key] = cached
+        return cached
+
+    # -- StateListener ---------------------------------------------------
+
+    def on_move(self, from_block: int, to_block: int) -> None:
+        # The hottest method in the repo: runs after EVERY state.move().
+        # Both touched blocks are refreshed with one fused loop over
+        # locally bound arrays (a bound-method call plus per-call
+        # attribute lookups are measurable at this frequency).
+        sizes = self._sizes
+        all_pins = self._pins
+        all_ext = self._ext
+        terms = self._terms
+        agg = self._agg
+        s_max = self._s_max
+        t_max = self._t_max
+        t_avg = self.t_avg_ext
+        b = from_block
+        while True:
+            size = sizes[b]
+            pins = all_pins[b]
+            ext = all_ext[b]
+            old = terms[b]
+            if size <= s_max and pins <= t_max and old[0]:
+                # feasible -> feasible (the overwhelmingly common case):
+                # only the ext-balance aggregates (n_B, sum_E) can move,
+                # so skip the full-tuple rebuild/diff.
+                if ext < t_avg:
+                    if not (old[5] and old[6] == ext):
+                        agg[5] += 1 - old[5]
+                        agg[6] += ext - old[6]
+                        terms[b] = (1, 0, 0, 0, 0, 1, ext)
+                elif old[5]:
+                    agg[5] -= 1
+                    agg[6] -= old[6]
+                    terms[b] = (1, 0, 0, 0, 0, 0, 0)
+            else:
+                over_s = size > s_max
+                over_t = pins > t_max
+                below = ext < t_avg
+                new = (
+                    0 if (over_s or over_t) else 1,
+                    1 if over_s else 0,
+                    size if over_s else 0,
+                    1 if over_t else 0,
+                    pins if over_t else 0,
+                    1 if below else 0,
+                    ext if below else 0,
+                )
+                if new != old:
+                    terms[b] = new
+                    agg[0] += new[0] - old[0]
+                    agg[1] += new[1] - old[1]
+                    agg[2] += new[2] - old[2]
+                    agg[3] += new[3] - old[3]
+                    agg[4] += new[4] - old[4]
+                    agg[5] += new[5] - old[5]
+                    agg[6] += new[6] - old[6]
+            if b == to_block:
+                break
+            b = to_block
+
+    def on_add_block(self) -> None:
+        terms = self._block_terms(0, 0, 0)
+        self._terms.append(terms)
+        agg = self._agg
+        agg[0] += terms[0]
+        agg[5] += terms[5]
+
+    def on_rebuild(self) -> None:
+        self._resync()
+
+    # -- queries ---------------------------------------------------------
+
+    def current_cost(self, remainder: int) -> SolutionCost:
+        """O(1) cost of the attached state (must be attached)."""
+        if self._state is None:
+            raise RuntimeError("evaluator is not attached to a state")
+        return self._assemble(*self._agg, self._state, remainder)
+
+    def current_key(self, remainder: int) -> Tuple:
+        """O(1) comparison key of the attached state.
+
+        Identical (bitwise) to ``current_cost(remainder).key`` but skips
+        building the :class:`SolutionCost` — the per-move fast path of
+        the improvement engines.  The arithmetic below MUST mirror
+        :meth:`_float_terms` expression-for-expression (same operations
+        in the same order on the same values); the property tests in
+        ``tests/test_incremental_cost.py`` enforce the bit-identity.
+        """
+        state = self._state
+        if state is None:
+            raise RuntimeError("evaluator is not attached to a state")
+        agg = self._agg
+        if not self._use_infeas:
+            return (-agg[0], state._cut_nets)
+        s_max = self._s_max
+        t_max = self._t_max
+        r_size = self._sizes[remainder]
+        n_blocks = len(self._terms)
+        if r_size != self._pen_size or n_blocks != self._pen_blocks:
+            self._pen_val = self._deviation_penalty(state, remainder)
+            self._pen_size = r_size
+            self._pen_blocks = n_blocks
+        distance = (
+            self._lam_s * ((agg[2] - agg[1] * s_max) / s_max)
+            + self._lam_t * ((agg[4] - agg[3] * t_max) / t_max)
+            + self._lam_r * self._pen_val
+        )
+        t_avg = self.t_avg_ext
+        ext_balance = (agg[5] * t_avg - agg[6]) / t_avg if t_avg > 0 else 0.0
+        return (-agg[0], distance, state._total_pins, ext_balance)
+
+    def cost_of(self, state: PartitionState, remainder: int) -> SolutionCost:
+        """O(1) when attached to ``state``, full O(k) sweep otherwise."""
+        if state is self._state:
+            return self.current_cost(remainder)
+        return self.evaluate(state, remainder)
+
+    def key_of(self, state: PartitionState, remainder: int) -> Tuple:
+        """O(1) when attached to ``state``, full O(k) sweep otherwise."""
+        if state is self._state:
+            return self.current_key(remainder)
+        return self.evaluate(state, remainder).key
+
+
+def make_evaluator(
+    device: Device,
+    config: FpartConfig,
+    lower_bound: int,
+    num_terminals: int,
+) -> CostEvaluator:
+    """Run-wide evaluator honouring ``config.incremental_cost``.
+
+    Returns an :class:`IncrementalCostEvaluator` (the engines attach it
+    and pay O(1) per move) unless the config disables incremental costs,
+    in which case the plain O(k)-per-query :class:`CostEvaluator` — the
+    pre-incremental code path measured by the perf-regression bench — is
+    used.
+    """
+    cls = IncrementalCostEvaluator if config.incremental_cost else CostEvaluator
+    return cls(device, config, lower_bound, num_terminals)

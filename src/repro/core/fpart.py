@@ -30,7 +30,7 @@ from ..hypergraph import Hypergraph
 from ..initial import create_bipartition
 from ..partition import PartitionState
 from .config import DEFAULT_CONFIG, FpartConfig
-from .cost import CostEvaluator, SolutionCost
+from .cost import SolutionCost, make_evaluator
 from .device import Device
 from .exceptions import IterationLimitError, UnpartitionableError
 from .feasibility import Feasibility, block_is_feasible, classify
@@ -161,7 +161,7 @@ class FpartPartitioner:
         device = self.device
         config = self.config
         m = self.lower_bound
-        evaluator = CostEvaluator(device, config, m, hg.num_terminals)
+        evaluator = make_evaluator(device, config, m, hg.num_terminals)
 
         state = PartitionState.single_block(hg)
         remainder = 0

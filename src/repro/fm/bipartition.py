@@ -19,7 +19,7 @@ equal-gain directions the move that best equilibrates block sizes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..partition import PartitionState
 from .buckets import GainBuckets
@@ -109,25 +109,17 @@ class FmBipartitioner:
             and state.block_size(t) + size <= max_t
         )
 
-    def _neighbors(self, cell: int) -> List[int]:
-        hg = self.state.hg
-        seen = {cell}
-        result = []
-        for e in hg.nets_of(cell):
-            for v in hg.pins_of(e):
-                if v not in seen:
-                    seen.add(v)
-                    result.append(v)
-        return result
-
     # ------------------------------------------------------------------
 
     def run_pass(self) -> Tuple[int, int]:
         """One FM pass; returns ``(moves_applied, best_cut)``.
 
-        The state is left at the best prefix of the pass.
+        The state is left at the best prefix of the pass (restored by
+        rewinding the state's undo journal, not by replaying an explicit
+        move log).
         """
         state = self.state
+        hg = state.hg
         buckets = {
             self.block_a: GainBuckets(self._max_deg),
             self.block_b: GainBuckets(self._max_deg),
@@ -138,9 +130,9 @@ class FmBipartitioner:
             t = self._other(f)
             buckets[f].insert(c, move_gain(state, c, t))
 
-        move_log: List[Tuple[int, int]] = []  # (cell, from_block)
+        mark = state.journal_mark()
+        best_mark = mark
         best_cut = state.cut_nets
-        best_prefix = 0
         # Secondary criterion at equal cut: smaller size imbalance.
         best_imbalance = abs(
             state.block_size(self.block_a) - state.block_size(self.block_b)
@@ -156,9 +148,8 @@ class FmBipartitioner:
             buckets[f].remove(cell)
             free.discard(cell)
             state.move(cell, t)
-            move_log.append((cell, f))
 
-            for v in self._neighbors(cell):
+            for v in hg.neighbors(cell):
                 if v in free:
                     bv = state.block_of(v)
                     buckets[bv].update(
@@ -175,12 +166,11 @@ class FmBipartitioner:
             ):
                 best_cut = cut
                 best_imbalance = imbalance
-                best_prefix = len(move_log)
+                best_mark = state.journal_mark()
 
         # Roll back to the best prefix.
-        for cell, origin in reversed(move_log[best_prefix:]):
-            state.move(cell, origin)
-        return best_prefix, best_cut
+        state.rewind(best_mark)
+        return best_mark - mark, best_cut
 
     def _select(self, buckets: Dict[int, GainBuckets]) -> Optional[int]:
         """Pick the best legal move across both directions.

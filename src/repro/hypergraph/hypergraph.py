@@ -63,6 +63,7 @@ class Hypergraph:
         "_net_terminal_counts",
         "_net_drivers",
         "_total_size",
+        "_neighbors_cache",
         "cell_names",
         "net_names",
     )
@@ -116,6 +117,8 @@ class Hypergraph:
         for e in self._terminal_nets:
             term_counts[e] += 1
         self._net_terminal_counts: Tuple[int, ...] = tuple(term_counts)
+
+        self._neighbors_cache: List[Optional[List[int]]] = [None] * num_cells
 
         if net_drivers is None:
             self._net_drivers: Tuple[Optional[int], ...] = (None,) * num_nets
@@ -249,8 +252,13 @@ class Hypergraph:
         """Distinct cells sharing at least one net with ``cell``.
 
         The cell itself is excluded.  Order is deterministic (first-seen
-        along the cell's net list).
+        along the cell's net list).  Computed lazily once per cell and
+        cached (the graph is immutable); callers must not mutate the
+        returned list.
         """
+        cached = self._neighbors_cache[cell]
+        if cached is not None:
+            return cached
         seen = {cell}
         result: List[int] = []
         for e in self._cell_nets[cell]:
@@ -258,6 +266,7 @@ class Hypergraph:
                 if p not in seen:
                     seen.add(p)
                     result.append(p)
+        self._neighbors_cache[cell] = result
         return result
 
     def bfs_distances(self, start: int) -> List[int]:

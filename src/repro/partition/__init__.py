@@ -7,7 +7,7 @@ from .cut import (
     cut_nets,
     cutset,
 )
-from .state import PartitionState
+from .state import PartitionState, StateListener
 from .validate import (
     ValidationReport,
     read_assignment_file,
@@ -16,6 +16,7 @@ from .validate import (
 
 __all__ = [
     "PartitionState",
+    "StateListener",
     "ValidationReport",
     "validate_assignment",
     "read_assignment_file",

@@ -21,8 +21,17 @@ nothing.  External pads are "assigned" to every block their net touches
 ``T_j^E`` is counted.
 
 Moves are reversible: :meth:`move` returns the source block, and moving
-the cell back restores every derived quantity exactly, so FM-style pass
-rollback is just replaying the move log backwards.
+the cell back restores every derived quantity exactly.  Every applied
+move is additionally recorded in an internal *undo journal*, so FM-style
+pass rollback is :meth:`journal_mark` + :meth:`rewind` — O(cells moved)
+instead of a full rebuild — and :meth:`restore` replays only the cells
+whose block actually differs from the snapshot.
+
+Observers (e.g. :class:`repro.core.cost.IncrementalCostEvaluator`) can
+register through :meth:`add_listener` to be told about every mutation:
+``on_move(from_block, to_block)`` after each effective move,
+``on_add_block()`` after a block is appended, and ``on_rebuild()`` after
+any from-scratch reconstruction.
 """
 
 from __future__ import annotations
@@ -31,7 +40,24 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..hypergraph import Hypergraph
 
-__all__ = ["PartitionState"]
+__all__ = ["PartitionState", "StateListener"]
+
+
+class StateListener:
+    """Interface for observers of :class:`PartitionState` mutations.
+
+    Default implementations are no-ops so subclasses override only what
+    they need.
+    """
+
+    def on_move(self, from_block: int, to_block: int) -> None:
+        """Called after a cell moved between two distinct blocks."""
+
+    def on_add_block(self) -> None:
+        """Called after a new empty block was appended."""
+
+    def on_rebuild(self) -> None:
+        """Called after a full rebuild (block count may have changed)."""
 
 
 class PartitionState:
@@ -46,6 +72,23 @@ class PartitionState:
     algorithm-level policy kept in the drivers.
     """
 
+    __slots__ = (
+        "hg",
+        "_block_of",
+        "_num_blocks",
+        "_block_sizes",
+        "_block_cells",
+        "_net_blocks",
+        "_block_pins",
+        "_block_ext_ios",
+        "_cut_nets",
+        "_total_pins",
+        "_cell_sizes",
+        "_net_pads",
+        "_listeners",
+        "_journal",
+    )
+
     def __init__(self, hg: Hypergraph, assignment: Sequence[int], num_blocks: int):
         if len(assignment) != hg.num_cells:
             raise ValueError(
@@ -55,6 +98,10 @@ class PartitionState:
         if num_blocks < 1:
             raise ValueError("need at least one block")
         self.hg = hg
+        self._cell_sizes: Tuple[int, ...] = hg.cell_sizes
+        self._net_pads: Tuple[int, ...] = hg.net_terminal_counts
+        self._listeners: List[StateListener] = []
+        self._journal: List[Tuple[int, int]] = []
         self._block_of: List[int] = [int(b) for b in assignment]
         self._num_blocks = num_blocks
         for c, b in enumerate(self._block_of):
@@ -108,7 +155,7 @@ class PartitionState:
                 dist[b] = dist.get(b, 0) + 1
             self._net_blocks.append(dist)
             span = len(dist)
-            pads = hg.net_terminal_count(e)
+            pads = self._net_pads[e]
             if span > 1:
                 self._cut_nets += 1
             if span > 1 or pads > 0:
@@ -118,6 +165,8 @@ class PartitionState:
                 for b in dist:
                     self._block_ext_ios[b] += pads
         self._total_pins = sum(self._block_pins)
+        for listener in self._listeners:
+            listener.on_rebuild()
 
     def check_consistency(self) -> None:
         """Recompute everything from scratch and compare (test oracle).
@@ -194,6 +243,16 @@ class PartitionState:
         """All block external-pad counts as a tuple."""
         return tuple(self._block_ext_ios)
 
+    def block_arrays(self) -> Tuple[List[int], List[int], List[int]]:
+        """Live ``(sizes, pins, ext pads)`` list views, indexed by block.
+
+        For hot-path readers (the incremental cost listener); callers
+        must treat them as read-only.  The references stay valid across
+        moves, ``add_block`` and snapshot restores, and are replaced on
+        a full rebuild — re-fetch from ``on_rebuild``.
+        """
+        return self._block_sizes, self._block_pins, self._block_ext_ios
+
     def net_span(self, net: int) -> int:
         """Number of blocks touched by ``net``."""
         return len(self._net_blocks[net])
@@ -232,21 +291,42 @@ class PartitionState:
         self._block_pins.append(0)
         self._block_ext_ios.append(0)
         self._block_cells.append(set())
+        for listener in self._listeners:
+            listener.on_add_block()
         return self._num_blocks - 1
+
+    def add_listener(self, listener: StateListener) -> None:
+        """Register an observer of every mutation (idempotent)."""
+        if listener not in self._listeners:
+            self._listeners.append(listener)
+
+    def remove_listener(self, listener: StateListener) -> None:
+        """Unregister an observer; unknown listeners are ignored."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     def move(self, cell: int, to_block: int) -> int:
         """Move ``cell`` to ``to_block``; returns its previous block.
 
-        All derived quantities are updated incrementally.  Moving a cell
-        to the block it is already in is a no-op.
+        All derived quantities are updated incrementally and the move is
+        recorded in the undo journal.  Moving a cell to the block it is
+        already in is a no-op (not journaled).
         """
+        from_block = self._apply_move(cell, to_block)
+        if from_block != to_block:
+            self._journal.append((cell, from_block))
+        return from_block
+
+    def _apply_move(self, cell: int, to_block: int) -> int:
+        """Unjournaled core of :meth:`move` (also used by rewind)."""
         from_block = self._block_of[cell]
         if to_block == from_block:
             return from_block
         if not 0 <= to_block < self._num_blocks:
             raise ValueError(f"invalid destination block {to_block}")
-        hg = self.hg
-        size = hg.cell_size(cell)
+        size = self._cell_sizes[cell]
 
         self._block_of[cell] = to_block
         self._block_sizes[from_block] -= size
@@ -256,9 +336,11 @@ class PartitionState:
 
         pins = self._block_pins
         ext = self._block_ext_ios
-        for e in hg.nets_of(cell):
-            dist = self._net_blocks[e]
-            pads = hg.net_terminal_count(e)
+        net_blocks = self._net_blocks
+        net_pads = self._net_pads
+        for e in self.hg.nets_of(cell):
+            dist = net_blocks[e]
+            pads = net_pads[e]
             external = pads > 0
             c_from = dist[from_block]
             c_to = dist.get(to_block, 0)
@@ -309,6 +391,8 @@ class PartitionState:
                         self._total_pins += 1
             # else: net keeps touching both blocks; nothing changes.
 
+        for listener in self._listeners:
+            listener.on_move(from_block, to_block)
         return from_block
 
     def move_many(self, cells: Iterable[int], to_block: int) -> None:
@@ -316,17 +400,79 @@ class PartitionState:
         for cell in cells:
             self.move(cell, to_block)
 
+    # ------------------------------------------------------------------
+    # Undo journal
+    # ------------------------------------------------------------------
+
+    def journal_mark(self) -> int:
+        """Opaque mark of the current journal position (see :meth:`rewind`)."""
+        return len(self._journal)
+
+    def rewind(self, mark: int) -> None:
+        """Undo every move applied since ``mark``, newest first.
+
+        O(cells moved since the mark).  Marks become invalid once a full
+        rebuild happens (a :meth:`restore` that changes the block count).
+        """
+        journal = self._journal
+        if not 0 <= mark <= len(journal):
+            raise ValueError(f"invalid journal mark {mark}")
+        while len(journal) > mark:
+            cell, origin = journal.pop()
+            self._apply_move(cell, origin)
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Cheap O(1) snapshot: ``(journal mark, block count)``.
+
+        Restore with :meth:`restore_snapshot`.  Valid until the next full
+        rebuild (unlike :meth:`assignment`, which is always restorable).
+        """
+        return len(self._journal), self._num_blocks
+
+    def restore_snapshot(self, snap: Tuple[int, int]) -> None:
+        """Return to a :meth:`snapshot` by replaying the journal backwards.
+
+        Blocks appended after the snapshot are dropped again (rewinding
+        necessarily empties them: they did not exist when the snapshot
+        was taken, so every move into them is undone).
+        """
+        mark, num_blocks = snap
+        if num_blocks > self._num_blocks:
+            raise ValueError("snapshot has more blocks than the state")
+        self.rewind(mark)
+        if num_blocks != self._num_blocks:
+            del self._block_sizes[num_blocks:]
+            del self._block_pins[num_blocks:]
+            del self._block_ext_ios[num_blocks:]
+            del self._block_cells[num_blocks:]
+            self._num_blocks = num_blocks
+            for listener in self._listeners:
+                listener.on_rebuild()
+
     def restore(self, assignment: Sequence[int], num_blocks: Optional[int] = None) -> None:
-        """Restore a snapshot taken with :meth:`assignment` (full rebuild)."""
+        """Restore a snapshot taken with :meth:`assignment`.
+
+        When the block count is unchanged this replays only the cells
+        whose block differs — O(n + pins of changed cells) — otherwise it
+        falls back to a full rebuild (which clears the undo journal).
+        """
         if num_blocks is None:
             num_blocks = self._num_blocks
         if len(assignment) != self.hg.num_cells:
             raise ValueError("snapshot length mismatch")
-        self._block_of = [int(b) for b in assignment]
-        self._num_blocks = num_blocks
-        for c, b in enumerate(self._block_of):
+        for c, b in enumerate(assignment):
             if not 0 <= b < num_blocks:
                 raise ValueError(f"cell {c} assigned to invalid block {b}")
+        if num_blocks == self._num_blocks:
+            block_of = self._block_of
+            for c, b in enumerate(assignment):
+                b = int(b)
+                if block_of[c] != b:
+                    self.move(c, b)
+            return
+        self._block_of = [int(b) for b in assignment]
+        self._num_blocks = num_blocks
+        self._journal.clear()
         self._rebuild()
 
     # ------------------------------------------------------------------

@@ -29,6 +29,23 @@ with far simpler invalidation in the presence of the level-2 gains, whose
 values change with every neighbouring lock.  Cells whose move is
 temporarily outside the feasible move region are parked per direction and
 re-offered when the region can have widened.
+
+Per-move work is kept small three ways:
+
+* the best direction is found through a *global* lazy max-heap of
+  direction-head keys (``dir_heap``) instead of scanning all ``k(k-1)``
+  directions per move; popped keys are validated against the direction's
+  true head and corrected lazily, so selection still equals the
+  brute-force scan by ``(g1, g2, balance, seq)``;
+* neighbour gains are refreshed only for *dirty* nets — nets whose
+  distribution change can actually alter some neighbour's gain vector
+  (net enters/leaves a block, a near-boundary count crosses 1/2/3, or a
+  first lock lands in the destination block); a cell's ``version`` is
+  bumped only when it really is re-pushed;
+* the solution cost after each move comes from the run's
+  :class:`~repro.core.cost.IncrementalCostEvaluator` in O(1) (when
+  ``config.incremental_cost`` is set and the evaluator supports it)
+  instead of a full O(k) sweep.
 """
 
 from __future__ import annotations
@@ -38,7 +55,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.config import FpartConfig
-from ..core.cost import CostEvaluator, SolutionCost
+from ..core.cost import CostEvaluator, IncrementalCostEvaluator, SolutionCost
 from ..core.move_region import MoveRegion
 from ..fm.gains import move_gain_vector, pin_gain
 from ..partition import PartitionState
@@ -48,6 +65,10 @@ __all__ = ["SanchisEngine", "SanchisResult"]
 # Heap entry: (-g1, -g2, -seq, version, cell).  heapq pops the smallest,
 # so this orders by max g1, then max g2, then LIFO (latest seq first).
 _Entry = Tuple[int, int, int, int, int]
+
+# dir_heap entry: (-g1, -g2, -seq, from_block, to_block) — a direction
+# head's key at some point in time, validated lazily at pop.
+_DirEntry = Tuple[int, int, int, int, int]
 
 # Callback invoked with the pass-best cost; the engine's state is at that
 # solution when the callback runs (used for solution-stack collection).
@@ -116,6 +137,13 @@ class SanchisEngine:
         self.directions: List[Tuple[int, int]] = [
             (f, t) for f in blocks for t in blocks if f != t
         ]
+        # Directions grouped by source / target block, for O(k) revival
+        # of parked moves after a move changes two block sizes.
+        self._dirs_from: Dict[int, List[Tuple[int, int]]] = {}
+        self._dirs_to: Dict[int, List[Tuple[int, int]]] = {}
+        for d in self.directions:
+            self._dirs_from.setdefault(d[0], []).append(d)
+            self._dirs_to.setdefault(d[1], []).append(d)
 
     # ------------------------------------------------------------------
     # One pass
@@ -129,9 +157,20 @@ class SanchisEngine:
         state = self.state
         hg = state.hg
         config = self.config
+        region = self.region
         use_g2 = config.use_level2_gains
         pin_mode = config.gain_mode == "pin"
         stall_limit = config.pass_stall_limit
+
+        evaluator = self.evaluator
+        if config.incremental_cost and isinstance(
+            evaluator, IncrementalCostEvaluator
+        ):
+            evaluator.attach(state)
+        # Per-move comparisons use the raw key tuple (O(1) when the
+        # evaluator is attached); the SolutionCost object is built once
+        # at the end of the pass.
+        key_of = evaluator.key_of
 
         free: Set[int] = set()
         for b in self.blocks:
@@ -148,6 +187,24 @@ class SanchisEngine:
         parked: Dict[Tuple[int, int], List[_Entry]] = {
             d: [] for d in self.directions
         }
+        # Global queue over direction heads.  Each direction keeps at most
+        # one *live* entry (tracked in ``queued``); anything else popped
+        # is a superseded duplicate and dropped in O(1).  Live keys are
+        # upper bounds for the direction's true head and are corrected
+        # lazily at pop time, so the queue never under-reports a
+        # direction.
+        dir_heap: List[_DirEntry] = []
+        queued: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+        # Last confirmed head key of directions whose blocks currently may
+        # not donate/receive ("bucket removed", section 3.7); re-queued
+        # when the blocking size can have changed.
+        suspended: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+
+        def enqueue(direction: Tuple[int, int], key: Tuple[int, int, int]) -> None:
+            current = queued.get(direction)
+            if current is None or key < current:
+                queued[direction] = key
+                heapq.heappush(dir_heap, key + direction)
 
         def push(cell: int) -> None:
             nonlocal seq
@@ -168,6 +225,7 @@ class SanchisEngine:
                 heapq.heappush(
                     heaps[(f, t)], (-g1, -g2, -seq, version[cell], cell)
                 )
+                enqueue((f, t), (-g1, -g2, -seq))
 
         for cell in free:
             push(cell)
@@ -188,85 +246,188 @@ class SanchisEngine:
                     continue
                 size = hg.cell_size(cell)
                 if not (
-                    self.region.can_donate(state, f, size)
-                    and self.region.can_receive(state, t, size)
+                    region.can_donate(state, f, size)
+                    and region.can_receive(state, t, size)
                 ):
                     parked[direction].append(heapq.heappop(heap))
                     continue
                 return entry
             return None
 
-        move_log: List[Tuple[int, int]] = []
-        best_cost = self.evaluator.evaluate(state, self.remainder)
-        initial_cost = best_cost
-        best_prefix = 0
+        def confirm(
+            ng1: int, ng2: int, nseq: int, f: int, t: int
+        ) -> Optional[int]:
+            """Validate one live popped ``dir_heap`` key.
+
+            The caller has already removed the key from ``queued``.
+            Returns the direction's head cell when the key matches the
+            true head and the direction is active.  Otherwise queues the
+            corrected key (or suspends the direction) and returns None.
+            """
+            if not (
+                region.block_can_still_donate(state, f)
+                and region.block_can_still_receive(state, t)
+            ):
+                # Inactive direction: do NOT touch its heap (that would
+                # pointlessly drain region-illegal entries into the
+                # parking stash); stash the popped key — an upper bound
+                # for the head — until the blocking size changes.
+                suspended[(f, t)] = (ng1, ng2, nseq)
+                return None
+            entry = head((f, t))
+            if entry is None:
+                return None
+            if (entry[0], entry[1], entry[2]) != (ng1, ng2, nseq):
+                enqueue((f, t), (entry[0], entry[1], entry[2]))
+                return None
+            return entry[4]
+
+        def select() -> Optional[Tuple[int, int]]:
+            """Best ``(cell, to_block)`` over all active directions.
+
+            Equals the brute-force scan's maximum of
+            ``(g1, g2, S_FROM - S_TO, -seq)`` over the direction heads.
+            """
+            while dir_heap:
+                ng1, ng2, nseq, f, t = heapq.heappop(dir_heap)
+                direction = (f, t)
+                key = (ng1, ng2, nseq)
+                if queued.get(direction) != key:
+                    continue  # superseded duplicate
+                del queued[direction]
+                cell = confirm(ng1, ng2, nseq, f, t)
+                if cell is None:
+                    continue
+                # Gather every direction head tied on (g1, g2); the
+                # cross-direction tie-break needs live block sizes.
+                cands = [(cell, f, t, nseq)]
+                while (
+                    dir_heap
+                    and dir_heap[0][0] == ng1
+                    and dir_heap[0][1] == ng2
+                ):
+                    item = heapq.heappop(dir_heap)
+                    other_dir = (item[3], item[4])
+                    if queued.get(other_dir) != item[:3]:
+                        continue  # superseded duplicate
+                    del queued[other_dir]
+                    other = confirm(*item)
+                    if other is not None:
+                        cands.append((other, item[3], item[4], item[2]))
+                best = max(
+                    cands,
+                    key=lambda cand: (
+                        state.block_size(cand[1]) - state.block_size(cand[2]),
+                        cand[3],
+                    ),
+                )
+                # All tied heads stay current until the move is applied;
+                # re-queue their keys (stale ones correct themselves).
+                for cand in cands:
+                    enqueue((cand[1], cand[2]), (ng1, ng2, cand[3]))
+                return best[0], best[2]
+            return None
+
+        def revive(direction: Tuple[int, int]) -> None:
+            """Re-offer parked entries / a suspended head of a direction."""
+            stash = parked[direction]
+            if stash:
+                heap = heaps[direction]
+                best: Optional[Tuple[int, int, int]] = None
+                for entry in stash:
+                    heapq.heappush(heap, entry)
+                    key = (entry[0], entry[1], entry[2])
+                    if best is None or key < best:
+                        best = key
+                stash.clear()
+                if best is not None:
+                    enqueue(direction, best)
+            key2 = suspended.pop(direction, None)
+            if key2 is not None:
+                enqueue(direction, key2)
+
+        mark = state.journal_mark()
+        best_mark = mark
+        best_key = key_of(state, self.remainder)
         stalled = 0  # moves since the pass-best last improved
 
         while free:
             if stall_limit is not None and stalled >= stall_limit:
                 break  # wandering in the infeasible region: cut losses
-            chosen: Optional[Tuple[int, int]] = None  # (cell, to_block)
-            chosen_key: Optional[Tuple[int, int, int, int]] = None
-            for direction in self.directions:
-                f, t = direction
-                if not (
-                    self.region.block_can_still_donate(state, f)
-                    and self.region.block_can_still_receive(state, t)
-                ):
-                    continue  # bucket removed from the heap (section 3.7)
-                entry = head(direction)
-                if entry is None:
-                    continue
-                neg_g1, neg_g2, neg_seq, _, cell = entry
-                balance = state.block_size(f) - state.block_size(t)
-                key = (-neg_g1, -neg_g2, balance, neg_seq)
-                if chosen_key is None or key > chosen_key:
-                    chosen_key = key
-                    chosen = (cell, t)
+            chosen = select()
             if chosen is None:
                 break
 
             cell, to_block = chosen
-            from_block = state.move(cell, to_block)
+            from_block = state.block_of(cell)
+            nets = hg.nets_of(cell)
+            # Pre-move distribution facts deciding which neighbours are
+            # dirty (the predicates below need the *old* counts).
+            pre = [
+                (
+                    state.net_block_count(e, from_block),
+                    state.net_block_count(e, to_block),
+                    locked_in_block[e].get(to_block, 0),
+                )
+                for e in nets
+            ]
+            state.move(cell, to_block)
             free.discard(cell)
             version[cell] += 1  # invalidate the cell's other entries
-            for e in hg.nets_of(cell):
+            for e in nets:
                 lb = locked_in_block[e]
                 lb[to_block] = lb.get(to_block, 0) + 1
-            move_log.append((cell, from_block))
 
-            # Refresh gains of free neighbours (their nets changed).
+            # Refresh gains of free neighbours on dirty nets only.  A
+            # neighbour's gain vector can change when the net enters or
+            # leaves a block (membership/span change), when its count in
+            # the source block falls out of {1, 2} reach, when its count
+            # in the destination leaves {1, 2}, or when the first lock of
+            # the pass lands in the destination block.
             refreshed: Set[int] = set()
-            for e in hg.nets_of(cell):
+            block_of = state.block_of
+            for e, (c_from, c_to, locked_to) in zip(nets, pre):
+                if c_from == 1 or c_to == 0:
+                    # Net left from_block and/or entered to_block: every
+                    # free pin may see different membership or span.
+                    for v in hg.pins_of(e):
+                        if v in free and v not in refreshed:
+                            refreshed.add(v)
+                            version[v] += 1
+                            push(v)
+                    continue
+                need_from = c_from <= 3
+                need_to = c_to <= 2 or locked_to == 0
+                if not (need_from or need_to):
+                    continue
                 for v in hg.pins_of(e):
                     if v in free and v not in refreshed:
-                        refreshed.add(v)
-                        version[v] += 1
-                        push(v)
+                        bv = block_of(v)
+                        if (need_from and bv == from_block) or (
+                            need_to and bv == to_block
+                        ):
+                            refreshed.add(v)
+                            version[v] += 1
+                            push(v)
 
-            # Size change may re-legalize parked moves of directions
-            # touching the two blocks involved.
-            for direction in self.directions:
-                f, t = direction
-                if f == to_block or t == from_block:
-                    stash = parked[direction]
-                    if stash:
-                        heap = heaps[direction]
-                        for entry in stash:
-                            heapq.heappush(heap, entry)
-                        stash.clear()
+            # Size change may re-legalize parked or suspended moves of
+            # directions donating to the grown block or receiving from
+            # the shrunk one.
+            for direction in self._dirs_from.get(to_block, ()):
+                revive(direction)
+            for direction in self._dirs_to.get(from_block, ()):
+                revive(direction)
 
-            cost = self.evaluator.evaluate(state, self.remainder)
-            if cost < best_cost:
-                best_cost = cost
-                best_prefix = len(move_log)
+            key = key_of(state, self.remainder)
+            if key < best_key:
+                best_key = key
+                best_mark = state.journal_mark()
                 stalled = 0
             else:
                 stalled += 1
 
-        for cell, origin in reversed(move_log[best_prefix:]):
-            state.move(cell, origin)
-        return best_prefix, best_cost
+        state.rewind(best_mark)
+        return best_mark - mark, evaluator.cost_of(state, self.remainder)
 
     # ------------------------------------------------------------------
     # Runs
