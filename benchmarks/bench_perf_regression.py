@@ -43,9 +43,12 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.circuits import mcnc_circuit  # noqa: E402
 from repro.core import (  # noqa: E402
+    NULL_GUARD,
     CostEvaluator,
     FpartConfig,
     IncrementalCostEvaluator,
+    RunBudget,
+    RunGuard,
     device_by_name,
     fpart,
 )
@@ -57,6 +60,14 @@ from repro.partition import PartitionState  # noqa: E402
 #: smoke workload (s9234, k=4) gets a proportionally lower floor.
 SPEEDUP_FLOOR = 3.0
 SMOKE_SPEEDUP_FLOOR = 2.0
+
+#: Maximum acceptable run-guard overhead on the evaluator path, in
+#: percent.  The guard's per-move cost is one local integer decrement
+#: (the clock is consulted once per ``check_interval`` moves), so the
+#: budget checks must stay within 2% of the unguarded path.  The smoke
+#: ceiling is looser because short CI traces amplify timer noise.
+GUARD_OVERHEAD_CEILING_PCT = 2.0
+SMOKE_GUARD_OVERHEAD_CEILING_PCT = 10.0
 
 #: Canonical workloads: (circuit, device).  s15850/XC3042 is the
 #: largest Table 3 row exercised by default (M=7 ⇒ 42 directions).
@@ -106,6 +117,24 @@ def bench_whole_runs(workloads) -> List[Dict]:
     return rows
 
 
+def _replay_fixture(circuit: str, device_name: str, moves: int):
+    """A real mid-run partition state plus a recorded random move trace.
+
+    Shared by the evaluator-path and guard-overhead benches so both time
+    the same workload shape.
+    """
+    hg = mcnc_circuit(circuit)
+    device = device_by_name(device_name)
+    result = fpart(hg, device, config=FpartConfig())
+    k = result.num_devices
+    state = PartitionState.from_assignment(hg, result.assignment, k)
+    rng = random.Random(1999)
+    trace = [
+        (rng.randrange(hg.num_cells), rng.randrange(k)) for _ in range(moves)
+    ]
+    return hg, device, state, k, trace
+
+
 def bench_evaluator_path(
     circuit: str = "s15850",
     device_name: str = "XC3042",
@@ -118,18 +147,10 @@ def bench_evaluator_path(
     (the workload's final FPART state, whose block count matches a real
     run) through both evaluator paths.
     """
-    hg = mcnc_circuit(circuit)
-    device = device_by_name(device_name)
-    result = fpart(hg, device, config=FpartConfig())
-    k = result.num_devices
-    state = PartitionState.from_assignment(hg, result.assignment, k)
+    hg, device, state, k, trace = _replay_fixture(circuit, device_name, moves)
     m = device.lower_bound(hg)
     config = FpartConfig()
 
-    rng = random.Random(1999)
-    trace = [
-        (rng.randrange(hg.num_cells), rng.randrange(k)) for _ in range(moves)
-    ]
     baseline = state.assignment()
     repeats = 3
     perf_counter = time.perf_counter
@@ -201,6 +222,92 @@ def bench_evaluator_path(
     return row
 
 
+def bench_guard_overhead(
+    circuit: str = "s15850",
+    device_name: str = "XC3042",
+    moves: int = 20000,
+    ceiling_pct: float = GUARD_OVERHEAD_CEILING_PCT,
+) -> Dict:
+    """Run-guard lease protocol overhead on the incremental hot path.
+
+    Replays the evaluator-path move trace twice through the exact
+    per-move sequence the engines run — incremental refresh, key query,
+    then the guard's ``budget_left`` decrement with a periodic
+    ``lease()`` — once under the no-op :data:`NULL_GUARD` and once under
+    a real :class:`RunGuard` with live (but far-away) deadline and move
+    budgets.  The acceptance bar: the real guard must add less than
+    ``ceiling_pct`` percent.
+    """
+    hg, device, state, k, trace = _replay_fixture(circuit, device_name, moves)
+    m = device.lower_bound(hg)
+    config = FpartConfig()
+    baseline = state.assignment()
+    perf_counter = time.perf_counter
+
+    inc = IncrementalCostEvaluator(device, config, m, hg.num_terminals)
+    inc.attach(state)
+    state.remove_listener(inc)  # notify manually inside the timed window
+
+    def loop(guard) -> float:
+        total = 0.0
+        budget_left = guard.lease()
+        for cell, to_block in trace:
+            from_block = state.block_of(cell)
+            state.move(cell, to_block)
+            start = perf_counter()
+            inc.on_move(from_block, to_block)
+            inc.current_key(0)
+            budget_left -= 1
+            if budget_left <= 0:
+                budget_left = guard.lease()
+            total += perf_counter() - start
+        guard.settle(budget_left)
+        return total
+
+    def live_guard() -> RunGuard:
+        # Real budgets, set far enough away that nothing trips: the
+        # timed work is the checking, not the tripping.
+        return RunGuard(
+            RunBudget(
+                deadline_seconds=3600.0,
+                max_moves=10**12,
+                check_interval=256,
+            )
+        ).start()
+
+    t_null = float("inf")
+    t_guarded = float("inf")
+    for _ in range(5):
+        t_null = min(t_null, loop(NULL_GUARD))
+        state.restore(baseline)
+        inc.attach(state)
+        state.remove_listener(inc)
+        t_guarded = min(t_guarded, loop(live_guard()))
+        state.restore(baseline)
+        inc.attach(state)
+        state.remove_listener(inc)
+    inc.detach()
+
+    overhead_pct = (t_guarded / max(t_null, 1e-9) - 1.0) * 100.0
+    row = {
+        "circuit": circuit,
+        "device": device_name,
+        "blocks": k,
+        "moves": moves,
+        "per_move_us_unguarded": round(t_null / moves * 1e6, 3),
+        "per_move_us_guarded": round(t_guarded / moves * 1e6, 3),
+        "overhead_pct": round(overhead_pct, 2),
+        "ceiling_pct": ceiling_pct,
+    }
+    print(
+        f"guard overhead {circuit}/{device_name} (k={k}, {moves} moves): "
+        f"unguarded={row['per_move_us_unguarded']}us/move "
+        f"guarded={row['per_move_us_guarded']}us/move "
+        f"overhead={overhead_pct:.2f}% (ceiling {ceiling_pct}%)"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -223,15 +330,23 @@ def main(argv=None) -> int:
     workloads = SMOKE_WORKLOADS if args.smoke else WORKLOADS
     moves = 4000 if args.smoke else 20000
     floor = SMOKE_SPEEDUP_FLOOR if args.smoke else SPEEDUP_FLOOR
+    guard_ceiling = (
+        SMOKE_GUARD_OVERHEAD_CEILING_PCT
+        if args.smoke
+        else GUARD_OVERHEAD_CEILING_PCT
+    )
     eval_circuit = workloads[-1][0]
 
     runs = bench_whole_runs(workloads)
     evaluator = bench_evaluator_path(
         eval_circuit, "XC3042", moves=moves, floor=floor
     )
+    guard = bench_guard_overhead(
+        eval_circuit, "XC3042", moves=moves, ceiling_pct=guard_ceiling
+    )
 
     report = {
-        "schema": 1,
+        "schema": 2,
         "generated_utc": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
         ),
@@ -240,6 +355,7 @@ def main(argv=None) -> int:
         "speedup_floor": floor,
         "whole_runs": runs,
         "evaluator_path": evaluator,
+        "guard_overhead": guard,
     }
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -255,13 +371,20 @@ def main(argv=None) -> int:
         print(f"\nhotspots for {circuit}/{device_name}:")
         print(rep.render())
 
+    failed = False
     if evaluator["speedup"] < floor:
         print(
             f"FAIL: evaluator-path speedup {evaluator['speedup']}x is "
             f"below the {floor}x floor"
         )
-        return 1
-    return 0
+        failed = True
+    if guard["overhead_pct"] > guard_ceiling:
+        print(
+            f"FAIL: guard overhead {guard['overhead_pct']}% exceeds "
+            f"the {guard_ceiling}% ceiling"
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -19,10 +19,14 @@ from .circuits import generate_circuit, mcnc_circuit
 from .core import (
     DEFAULT_CONFIG,
     DEVICE_CATALOG,
+    NULL_GUARD,
     XC2064,
     XC3020,
     XC3042,
     XC3090,
+    BudgetExhaustedError,
+    CheckpointError,
+    CheckpointManager,
     Device,
     Feasibility,
     FpartConfig,
@@ -30,6 +34,9 @@ from .core import (
     FpartResult,
     IterationLimitError,
     PartitioningError,
+    RunBudget,
+    RunCheckpoint,
+    RunGuard,
     SolutionCost,
     UnpartitionableError,
     classify,
@@ -75,6 +82,13 @@ __all__ = [
     "PartitioningError",
     "UnpartitionableError",
     "IterationLimitError",
+    "BudgetExhaustedError",
+    "CheckpointError",
+    "RunBudget",
+    "RunGuard",
+    "NULL_GUARD",
+    "RunCheckpoint",
+    "CheckpointManager",
     "generate_circuit",
     "mcnc_circuit",
 ]

@@ -26,6 +26,7 @@ from ..circuits import (
 )
 from ..core import DEFAULT_CONFIG, Device, FpartConfig, device_by_name, fpart
 from ..hypergraph import Hypergraph
+from ..logging import get_logger
 from .published import (
     TABLE6_CPU_SECONDS,
     PublishedTable,
@@ -56,6 +57,11 @@ class ExperimentRecord:
     lower_bound: int
     feasible: bool
     runtime_seconds: float
+    status: str = "ok"
+    """``"ok"`` or ``"failed"`` — a failed cell renders as blank and is
+    excluded from table totals instead of sinking the whole sweep."""
+    error: Optional[str] = None
+    """Message of the exception that failed the cell (status="failed")."""
 
 
 def _run_fpart(hg: Hypergraph, device: Device, config: FpartConfig):
@@ -138,18 +144,63 @@ def run_device_experiment(
     circuits: Optional[Sequence[str]] = None,
     methods: Optional[Sequence[str]] = None,
     config: FpartConfig = DEFAULT_CONFIG,
+    isolate: bool = True,
+    retries: int = 1,
 ) -> List[ExperimentRecord]:
-    """All measured cells of one device's comparison table."""
+    """All measured cells of one device's comparison table.
+
+    With ``isolate`` (the default) each (circuit, method) cell runs in
+    its own try/except with up to ``retries`` re-attempts: one crashing
+    baseline yields a ``status="failed"`` record instead of losing the
+    whole multi-minute sweep.  ``isolate=False`` restores fail-fast
+    propagation for debugging.
+    """
     if circuits is None:
         circuits = selected_circuits(device_name)
     if methods is None:
         methods = list(MEASURED_METHODS)
+    log = get_logger("analysis.experiments")
     records = []
     for circuit in circuits:
         for method in methods:
-            records.append(
-                run_method(method, circuit, device_name, config)
-            )
+            if not isolate:
+                records.append(
+                    run_method(method, circuit, device_name, config)
+                )
+                continue
+            attempt = 0
+            while True:
+                try:
+                    records.append(
+                        run_method(method, circuit, device_name, config)
+                    )
+                    break
+                except Exception as error:  # noqa: BLE001 - cell isolation
+                    attempt += 1
+                    if attempt <= retries:
+                        log.warning(
+                            "retrying %s/%s/%s (attempt %d): %s",
+                            circuit, device_name, method, attempt + 1, error,
+                        )
+                        continue
+                    log.error(
+                        "cell %s/%s/%s failed after %d attempts: %s",
+                        circuit, device_name, method, attempt, error,
+                    )
+                    records.append(
+                        ExperimentRecord(
+                            circuit=circuit,
+                            device=device_name,
+                            method=method,
+                            num_devices=0,
+                            lower_bound=0,
+                            feasible=False,
+                            runtime_seconds=0.0,
+                            status="failed",
+                            error=f"{type(error).__name__}: {error}",
+                        )
+                    )
+                    break
     return records
 
 
@@ -191,7 +242,11 @@ def render_device_comparison(
             row.append(published.value(circuit, column))
         for method in methods:
             record = by_cell.get((circuit, method))
-            row.append(record.num_devices if record else None)
+            row.append(
+                record.num_devices
+                if record is not None and record.status == "ok"
+                else None
+            )
         row.append(published.value(circuit, "M"))
         rows.append(row)
 
@@ -206,6 +261,7 @@ def render_device_comparison(
             by_cell[(c, method)].num_devices
             for c in circuits
             if (c, method) in by_cell
+            and by_cell[(c, method)].status == "ok"
         ]
         total_row.append(sum(values) if values else None)
     total_row.append(sum(published.value(c, "M") for c in circuits))
@@ -218,7 +274,9 @@ def render_device_comparison(
 
 def render_cpu_table(records: Sequence[ExperimentRecord]) -> str:
     """Table 6 analogue: measured FPART seconds vs the paper's Sparc."""
-    fpart_records = [r for r in records if r.method == "FPART"]
+    fpart_records = [
+        r for r in records if r.method == "FPART" and r.status == "ok"
+    ]
     devices = sorted({r.device for r in fpart_records})
     circuits = [
         name

@@ -17,6 +17,7 @@ Netlist files are autodetected by extension: ``.hgr`` (extended hMETIS),
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -24,9 +25,17 @@ from typing import List, Optional
 from .analysis import render_device_comparison, run_device_experiment
 from .baselines import bfs_pack, fbb_multiway, kwayx, rp0
 from .circuits import generate_circuit
-from .core import device_by_name, fpart
+from .core import (
+    DEFAULT_CONFIG,
+    CheckpointManager,
+    FpartPartitioner,
+    PartitioningError,
+    device_by_name,
+    fpart,
+)
 from .hypergraph import (
     Hypergraph,
+    NetlistFormatError,
     compute_stats,
     read_blif,
     read_hgr,
@@ -35,15 +44,23 @@ from .hypergraph import (
     write_hgr,
     write_netlist,
 )
+from .logging import configure_logging
 from .partition import read_assignment_file, validate_assignment
 
 __all__ = ["main", "build_parser"]
+
+# sysexits(3)-style exit codes, plus 3 for "ran, but degraded".
+EXIT_INFEASIBLE = 1
+EXIT_DEGRADED = 3
+EXIT_DATAERR = 65
+EXIT_NOINPUT = 66
+EXIT_SOFTWARE = 70
 
 
 def _load(path: str) -> Hypergraph:
     file = Path(path)
     if not file.exists():
-        raise SystemExit(f"error: no such netlist file: {path}")
+        raise FileNotFoundError(f"no such netlist file: {path}")
     if file.suffix == ".nets":
         return read_netlist(file)
     if file.suffix == ".blif":
@@ -103,6 +120,59 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="run under cProfile and print a hotspot table",
+    )
+    p.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget; on expiry the best solution so far is "
+        "returned with a degraded status (fpart only)",
+    )
+    p.add_argument(
+        "--max-iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Algorithm 1 iteration cap (default 4*M+16; fpart only)",
+    )
+    p.add_argument(
+        "--max-moves",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cap on applied engine moves across the run (fpart only)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on budget exhaustion / internal errors instead of "
+        "returning the best degraded solution (fpart only)",
+    )
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help="write a resumable JSON snapshot at iteration boundaries "
+        "(fpart only)",
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="snapshot every N iterations (default 1)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue from --checkpoint if the file exists",
+    )
+    p.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable run logging on stderr (DEBUG/INFO/WARNING)",
     )
 
     g = sub.add_parser("generate", help="generate a synthetic netlist")
@@ -176,14 +246,56 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fpart_config(args: argparse.Namespace):
+    """DEFAULT_CONFIG with the CLI's budget/strictness overrides."""
+    overrides = {}
+    if args.deadline is not None:
+        overrides["deadline_seconds"] = args.deadline
+    if args.max_iterations is not None:
+        overrides["max_iterations"] = args.max_iterations
+    if args.max_moves is not None:
+        overrides["max_moves"] = args.max_moves
+    if args.strict:
+        overrides["strict"] = True
+    if not overrides:
+        return DEFAULT_CONFIG
+    return dataclasses.replace(DEFAULT_CONFIG, **overrides)
+
+
+def _run_fpart_cli(hg, device, args: argparse.Namespace):
+    """Run FPART honouring the guard/checkpoint/resume flags."""
+    config = _fpart_config(args)
+    manager = (
+        CheckpointManager(args.checkpoint, every=args.checkpoint_every)
+        if args.checkpoint
+        else None
+    )
+    resume_cp = None
+    if args.resume:
+        if manager is None:
+            raise PartitioningError("--resume requires --checkpoint PATH")
+        if manager.exists():
+            resume_cp = manager.load()
+            print(
+                f"resuming from {args.checkpoint} "
+                f"(iteration {resume_cp.iteration})"
+            )
+        else:
+            print(f"no checkpoint at {args.checkpoint}; starting fresh")
+    partitioner = FpartPartitioner(hg, device, config, checkpoint=manager)
+    return partitioner.run(resume_from=resume_cp)
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
+    if args.log_level:
+        configure_logging(args.log_level)
     hg = _load(args.netlist)
     device = device_by_name(args.device)
     if args.delta is not None:
         device = device.with_delta(args.delta)
 
     runners = {
-        "fpart": lambda: fpart(hg, device),
+        "fpart": lambda: _run_fpart_cli(hg, device, args),
         "kwayx": lambda: kwayx(hg, device),
         "rp0": lambda: rp0(hg, device),
         "fbb": lambda: fbb_multiway(hg, device),
@@ -231,6 +343,13 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             for cell, block in enumerate(assignment):
                 stream.write(f"{hg.cell_label(cell)} {block}\n")
         print(f"assignment written to {args.output}")
+    if args.algorithm == "fpart" and res.status != "feasible":
+        print(
+            f"warning: degraded run ({res.status})"
+            + (f": {res.error}" if res.error else ""),
+            file=sys.stderr,
+        )
+        return EXIT_DEGRADED
     return 0
 
 
@@ -259,10 +378,7 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     device = device_by_name(args.device)
     if args.delta is not None:
         device = device.with_delta(args.delta)
-    try:
-        assignment = read_assignment_file(args.assignment, hg)
-    except (OSError, ValueError) as error:
-        raise SystemExit(f"error: {error}")
+    assignment = read_assignment_file(args.assignment, hg)
     report = validate_assignment(hg, assignment, device)
     print(report.summary())
     for block in range(report.num_blocks):
@@ -270,17 +386,14 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             f"  block {block}: size={report.block_sizes[block]} "
             f"pins={report.block_pins[block]}"
         )
-    return 0 if report.feasible else 1
+    return 0 if report.feasible else EXIT_INFEASIBLE
 
 
 def _cmd_split(args: argparse.Namespace) -> int:
     from .hypergraph import split_into_devices
 
     hg = _load(args.netlist)
-    try:
-        assignment = read_assignment_file(args.assignment, hg)
-    except (OSError, ValueError) as error:
-        raise SystemExit(f"error: {error}")
+    assignment = read_assignment_file(args.assignment, hg)
     out_dir = Path(args.output_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     pieces = split_into_devices(hg, assignment)
@@ -328,7 +441,12 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    User-facing failures become one-line ``fpart: error: ...`` messages
+    on stderr with sysexits-style codes (65 = malformed input, 66 =
+    missing file, 70 = partitioning failure) — never a traceback.
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "partition": _cmd_partition,
@@ -339,7 +457,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": _cmd_report,
         "table": _cmd_table,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except FileNotFoundError as error:
+        print(f"fpart: error: {error}", file=sys.stderr)
+        return EXIT_NOINPUT
+    except NetlistFormatError as error:
+        print(f"fpart: error: invalid netlist: {error}", file=sys.stderr)
+        return EXIT_DATAERR
+    except ValueError as error:
+        # Assignment files raise plain ValueError.
+        print(f"fpart: error: {error}", file=sys.stderr)
+        return EXIT_DATAERR
+    except KeyError as error:
+        # Device catalog lookups.
+        print(f"fpart: error: {error.args[0]}", file=sys.stderr)
+        return EXIT_DATAERR
+    except OSError as error:
+        print(f"fpart: error: {error}", file=sys.stderr)
+        return EXIT_NOINPUT
+    except PartitioningError as error:
+        print(f"fpart: error: {error}", file=sys.stderr)
+        return EXIT_SOFTWARE
 
 
 if __name__ == "__main__":

@@ -4,6 +4,12 @@ Device model, feasibility/cost machinery, move regions, solution stacks,
 the improvement driver and the Algorithm 1 partitioner.
 """
 
+from .checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointManager,
+    RunCheckpoint,
+    config_digest,
+)
 from .config import DEFAULT_CONFIG, FpartConfig
 from .cost import (
     CostEvaluator,
@@ -21,6 +27,8 @@ from .device import (
     device_by_name,
 )
 from .exceptions import (
+    BudgetExhaustedError,
+    CheckpointError,
     IterationLimitError,
     PartitioningError,
     UnpartitionableError,
@@ -46,6 +54,12 @@ from .heterogeneous import (
 )
 from .improve import improve
 from .move_region import MoveRegion
+from .runguard import (
+    NULL_GUARD,
+    RunBudget,
+    RunGuard,
+    default_iteration_cap,
+)
 from .solution_stack import DualSolutionStacks, SolutionStack
 from .strategy import (
     ImproveStep,
@@ -101,4 +115,14 @@ __all__ = [
     "PartitioningError",
     "UnpartitionableError",
     "IterationLimitError",
+    "BudgetExhaustedError",
+    "CheckpointError",
+    "RunBudget",
+    "RunGuard",
+    "NULL_GUARD",
+    "default_iteration_cap",
+    "RunCheckpoint",
+    "CheckpointManager",
+    "CHECKPOINT_SCHEMA",
+    "config_digest",
 ]

@@ -118,6 +118,24 @@ class FpartConfig:
     seed: int = 0
     """Seed for the few randomized tie-breaks (kept deterministic)."""
 
+    # --- run guard (budgets & degradation) --------------------------------
+    deadline_seconds: Optional[float] = None
+    """Wall-clock budget for one run (None = unlimited).  Checked
+    cooperatively by the run guard; on expiry a non-strict run returns
+    the best solution seen with ``status="budget_exhausted"``."""
+    max_moves: Optional[int] = None
+    """Cap on applied engine moves across the run (None = unlimited)."""
+    guard_check_interval: int = 256
+    """Moves per guard lease — how often the inner loops consult the
+    wall clock.  Larger is cheaper but coarser."""
+    strict: bool = False
+    """If True, budget exhaustion and unpartitionable remainders raise
+    (:class:`IterationLimitError` / :class:`BudgetExhaustedError` /
+    :class:`UnpartitionableError`) exactly as before the run-guard
+    subsystem.  The default degrades gracefully: the partitioner rewinds
+    to the best lexicographic solution observed and returns it with a
+    non-``feasible`` :attr:`FpartResult.status`."""
+
     def __post_init__(self) -> None:
         if self.n_small < 0:
             raise ValueError("n_small must be non-negative")
@@ -146,6 +164,12 @@ class FpartConfig:
             )
         if self.pass_stall_limit is not None and self.pass_stall_limit < 1:
             raise ValueError("pass_stall_limit must be positive or None")
+        if self.deadline_seconds is not None and self.deadline_seconds < 0:
+            raise ValueError("deadline_seconds must be non-negative or None")
+        if self.max_moves is not None and self.max_moves < 0:
+            raise ValueError("max_moves must be non-negative or None")
+        if self.guard_check_interval < 1:
+            raise ValueError("guard_check_interval must be positive")
 
     # -- derived caps ----------------------------------------------------
 

@@ -2,7 +2,13 @@
 
 from __future__ import annotations
 
-__all__ = ["PartitioningError", "UnpartitionableError", "IterationLimitError"]
+__all__ = [
+    "PartitioningError",
+    "UnpartitionableError",
+    "BudgetExhaustedError",
+    "IterationLimitError",
+    "CheckpointError",
+]
 
 
 class PartitioningError(Exception):
@@ -18,5 +24,31 @@ class UnpartitionableError(PartitioningError):
     """
 
 
-class IterationLimitError(PartitioningError):
-    """Algorithm 1 exceeded its iteration safety cap without converging."""
+class BudgetExhaustedError(PartitioningError):
+    """A :class:`~repro.core.runguard.RunBudget` limit was reached.
+
+    ``reason`` names the limit that tripped: ``"deadline"``,
+    ``"iterations"`` or ``"moves"``.  In non-strict mode the FPART driver
+    catches this and degrades gracefully to the best solution seen;
+    ``FpartConfig(strict=True)`` lets it propagate.
+    """
+
+    def __init__(self, message: str, reason: str = "budget") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class IterationLimitError(BudgetExhaustedError):
+    """Algorithm 1 exceeded its iteration safety cap without converging.
+
+    A :class:`BudgetExhaustedError` with ``reason="iterations"`` — kept
+    as its own class for backward compatibility with callers that catch
+    it specifically.
+    """
+
+    def __init__(self, message: str, reason: str = "iterations") -> None:
+        super().__init__(message, reason)
+
+
+class CheckpointError(PartitioningError):
+    """A run checkpoint could not be loaded or does not match the run."""

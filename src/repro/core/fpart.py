@@ -18,26 +18,51 @@ results to be reachable:
   violating subset the remainder);
 * an empty remainder is dropped, which is how the extra ``k = M``
   improvement round can land exactly on the lower bound.
+
+Run-guard layer
+---------------
+Every run is executed under a :class:`~repro.core.runguard.RunGuard`
+(wall-clock deadline, iteration cap, move cap — resolved from the
+config by :meth:`RunBudget.from_config`).  FPART always holds a best
+*semi-feasible* solution, and this driver exploits that: the best
+lexicographic solution observed across the whole run is tracked, and on
+budget exhaustion — or a trapped internal error — the partitioner
+restores it and returns a degraded :class:`FpartResult` (see
+:attr:`FpartResult.status`) instead of discarding everything.
+``FpartConfig(strict=True)`` restores the historical raise-on-failure
+behaviour.  Periodic :class:`~repro.core.checkpoint.RunCheckpoint`
+snapshots make long runs resumable; because every tie-break in the
+solve path is deterministically ordered, a resumed seeded run finishes
+bit-identically to an uninterrupted one.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..hypergraph import Hypergraph
 from ..initial import create_bipartition
+from ..logging import run_logger
 from ..partition import PartitionState
+from .checkpoint import CheckpointManager, RunCheckpoint, config_digest
 from .config import DEFAULT_CONFIG, FpartConfig
-from .cost import SolutionCost, make_evaluator
+from .cost import CostEvaluator, SolutionCost, make_evaluator
 from .device import Device
-from .exceptions import IterationLimitError, UnpartitionableError
+from .exceptions import (
+    BudgetExhaustedError,
+    UnpartitionableError,
+)
 from .feasibility import Feasibility, block_is_feasible, classify
 from .improve import improve
+from .runguard import RunBudget, RunGuard
 from .strategy import iteration_schedule
 
 __all__ = ["FpartResult", "ImproveTraceEntry", "FpartPartitioner", "fpart"]
+
+#: Possible values of :attr:`FpartResult.status`.
+RESULT_STATUSES = ("feasible", "semi_feasible", "budget_exhausted", "failed")
 
 
 @dataclass(frozen=True)
@@ -66,6 +91,25 @@ class FpartResult:
     iterations: int
     runtime_seconds: float
     trace: List[ImproveTraceEntry] = field(default_factory=list)
+    status: str = "feasible"
+    """How the run ended:
+
+    * ``"feasible"`` — every block meets the device constraints;
+    * ``"budget_exhausted"`` — a run budget (deadline / iteration cap /
+      move cap) tripped; the assignment is the best lexicographic
+      solution observed before exhaustion;
+    * ``"semi_feasible"`` — a trapped internal error stopped the run and
+      the best solution observed has exactly one violating block (the
+      paper's semi-feasible shape);
+    * ``"failed"`` — the run stopped (trapped error or unpartitionable
+      remainder) with more than one violating block remaining.
+
+    Only ``strict`` runs raise instead of reporting the last three.
+    """
+    error: Optional[str] = None
+    """Message of the trapped error/exhaustion for degraded statuses."""
+    run_id: str = ""
+    """Correlates this result with its log lines and checkpoints."""
 
     @property
     def gap_to_lower_bound(self) -> int:
@@ -74,15 +118,66 @@ class FpartResult:
 
     def summary(self) -> str:
         """One-line report, Table 2–5 style."""
+        degraded = "" if self.status == "feasible" else f", {self.status}"
         return (
             f"{self.circuit} on {self.device}: {self.num_devices} devices "
-            f"(M={self.lower_bound}, feasible={self.feasible}, "
+            f"(M={self.lower_bound}, feasible={self.feasible}{degraded}, "
             f"{self.iterations} iterations, {self.runtime_seconds:.2f}s)"
         )
 
 
+class _BestSolution:
+    """Best lexicographic solution observed across the whole run.
+
+    Snapshots are cheap (one list copy) and only taken when the cost
+    actually improves, so the tracker adds no measurable overhead to the
+    solve path.
+    """
+
+    __slots__ = ("cost", "assignment", "num_blocks", "remainder")
+
+    def __init__(self) -> None:
+        self.cost: Optional[SolutionCost] = None
+        self.assignment: List[int] = []
+        self.num_blocks = 0
+        self.remainder = 0
+
+    def seed(self, state: PartitionState, remainder: int) -> None:
+        """Record a fallback snapshot before the first cost evaluation,
+        so degradation has something to restore even when the very first
+        evaluator call is the faulting one."""
+        self.assignment = state.assignment()
+        self.num_blocks = state.num_blocks
+        self.remainder = remainder
+
+    def offer(
+        self, cost: SolutionCost, state: PartitionState, remainder: int
+    ) -> bool:
+        if self.cost is not None and not (cost < self.cost):
+            return False
+        self.cost = cost
+        self.assignment = state.assignment()
+        self.num_blocks = state.num_blocks
+        self.remainder = remainder
+        return True
+
+
 class FpartPartitioner:
     """Configured FPART runner for one circuit / device pair.
+
+    Parameters beyond the classic trio:
+
+    guard:
+        Externally-owned :class:`RunGuard` (e.g. shared across several
+        runs under one global deadline).  Defaults to a fresh guard
+        resolved from the config's budget fields.
+    checkpoint:
+        :class:`CheckpointManager` writing periodic resume snapshots.
+    evaluator:
+        Cost-evaluator override — the fault-injection seam used by
+        ``repro.testing.faults`` (and the ablation benches).
+    run_id:
+        Log/checkpoint correlation id; generated when omitted.
 
     Example
     -------
@@ -100,6 +195,10 @@ class FpartPartitioner:
         device: Device,
         config: FpartConfig = DEFAULT_CONFIG,
         keep_trace: bool = True,
+        guard: Optional[RunGuard] = None,
+        checkpoint: Optional[CheckpointManager] = None,
+        evaluator: Optional[CostEvaluator] = None,
+        run_id: Optional[str] = None,
     ) -> None:
         for c in range(hg.num_cells):
             if hg.cell_size(c) > device.s_max:
@@ -112,6 +211,12 @@ class FpartPartitioner:
         self.config = config
         self.keep_trace = keep_trace
         self.lower_bound = device.lower_bound(hg)
+        self.guard = guard
+        self.checkpoint = checkpoint
+        self.evaluator = evaluator
+        from ..logging import new_run_id
+
+        self.run_id = run_id or new_run_id()
 
     # ------------------------------------------------------------------
 
@@ -148,96 +253,282 @@ class FpartPartitioner:
             self.hg, assignment, len(nonempty)
         )
 
-    def run(self) -> FpartResult:
-        """Execute Algorithm 1; returns the final feasible partition.
+    # -- checkpoint plumbing -------------------------------------------
 
-        Raises :class:`IterationLimitError` if the iteration safety cap
-        is hit before a feasible solution is found (pathological inputs);
-        :class:`UnpartitionableError` when the remainder degenerates to a
-        single infeasible cell.
+    def _make_checkpoint(
+        self,
+        iteration: int,
+        state: PartitionState,
+        remainder: int,
+        best: _BestSolution,
+        guard: RunGuard,
+    ) -> RunCheckpoint:
+        return RunCheckpoint(
+            circuit=self.hg.name or "circuit",
+            # Full repr, not just the name: a --delta-modified device
+            # shares its catalog name but not its capacity.
+            device=repr(self.device),
+            config=config_digest(self.config),
+            iteration=iteration,
+            remainder=remainder,
+            num_blocks=state.num_blocks,
+            assignment=state.assignment(),
+            best_assignment=list(best.assignment),
+            best_num_blocks=best.num_blocks,
+            best_remainder=best.remainder,
+            seed=self.config.seed,
+            rng_state=None,  # FPART proper is deterministic
+            guard={
+                "iterations": guard.iterations,
+                "moves": guard.moves,
+                "elapsed_seconds": guard.elapsed(),
+            },
+            run_id=self.run_id,
+        )
+
+    def _restore_best(self, best: _BestSolution) -> Tuple[PartitionState, int]:
+        """Rebuild the best-so-far solution as a fresh consistent state."""
+        state = PartitionState.from_assignment(
+            self.hg, best.assignment, best.num_blocks
+        )
+        return state, best.remainder
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, resume_from: Optional[RunCheckpoint] = None
+    ) -> FpartResult:
+        """Execute Algorithm 1 under the run guard.
+
+        Returns an :class:`FpartResult` whose :attr:`~FpartResult.status`
+        says how the run ended.  In the default (non-strict) mode this
+        method only raises for *pre-run* defects — an
+        :class:`UnpartitionableError` from the constructor's oversized
+        cell check, or a :class:`~repro.core.exceptions.CheckpointError`
+        for a mismatched ``resume_from`` snapshot.  Everything that goes
+        wrong *during* the search degrades gracefully instead: the state
+        is rewound to the best lexicographic solution observed and
+        returned with status ``"budget_exhausted"`` (a
+        :class:`BudgetExhaustedError` budget trip), ``"semi_feasible"``
+        or ``"failed"``.
+
+        With ``FpartConfig(strict=True)`` the historical behaviour is
+        preserved: :class:`IterationLimitError` when the iteration
+        safety cap (``max_iterations``, default ``4 M + 16``) is hit,
+        :class:`BudgetExhaustedError` for the other budgets,
+        :class:`UnpartitionableError` when the remainder degenerates to
+        a single cell that cannot be made feasible, and any internal
+        error propagates unchanged.
+
+        ``resume_from`` continues a checkpointed run from its last saved
+        iteration boundary; a resumed seeded run reproduces the
+        uninterrupted run's final assignment bit-identically.
         """
         start = time.perf_counter()
         hg = self.hg
         device = self.device
         config = self.config
         m = self.lower_bound
-        evaluator = make_evaluator(device, config, m, hg.num_terminals)
-
-        state = PartitionState.single_block(hg)
-        remainder = 0
-        trace: List[ImproveTraceEntry] = []
-        iteration = 0
-        max_iterations = (
-            config.max_iterations
-            if config.max_iterations is not None
-            else 4 * m + 16
+        circuit = hg.name or "circuit"
+        log = run_logger("core.fpart", self.run_id)
+        evaluator = self.evaluator or make_evaluator(
+            device, config, m, hg.num_terminals
         )
+        guard = self.guard or RunGuard(RunBudget.from_config(config, m))
 
-        while classify(state, device) is not Feasibility.FEASIBLE:
-            iteration += 1
-            if iteration > max_iterations:
-                raise IterationLimitError(
-                    f"no feasible {state.num_blocks}-way partition of "
-                    f"{hg.name or 'circuit'} for {device.name} after "
-                    f"{max_iterations} iterations (M={m})"
+        best = _BestSolution()
+        if resume_from is not None:
+            cp = resume_from
+            cp.validate_for(circuit, repr(device), config)
+            state = PartitionState.from_assignment(
+                hg, cp.assignment, cp.num_blocks
+            )
+            remainder = cp.remainder
+            iteration = cp.iteration
+            guard.preload(
+                iterations=int(cp.guard.get("iterations", cp.iteration)),
+                moves=int(cp.guard.get("moves", 0)),
+                elapsed=float(cp.guard.get("elapsed_seconds", 0.0)),
+            )
+            best_state = PartitionState.from_assignment(
+                hg, cp.best_assignment, cp.best_num_blocks
+            )
+            best.offer(
+                evaluator.evaluate(best_state, cp.best_remainder),
+                best_state,
+                cp.best_remainder,
+            )
+            log.info(
+                "resume %s/%s from iteration %d (k=%d)",
+                circuit, device.name, iteration, state.num_blocks,
+            )
+        else:
+            state = PartitionState.single_block(hg)
+            remainder = 0
+            iteration = 0
+        guard.start()
+        best.seed(state, remainder)
+
+        log.info(
+            "run start %s/%s: M=%d budget=%s strict=%s",
+            circuit, device.name, m, guard.budget, config.strict,
+        )
+        trace: List[ImproveTraceEntry] = []
+        status = "feasible"
+        error: Optional[str] = None
+
+        try:
+            best.offer(evaluator.evaluate(state, remainder), state, remainder)
+            while classify(state, device) is not Feasibility.FEASIBLE:
+                iteration += 1
+                guard.tick_iteration()
+
+                new_block = create_bipartition(
+                    state, remainder, device, evaluator
                 )
 
-            new_block = create_bipartition(state, remainder, device, evaluator)
+                for step in self._scheduled_steps(
+                    state, remainder, new_block, m
+                ):
+                    cost_before = evaluator.evaluate(state, remainder)
+                    cost_after = improve(
+                        state,
+                        list(step.blocks),
+                        remainder,
+                        evaluator,
+                        device,
+                        config,
+                        m,
+                        guard=guard,
+                    )
+                    if self.keep_trace:
+                        trace.append(
+                            ImproveTraceEntry(
+                                iteration=iteration,
+                                label=step.label,
+                                blocks=step.blocks,
+                                cost_before=cost_before,
+                                cost_after=cost_after,
+                            )
+                        )
+                    best.offer(cost_after, state, remainder)
+                    if classify(state, device) is Feasibility.FEASIBLE:
+                        break
 
-            for step in self._scheduled_steps(
-                state, remainder, new_block, m
-            ):
-                cost_before = evaluator.evaluate(state, remainder)
-                cost_after = improve(
-                    state,
-                    list(step.blocks),
-                    remainder,
-                    evaluator,
-                    device,
-                    config,
-                    m,
+                # Multi-way improvement may have shifted the violation to
+                # a different block: the infeasible block *is* the
+                # remainder of a semi-feasible solution by definition.
+                bad = self._infeasible_blocks(state)
+                if bad:
+                    remainder = max(
+                        bad,
+                        key=lambda b: (
+                            state.block_size(b),
+                            state.block_pins(b),
+                        ),
+                    )
+                best.offer(
+                    evaluator.evaluate(state, remainder), state, remainder
                 )
-                if self.keep_trace:
-                    trace.append(
-                        ImproveTraceEntry(
-                            iteration=iteration,
-                            label=step.label,
-                            blocks=step.blocks,
-                            cost_before=cost_before,
-                            cost_after=cost_after,
+                log.debug(
+                    "iteration %d done: k=%d remainder=%d infeasible=%d",
+                    iteration, state.num_blocks, remainder, len(bad),
+                )
+
+                if self.checkpoint is not None and self.checkpoint.due(
+                    iteration
+                ):
+                    self.checkpoint.save(
+                        self._make_checkpoint(
+                            iteration, state, remainder, best, guard
                         )
                     )
-                if classify(state, device) is Feasibility.FEASIBLE:
-                    break
-
-            # Multi-way improvement may have shifted the violation to a
-            # different block: the infeasible block *is* the remainder of
-            # a semi-feasible solution by definition.
+                    log.debug(
+                        "checkpoint saved at iteration %d -> %s",
+                        iteration, self.checkpoint.path,
+                    )
+        except BudgetExhaustedError as exc:
+            if config.strict:
+                raise
+            status = "budget_exhausted"
+            error = str(exc)
+            log.warning("budget exhausted (%s): %s", exc.reason, exc)
+            self._offer_current(best, evaluator, state, remainder)
+            state, remainder = self._restore_best(best)
+        except UnpartitionableError as exc:
+            if config.strict:
+                raise
+            status = "failed"
+            error = str(exc)
+            log.error("unpartitionable remainder: %s", exc)
+            self._offer_current(best, evaluator, state, remainder)
+            state, remainder = self._restore_best(best)
+        except Exception as exc:  # trapped internal fault
+            if config.strict:
+                raise
+            error = f"{type(exc).__name__}: {exc}"
+            log.exception("internal error trapped; degrading: %s", exc)
+            self._offer_current(best, evaluator, state, remainder)
+            state, remainder = self._restore_best(best)
             bad = self._infeasible_blocks(state)
-            if bad:
-                remainder = max(
-                    bad,
-                    key=lambda b: (
-                        state.block_size(b),
-                        state.block_pins(b),
-                    ),
-                )
+            status = "semi_feasible" if len(bad) <= 1 else "failed"
 
         state = self._drop_empty_blocks(state)
+        feasible = classify(state, device) is Feasibility.FEASIBLE
+        if feasible:
+            status = "feasible"
+            error = None
+
+        if self.checkpoint is not None and status == "feasible":
+            # Final snapshot: resuming a finished run returns immediately.
+            # Degraded runs keep their last iteration-boundary snapshot
+            # instead, so a later resume with a larger budget continues
+            # the exact trajectory (best-rewinding here would fork it).
+            self.checkpoint.save(
+                self._make_checkpoint(iteration, state, remainder, best, guard)
+            )
+
         runtime = time.perf_counter() - start
+        log.info(
+            "run end %s/%s: status=%s k=%d iterations=%d moves=%d %.2fs",
+            circuit, device.name, status, state.num_blocks, iteration,
+            guard.moves, runtime,
+        )
         return FpartResult(
-            circuit=hg.name or "circuit",
+            circuit=circuit,
             device=device.name,
             num_devices=state.num_blocks,
             lower_bound=m,
-            feasible=classify(state, device) is Feasibility.FEASIBLE,
+            feasible=feasible,
             assignment=state.assignment(),
             block_sizes=list(state.block_sizes),
             block_pins=list(state.block_pin_counts),
             iterations=iteration,
             runtime_seconds=runtime,
             trace=trace,
+            status=status,
+            error=error,
+            run_id=self.run_id,
         )
+
+    @staticmethod
+    def _offer_current(
+        best: _BestSolution,
+        evaluator: CostEvaluator,
+        state: PartitionState,
+        remainder: int,
+    ) -> None:
+        """Offer the interrupted state itself — it can beat the tracker
+        (e.g. a budget tripping inside ``improve()`` after its internal
+        best was restored but before the driver re-offered it).  The
+        evaluator may be the very component that faulted, so a second
+        failure here is swallowed: the tracker then simply keeps its
+        last recorded best.
+        """
+        try:
+            best.offer(evaluator.evaluate(state, remainder), state, remainder)
+        except Exception:
+            pass
 
 
 def fpart(

@@ -175,6 +175,9 @@ def partition_heterogeneous(
             ).run()
         except UnpartitionableError:
             continue
+        if not result.feasible:
+            # Degraded (non-strict) runs never qualify as a base solution.
+            continue
         downsized = _downsize(result, library)
         if downsized is None:
             continue

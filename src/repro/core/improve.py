@@ -25,6 +25,7 @@ from .cost import CostEvaluator, SolutionCost
 from .device import Device
 from .feasibility import Feasibility
 from .move_region import MoveRegion
+from .runguard import NULL_GUARD, RunGuard
 from .solution_stack import DualSolutionStacks
 
 __all__ = ["improve"]
@@ -48,12 +49,19 @@ def improve(
     config: FpartConfig,
     lower_bound: int,
     use_stacks: bool = True,
+    guard: RunGuard = NULL_GUARD,
 ) -> SolutionCost:
     """Improve the partition among ``blocks``; returns the final cost.
 
     The state ends at the best solution found.  ``use_stacks=False``
     disables the restart protocol (single run) — used for the cheap extra
     FM calls at ``k = M`` and by ablations.
+
+    The ``guard`` is consulted per applied move inside the engine and
+    between stacked restarts.  When a budget trips (or a fault escapes
+    an engine run) the state is restored to the best solution seen *so
+    far in this call* before the exception propagates, so callers always
+    observe a consistent, best-known state.
     """
     two_block = len(set(blocks)) == 2
     region = MoveRegion(
@@ -67,7 +75,7 @@ def improve(
 
     def make_engine() -> SanchisEngine:
         return SanchisEngine(
-            state, blocks, remainder, evaluator, region, config
+            state, blocks, remainder, evaluator, region, config, guard
         )
 
     stacks = DualSolutionStacks(config.stack_depth if use_stacks else 0)
@@ -76,18 +84,25 @@ def improve(
         feasibility = _classify_cost(cost, state.num_blocks)
         stacks.offer(feasibility, cost, state.assignment())
 
-    first = make_engine().run(observer=collect if use_stacks else None)
-    best_cost = first.best_cost
+    best_cost: SolutionCost = None  # type: ignore[assignment]
     best_assignment = state.assignment()
+    try:
+        first = make_engine().run(observer=collect if use_stacks else None)
+        best_cost = first.best_cost
+        best_assignment = state.assignment()
 
-    for start_cost, start_assignment in stacks.starting_solutions():
-        if start_assignment == best_assignment:
-            continue
-        state.restore(start_assignment)
-        result = make_engine().run()
-        if result.best_cost < best_cost:
-            best_cost = result.best_cost
-            best_assignment = state.assignment()
-
-    state.restore(best_assignment)
+        for start_cost, start_assignment in stacks.starting_solutions():
+            if start_assignment == best_assignment:
+                continue
+            guard.check()
+            state.restore(start_assignment)
+            result = make_engine().run()
+            if result.best_cost < best_cost:
+                best_cost = result.best_cost
+                best_assignment = state.assignment()
+    finally:
+        # On the normal path the state already sits at best_assignment
+        # and this replays nothing; on an exception path it rewinds any
+        # partially-explored restart to the best solution seen.
+        state.restore(best_assignment)
     return best_cost

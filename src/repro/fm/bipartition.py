@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from ..core.runguard import NULL_GUARD, RunGuard
 from ..partition import PartitionState
 from .buckets import GainBuckets
 from .gains import move_gain
@@ -59,6 +60,10 @@ class FmBipartitioner:
         stays <= its max.  Use 0 / a large number to disable a side.
     max_passes:
         Pass limit per :meth:`run`.
+    guard:
+        Run guard consulted per applied move (lease protocol); a pass
+        cut short by the guard rewinds to its best prefix before the
+        exception propagates.
     """
 
     def __init__(
@@ -69,6 +74,7 @@ class FmBipartitioner:
         cells: Iterable[int],
         size_bounds: Dict[int, Tuple[int, float]],
         max_passes: int = 8,
+        guard: RunGuard = NULL_GUARD,
     ) -> None:
         if block_a == block_b:
             raise ValueError("blocks must differ")
@@ -87,6 +93,7 @@ class FmBipartitioner:
                 raise ValueError(f"missing size bounds for block {b}")
         self.size_bounds = size_bounds
         self.max_passes = max_passes
+        self.guard = guard
         hg = state.hg
         self._max_deg = max(
             (len(hg.nets_of(c)) for c in self.cells), default=0
@@ -138,38 +145,49 @@ class FmBipartitioner:
             state.block_size(self.block_a) - state.block_size(self.block_b)
         )
 
-        while True:
-            chosen = self._select(buckets)
-            if chosen is None:
-                break
-            cell = chosen
-            f = state.block_of(cell)
-            t = self._other(f)
-            buckets[f].remove(cell)
-            free.discard(cell)
-            state.move(cell, t)
+        # Guard lease protocol + exception-safe rollback: the finally
+        # clause restores the best prefix even when the guard (or an
+        # injected fault) aborts the pass between moves.
+        guard = self.guard
+        budget_left = guard.lease()
+        try:
+            while True:
+                chosen = self._select(buckets)
+                if chosen is None:
+                    break
+                cell = chosen
+                f = state.block_of(cell)
+                t = self._other(f)
+                buckets[f].remove(cell)
+                free.discard(cell)
+                state.move(cell, t)
 
-            for v in hg.neighbors(cell):
-                if v in free:
-                    bv = state.block_of(v)
-                    buckets[bv].update(
-                        v, move_gain(state, v, self._other(bv))
-                    )
+                for v in hg.neighbors(cell):
+                    if v in free:
+                        bv = state.block_of(v)
+                        buckets[bv].update(
+                            v, move_gain(state, v, self._other(bv))
+                        )
 
-            cut = state.cut_nets
-            imbalance = abs(
-                state.block_size(self.block_a)
-                - state.block_size(self.block_b)
-            )
-            if cut < best_cut or (
-                cut == best_cut and imbalance < best_imbalance
-            ):
-                best_cut = cut
-                best_imbalance = imbalance
-                best_mark = state.journal_mark()
+                cut = state.cut_nets
+                imbalance = abs(
+                    state.block_size(self.block_a)
+                    - state.block_size(self.block_b)
+                )
+                if cut < best_cut or (
+                    cut == best_cut and imbalance < best_imbalance
+                ):
+                    best_cut = cut
+                    best_imbalance = imbalance
+                    best_mark = state.journal_mark()
 
-        # Roll back to the best prefix.
-        state.rewind(best_mark)
+                budget_left -= 1
+                if budget_left <= 0:
+                    budget_left = guard.lease()
+        finally:
+            guard.settle(budget_left)
+            # Roll back to the best prefix.
+            state.rewind(best_mark)
         return best_mark - mark, best_cut
 
     def _select(self, buckets: Dict[int, GainBuckets]) -> Optional[int]:
@@ -229,6 +247,7 @@ def fm_refine(
     size_bounds: Dict[int, Tuple[int, float]],
     cells: Optional[Sequence[int]] = None,
     max_passes: int = 8,
+    guard: RunGuard = NULL_GUARD,
 ) -> FmResult:
     """Convenience wrapper: refine two blocks with FM, in place.
 
@@ -237,5 +256,5 @@ def fm_refine(
     if cells is None:
         cells = state.cells_of_blocks((block_a, block_b))
     return FmBipartitioner(
-        state, block_a, block_b, cells, size_bounds, max_passes
+        state, block_a, block_b, cells, size_bounds, max_passes, guard
     ).run()

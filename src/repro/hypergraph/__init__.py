@@ -6,6 +6,7 @@ type, a builder, subcircuit extraction, text I/O, and statistics.
 
 from .blif import dumps_blif, loads_blif, read_blif, write_blif
 from .builder import HypergraphBuilder
+from .errors import BlifError, NetlistFormatError
 from .hypergraph import Hypergraph
 from .io import (
     dumps_hgr,
@@ -44,4 +45,6 @@ __all__ = [
     "LintFinding",
     "lint_netlist",
     "render_lint",
+    "NetlistFormatError",
+    "BlifError",
 ]

@@ -31,6 +31,7 @@ import io as _io
 from pathlib import Path
 from typing import Dict, List, Optional, Set, TextIO, Tuple, Union
 
+from .errors import BlifError
 from .hypergraph import Hypergraph
 
 __all__ = ["read_blif", "loads_blif", "write_blif", "dumps_blif"]
@@ -93,7 +94,7 @@ def _parse(stream: TextIO) -> _BlifModel:
         elif directive == ".names":
             signals = tokens[1:]
             if not signals:
-                raise ValueError(".names with no signals")
+                raise BlifError(".names with no signals")
             reads, drives = signals[:-1], [signals[-1]]
             label = f"n_{drives[0]}"
             model.cells.append((label, list(reads), drives))
@@ -103,7 +104,7 @@ def _parse(stream: TextIO) -> _BlifModel:
                 i += 1
         elif directive == ".latch":
             if len(tokens) < 3:
-                raise ValueError(f"malformed .latch: {line!r}")
+                raise BlifError(f"malformed .latch: {line!r}")
             reads, drives = [tokens[1]], [tokens[2]]
             # Optional clock/control signal is a read too.
             if len(tokens) >= 5 and tokens[3] in ("re", "fe", "ah", "al", "as"):
@@ -113,12 +114,12 @@ def _parse(stream: TextIO) -> _BlifModel:
             i += 1
         elif directive in (".gate", ".subckt"):
             if len(tokens) < 3:
-                raise ValueError(f"malformed {directive}: {line!r}")
+                raise BlifError(f"malformed {directive}: {line!r}")
             reads: List[str] = []
             drives: List[str] = []
             for binding in tokens[2:]:
                 if "=" not in binding:
-                    raise ValueError(
+                    raise BlifError(
                         f"{directive} binding without '=': {binding!r}"
                     )
                 formal, actual = binding.split("=", 1)
@@ -136,9 +137,9 @@ def _parse(stream: TextIO) -> _BlifModel:
                            ".default_input_arrival", ".clock"):
             i += 1  # ignorable metadata
         else:
-            raise ValueError(f"unsupported BLIF directive: {directive!r}")
+            raise BlifError(f"unsupported BLIF directive: {directive!r}")
     if not saw_model:
-        raise ValueError("no .model found")
+        raise BlifError("no .model found")
     return model
 
 

@@ -1,0 +1,18 @@
+"""Netlist input error types.
+
+Both derive from :class:`ValueError`, so pre-existing callers that catch
+``ValueError`` keep working; the CLI catches the specific types to emit
+one-line diagnostics with a stable exit code instead of a traceback.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NetlistFormatError", "BlifError"]
+
+
+class NetlistFormatError(ValueError):
+    """A netlist file (hgr / named netlist) is malformed."""
+
+
+class BlifError(NetlistFormatError):
+    """A BLIF file is malformed or uses unsupported constructs."""

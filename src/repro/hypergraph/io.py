@@ -20,6 +20,7 @@ from pathlib import Path
 from typing import List, TextIO, Tuple, Union
 
 from .builder import HypergraphBuilder
+from .errors import NetlistFormatError
 from .hypergraph import Hypergraph
 
 __all__ = [
@@ -109,10 +110,10 @@ def read_hgr(source: _PathOrIO) -> Hypergraph:
                 continue
             lines.append(line)
         if not lines:
-            raise ValueError("empty hgr file")
+            raise NetlistFormatError("empty hgr file")
         header = lines[0].split()
         if len(header) < 2:
-            raise ValueError(f"bad hgr header: {lines[0]!r}")
+            raise NetlistFormatError(f"bad hgr header: {lines[0]!r}")
         num_nets = int(header[0])
         num_cells = int(header[1])
         fmt = int(header[2]) if len(header) > 2 else 0
@@ -121,7 +122,7 @@ def read_hgr(source: _PathOrIO) -> Hypergraph:
 
         expected = num_nets + (num_cells if has_cell_weights else 0)
         if len(lines) - 1 != expected:
-            raise ValueError(
+            raise NetlistFormatError(
                 f"hgr body has {len(lines) - 1} lines, expected {expected}"
             )
         nets: List[Tuple[int, ...]] = []
@@ -194,11 +195,11 @@ def read_netlist(source: _PathOrIO, name: str = "") -> Hypergraph:
             kind = tokens[0]
             if kind == "cell":
                 if len(tokens) != 3:
-                    raise ValueError(f"bad cell line: {line!r}")
+                    raise NetlistFormatError(f"bad cell line: {line!r}")
                 builder.add_cell(tokens[1], size=int(tokens[2]))
             elif kind == "net":
                 if len(tokens) < 3:
-                    raise ValueError(f"bad net line: {line!r}")
+                    raise NetlistFormatError(f"bad net line: {line!r}")
                 pads = 0
                 pins = tokens[2:]
                 if pins and pins[-1].startswith("@"):
@@ -206,7 +207,7 @@ def read_netlist(source: _PathOrIO, name: str = "") -> Hypergraph:
                     pins = pins[:-1]
                 builder.add_net(tokens[1], pins, terminals=pads)
             else:
-                raise ValueError(f"unknown record {kind!r} in netlist")
+                raise NetlistFormatError(f"unknown record {kind!r} in netlist")
         return builder.build()
     finally:
         if owned:

@@ -1,0 +1,94 @@
+"""Structured logging for partitioning runs.
+
+Thin layer over the stdlib ``logging`` module giving every run a short
+*run id* that is stamped on each record, so interleaved runs (the
+experiment harness, per-circuit retries, CI jobs) stay attributable in
+one log stream.
+
+The library itself never configures handlers — the root ``repro``
+logger carries a ``NullHandler`` so importing the package is silent.
+Applications (the CLI, CI jobs) opt in with :func:`configure_logging`.
+
+Usage::
+
+    from repro.logging import get_logger, new_run_id, run_logger
+
+    log = run_logger("core.fpart", run_id="a1b2c3d4")
+    log.info("run start", extra={"event": "run_start"})
+
+Events follow a loose convention: one short lowercase phrase first,
+``key=value`` details after, e.g. ``"iteration k=5 remainder=3"``.
+"""
+
+from __future__ import annotations
+
+import logging
+import uuid
+from typing import Optional
+
+__all__ = [
+    "ROOT_LOGGER_NAME",
+    "get_logger",
+    "new_run_id",
+    "RunLoggerAdapter",
+    "run_logger",
+    "configure_logging",
+]
+
+ROOT_LOGGER_NAME = "repro"
+
+#: Default line format used by :func:`configure_logging`.
+DEFAULT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(component: Optional[str] = None) -> logging.Logger:
+    """Logger under the ``repro`` namespace (``repro.<component>``)."""
+    if component:
+        return logging.getLogger(f"{ROOT_LOGGER_NAME}.{component}")
+    return logging.getLogger(ROOT_LOGGER_NAME)
+
+
+def new_run_id() -> str:
+    """A short random id identifying one partitioning run in the logs."""
+    return uuid.uuid4().hex[:8]
+
+
+class RunLoggerAdapter(logging.LoggerAdapter):
+    """Prefixes every message with the run id (``[run a1b2c3d4] ...``)."""
+
+    def process(self, msg, kwargs):
+        run_id = self.extra.get("run_id", "-")
+        return f"[run {run_id}] {msg}", kwargs
+
+
+def run_logger(
+    component: str, run_id: Optional[str] = None
+) -> RunLoggerAdapter:
+    """A run-scoped logger; generates a fresh run id when none is given."""
+    return RunLoggerAdapter(
+        get_logger(component), {"run_id": run_id or new_run_id()}
+    )
+
+
+def configure_logging(
+    level: str = "INFO",
+    path: Optional[str] = None,
+    fmt: str = DEFAULT_FORMAT,
+) -> logging.Handler:
+    """Attach a stream (or file) handler to the ``repro`` logger.
+
+    Intended for applications, not library code.  Returns the handler so
+    tests / callers can detach it again with ``logger.removeHandler``.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    handler: logging.Handler
+    if path:
+        handler = logging.FileHandler(path, encoding="utf-8")
+    else:
+        handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(fmt))
+    logger.addHandler(handler)
+    logger.setLevel(level.upper())
+    return handler

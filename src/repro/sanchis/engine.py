@@ -57,6 +57,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from ..core.config import FpartConfig
 from ..core.cost import CostEvaluator, IncrementalCostEvaluator, SolutionCost
 from ..core.move_region import MoveRegion
+from ..core.runguard import NULL_GUARD, RunGuard
 from ..fm.gains import move_gain_vector, pin_gain
 from ..partition import PartitionState
 
@@ -108,6 +109,11 @@ class SanchisEngine:
         Move-legality oracle for this improvement call.
     config:
         Engine knobs (gain levels, pass limit, tie-breaks).
+    guard:
+        Run guard consulted per applied move (lease protocol).  A pass
+        interrupted by the guard rewinds to its best prefix before the
+        :class:`~repro.core.exceptions.BudgetExhaustedError` propagates,
+        so the state is always left consistent.
     """
 
     def __init__(
@@ -118,6 +124,7 @@ class SanchisEngine:
         evaluator: CostEvaluator,
         region: MoveRegion,
         config: FpartConfig,
+        guard: RunGuard = NULL_GUARD,
     ) -> None:
         blocks = list(dict.fromkeys(blocks))
         if len(blocks) < 2:
@@ -134,6 +141,7 @@ class SanchisEngine:
         self.evaluator = evaluator
         self.region = region
         self.config = config
+        self.guard = guard
         self.directions: List[Tuple[int, int]] = [
             (f, t) for f in blocks for t in blocks if f != t
         ]
@@ -227,7 +235,12 @@ class SanchisEngine:
                 )
                 enqueue((f, t), (-g1, -g2, -seq))
 
-        for cell in free:
+        # Seed in sorted order: the LIFO sequence numbers must not depend
+        # on set iteration order (a function of the set's mutation
+        # history), or a run resumed from a checkpoint — whose block-cell
+        # sets are rebuilt fresh — would tie-break differently from the
+        # uninterrupted run.
+        for cell in sorted(free):
             push(cell)
 
         def head(direction: Tuple[int, int]) -> Optional[_Entry]:
@@ -351,82 +364,99 @@ class SanchisEngine:
         best_key = key_of(state, self.remainder)
         stalled = 0  # moves since the pass-best last improved
 
-        while free:
-            if stall_limit is not None and stalled >= stall_limit:
-                break  # wandering in the infeasible region: cut losses
-            chosen = select()
-            if chosen is None:
-                break
+        # Guard lease protocol: one local integer decrement per applied
+        # move; the clock / move cap is consulted only when a lease runs
+        # out.  The finally clause rewinds to the best prefix on EVERY
+        # exit path — normal completion, budget exhaustion, or a fault
+        # injected at the evaluator seam — so the state (and its undo
+        # journal) is always left consistent when an exception
+        # propagates out of a pass.
+        guard = self.guard
+        budget_left = guard.lease()
+        try:
+            while free:
+                if stall_limit is not None and stalled >= stall_limit:
+                    break  # wandering in the infeasible region: cut losses
+                chosen = select()
+                if chosen is None:
+                    break
 
-            cell, to_block = chosen
-            from_block = state.block_of(cell)
-            nets = hg.nets_of(cell)
-            # Pre-move distribution facts deciding which neighbours are
-            # dirty (the predicates below need the *old* counts).
-            pre = [
-                (
-                    state.net_block_count(e, from_block),
-                    state.net_block_count(e, to_block),
-                    locked_in_block[e].get(to_block, 0),
-                )
-                for e in nets
-            ]
-            state.move(cell, to_block)
-            free.discard(cell)
-            version[cell] += 1  # invalidate the cell's other entries
-            for e in nets:
-                lb = locked_in_block[e]
-                lb[to_block] = lb.get(to_block, 0) + 1
+                cell, to_block = chosen
+                from_block = state.block_of(cell)
+                nets = hg.nets_of(cell)
+                # Pre-move distribution facts deciding which neighbours
+                # are dirty (the predicates below need the *old* counts).
+                pre = [
+                    (
+                        state.net_block_count(e, from_block),
+                        state.net_block_count(e, to_block),
+                        locked_in_block[e].get(to_block, 0),
+                    )
+                    for e in nets
+                ]
+                state.move(cell, to_block)
+                free.discard(cell)
+                version[cell] += 1  # invalidate the cell's other entries
+                for e in nets:
+                    lb = locked_in_block[e]
+                    lb[to_block] = lb.get(to_block, 0) + 1
 
-            # Refresh gains of free neighbours on dirty nets only.  A
-            # neighbour's gain vector can change when the net enters or
-            # leaves a block (membership/span change), when its count in
-            # the source block falls out of {1, 2} reach, when its count
-            # in the destination leaves {1, 2}, or when the first lock of
-            # the pass lands in the destination block.
-            refreshed: Set[int] = set()
-            block_of = state.block_of
-            for e, (c_from, c_to, locked_to) in zip(nets, pre):
-                if c_from == 1 or c_to == 0:
-                    # Net left from_block and/or entered to_block: every
-                    # free pin may see different membership or span.
+                # Refresh gains of free neighbours on dirty nets only.  A
+                # neighbour's gain vector can change when the net enters
+                # or leaves a block (membership/span change), when its
+                # count in the source block falls out of {1, 2} reach,
+                # when its count in the destination leaves {1, 2}, or
+                # when the first lock of the pass lands in the
+                # destination block.
+                refreshed: Set[int] = set()
+                block_of = state.block_of
+                for e, (c_from, c_to, locked_to) in zip(nets, pre):
+                    if c_from == 1 or c_to == 0:
+                        # Net left from_block and/or entered to_block:
+                        # every free pin may see different membership or
+                        # span.
+                        for v in hg.pins_of(e):
+                            if v in free and v not in refreshed:
+                                refreshed.add(v)
+                                version[v] += 1
+                                push(v)
+                        continue
+                    need_from = c_from <= 3
+                    need_to = c_to <= 2 or locked_to == 0
+                    if not (need_from or need_to):
+                        continue
                     for v in hg.pins_of(e):
                         if v in free and v not in refreshed:
-                            refreshed.add(v)
-                            version[v] += 1
-                            push(v)
-                    continue
-                need_from = c_from <= 3
-                need_to = c_to <= 2 or locked_to == 0
-                if not (need_from or need_to):
-                    continue
-                for v in hg.pins_of(e):
-                    if v in free and v not in refreshed:
-                        bv = block_of(v)
-                        if (need_from and bv == from_block) or (
-                            need_to and bv == to_block
-                        ):
-                            refreshed.add(v)
-                            version[v] += 1
-                            push(v)
+                            bv = block_of(v)
+                            if (need_from and bv == from_block) or (
+                                need_to and bv == to_block
+                            ):
+                                refreshed.add(v)
+                                version[v] += 1
+                                push(v)
 
-            # Size change may re-legalize parked or suspended moves of
-            # directions donating to the grown block or receiving from
-            # the shrunk one.
-            for direction in self._dirs_from.get(to_block, ()):
-                revive(direction)
-            for direction in self._dirs_to.get(from_block, ()):
-                revive(direction)
+                # Size change may re-legalize parked or suspended moves
+                # of directions donating to the grown block or receiving
+                # from the shrunk one.
+                for direction in self._dirs_from.get(to_block, ()):
+                    revive(direction)
+                for direction in self._dirs_to.get(from_block, ()):
+                    revive(direction)
 
-            key = key_of(state, self.remainder)
-            if key < best_key:
-                best_key = key
-                best_mark = state.journal_mark()
-                stalled = 0
-            else:
-                stalled += 1
+                key = key_of(state, self.remainder)
+                if key < best_key:
+                    best_key = key
+                    best_mark = state.journal_mark()
+                    stalled = 0
+                else:
+                    stalled += 1
 
-        state.rewind(best_mark)
+                budget_left -= 1
+                if budget_left <= 0:
+                    budget_left = guard.lease()
+        finally:
+            guard.settle(budget_left)
+            state.rewind(best_mark)
         return best_mark - mark, evaluator.cost_of(state, self.remainder)
 
     # ------------------------------------------------------------------

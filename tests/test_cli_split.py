@@ -45,9 +45,11 @@ class TestSplit:
         assert files
         assert read_netlist(files[0]).num_cells > 0
 
-    def test_bad_assignment(self, partitioned, tmp_path):
+    def test_bad_assignment(self, partitioned, tmp_path, capsys):
         netlist, _ = partitioned
         bad = tmp_path / "bad.txt"
         bad.write_text("ghost 0\n")
-        with pytest.raises(SystemExit, match="error"):
-            main(["split", str(netlist), str(bad), "-d", str(tmp_path / "o")])
+        assert main(
+            ["split", str(netlist), str(bad), "-d", str(tmp_path / "o")]
+        ) == 65
+        assert "fpart: error" in capsys.readouterr().err

@@ -1,0 +1,285 @@
+"""Fault-injection and robustness tests.
+
+Proves the run-guard subsystem's promises:
+
+* an exception detonated at an arbitrary depth of the solve path leaves
+  a consistent state and degrades to a valid best-so-far result;
+* budgets (moves, deadline, iterations) trip and degrade the same way;
+* ``strict=True`` re-raises faithfully;
+* checkpoint → interrupt → resume reproduces the uninterrupted run's
+  final assignment bit-identically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BudgetExhaustedError,
+    CheckpointError,
+    CheckpointManager,
+    FpartConfig,
+    FpartPartitioner,
+    RunBudget,
+    RunGuard,
+    fpart,
+    make_evaluator,
+)
+from repro.fm import fm_refine
+from repro.partition import PartitionState, validate_assignment
+from repro.testing import FaultPlan, FaultyEvaluator, InjectedFault
+
+
+def _faulty_partitioner(hg, device, plan, config=FpartConfig()):
+    m = device.lower_bound(hg)
+    inner = make_evaluator(device, config, m, hg.num_terminals)
+    faulty = FaultyEvaluator(inner, plan)
+    return FpartPartitioner(hg, device, config, evaluator=faulty), faulty
+
+
+class TestFaultDegradation:
+    @pytest.mark.parametrize("fail_on_call", [1, 5, 17, 42, 101])
+    def test_arbitrary_depth_fault_yields_valid_result(
+        self, medium_circuit, small_device, fail_on_call
+    ):
+        plan = FaultPlan(fail_on_call=fail_on_call)
+        partitioner, faulty = _faulty_partitioner(
+            medium_circuit, small_device, plan
+        )
+        result = partitioner.run()
+        assert faulty.stats.fired == 1
+        assert result.status in ("semi_feasible", "failed")
+        assert result.error and "InjectedFault" in result.error
+        # The degraded assignment is structurally valid.
+        assert len(result.assignment) == medium_circuit.num_cells
+        report = validate_assignment(
+            medium_circuit, result.assignment, small_device
+        )
+        assert report.num_blocks == result.num_devices
+        # And the rebuilt state passes the from-scratch consistency oracle.
+        PartitionState.from_assignment(
+            medium_circuit, result.assignment, result.num_devices
+        ).check_consistency()
+
+    def test_strict_reraises_injected_fault(
+        self, medium_circuit, small_device
+    ):
+        plan = FaultPlan(fail_on_call=17)
+        partitioner, _ = _faulty_partitioner(
+            medium_circuit, small_device, plan, FpartConfig(strict=True)
+        )
+        with pytest.raises(InjectedFault):
+            partitioner.run()
+
+    def test_persistently_faulty_evaluator_still_degrades(
+        self, medium_circuit, small_device
+    ):
+        # once=False: the final best re-evaluation faults too; the
+        # degradation handler must swallow that second failure.
+        plan = FaultPlan(fail_on_call=17, once=False)
+        partitioner, faulty = _faulty_partitioner(
+            medium_circuit, small_device, plan
+        )
+        result = partitioner.run()
+        assert faulty.stats.fired >= 1
+        assert result.status in ("semi_feasible", "failed")
+        assert len(result.assignment) == medium_circuit.num_cells
+
+    def test_no_fault_plan_is_transparent(self, two_clusters, tiny_device):
+        plan = FaultPlan()  # counts, never fires
+        partitioner, faulty = _faulty_partitioner(
+            two_clusters, tiny_device, plan
+        )
+        result = partitioner.run()
+        assert result.feasible and result.status == "feasible"
+        assert faulty.stats.fired == 0
+        assert faulty.stats.calls > 0
+
+
+class TestBudgetDegradation:
+    def test_move_budget_trips_and_degrades(
+        self, medium_circuit, small_device
+    ):
+        config = FpartConfig(max_moves=30, guard_check_interval=8)
+        result = fpart(medium_circuit, small_device, config)
+        assert result.status == "budget_exhausted"
+        assert "move budget" in result.error
+        report = validate_assignment(
+            medium_circuit, result.assignment, small_device
+        )
+        assert report.num_blocks == result.num_devices
+
+    def test_deadline_trips_with_slow_evaluator(
+        self, medium_circuit, small_device
+    ):
+        config = FpartConfig(deadline_seconds=0.05, guard_check_interval=1)
+        plan = FaultPlan(delay=0.002)  # ~2ms per evaluator call
+        partitioner, _ = _faulty_partitioner(
+            medium_circuit, small_device, plan, config
+        )
+        result = partitioner.run()
+        assert result.status == "budget_exhausted"
+        assert "deadline" in result.error
+
+    def test_strict_budget_raises(self, medium_circuit, small_device):
+        config = FpartConfig(
+            max_moves=30, guard_check_interval=8, strict=True
+        )
+        with pytest.raises(BudgetExhaustedError) as info:
+            fpart(medium_circuit, small_device, config)
+        assert info.value.reason == "moves"
+
+    def test_degraded_cost_not_worse_than_start(
+        self, medium_circuit, small_device
+    ):
+        """The returned solution is the best one *observed*, so it can
+        never be worse than the run's starting point."""
+        config = FpartConfig(max_moves=200, guard_check_interval=16)
+        m = small_device.lower_bound(medium_circuit)
+        evaluator = make_evaluator(
+            small_device, config, m, medium_circuit.num_terminals
+        )
+        result = fpart(medium_circuit, small_device, config)
+        assert result.status == "budget_exhausted"
+        final = PartitionState.from_assignment(
+            medium_circuit, result.assignment, result.num_devices
+        )
+        initial = PartitionState.single_block(medium_circuit)
+        assert not (
+            evaluator.evaluate(initial, 0)
+            < evaluator.evaluate(final, 0)
+        )
+
+
+class TestEngineRollbackConsistency:
+    def test_fm_pass_interrupted_by_guard_stays_consistent(
+        self, medium_circuit, small_device
+    ):
+        clean = fpart(medium_circuit, small_device)
+        state = PartitionState.from_assignment(
+            medium_circuit, clean.assignment, clean.num_devices
+        )
+        before = state.assignment()
+        guard = RunGuard(RunBudget(max_moves=1, check_interval=1))
+        bounds = {0: (0, 10**9), 1: (0, 10**9)}
+        with pytest.raises(BudgetExhaustedError):
+            fm_refine(state, 0, 1, bounds, guard=guard)
+        state.check_consistency()
+        # The interrupted pass rewound to its best prefix — at most the
+        # one granted move survives, and only if it improved the cut.
+        diffs = sum(a != b for a, b in zip(before, state.assignment()))
+        assert diffs <= 1
+
+
+class TestCheckpointResume:
+    def test_interrupt_then_resume_is_bit_identical(
+        self, medium_circuit, small_device, tmp_path
+    ):
+        clean = fpart(medium_circuit, small_device)
+        assert clean.feasible and clean.iterations >= 2
+
+        path = tmp_path / "run.ckpt"
+        manager = CheckpointManager(path, every=1)
+        interrupted = FpartPartitioner(
+            medium_circuit,
+            small_device,
+            FpartConfig(max_iterations=clean.iterations - 1),
+            checkpoint=manager,
+        ).run()
+        assert interrupted.status == "budget_exhausted"
+        assert manager.exists()
+
+        resumed = FpartPartitioner(
+            medium_circuit, small_device, checkpoint=manager
+        ).run(resume_from=manager.load())
+        assert resumed.feasible
+        assert resumed.assignment == clean.assignment
+        assert resumed.num_devices == clean.num_devices
+        assert resumed.iterations == clean.iterations
+
+    @pytest.mark.parametrize("cut_at", [1, 2])
+    def test_resume_from_any_boundary(
+        self, medium_circuit, small_device, tmp_path, cut_at
+    ):
+        clean = fpart(medium_circuit, small_device)
+        if clean.iterations <= cut_at:
+            pytest.skip("run too short to cut at this boundary")
+        manager = CheckpointManager(tmp_path / "b.ckpt", every=1)
+        FpartPartitioner(
+            medium_circuit,
+            small_device,
+            FpartConfig(max_iterations=cut_at),
+            checkpoint=manager,
+        ).run()
+        resumed = FpartPartitioner(medium_circuit, small_device).run(
+            resume_from=manager.load()
+        )
+        assert resumed.assignment == clean.assignment
+
+    def test_resume_of_finished_run_short_circuits(
+        self, medium_circuit, small_device, tmp_path
+    ):
+        manager = CheckpointManager(tmp_path / "f.ckpt", every=1)
+        first = FpartPartitioner(
+            medium_circuit, small_device, checkpoint=manager
+        ).run()
+        assert first.feasible
+        again = FpartPartitioner(medium_circuit, small_device).run(
+            resume_from=manager.load()
+        )
+        assert again.feasible
+        assert again.assignment == first.assignment
+        assert again.iterations == first.iterations
+
+    def test_checkpoint_rejects_foreign_run(
+        self, medium_circuit, two_clusters, small_device, tiny_device, tmp_path
+    ):
+        manager = CheckpointManager(tmp_path / "x.ckpt", every=1)
+        FpartPartitioner(
+            two_clusters, tiny_device, checkpoint=manager
+        ).run()
+        cp = manager.load()
+        with pytest.raises(CheckpointError, match="circuit"):
+            FpartPartitioner(medium_circuit, tiny_device).run(resume_from=cp)
+        with pytest.raises(CheckpointError, match="device"):
+            FpartPartitioner(two_clusters, small_device).run(resume_from=cp)
+
+    def test_checkpoint_rejects_different_search_config(
+        self, two_clusters, tiny_device, tmp_path
+    ):
+        manager = CheckpointManager(tmp_path / "c.ckpt", every=1)
+        FpartPartitioner(
+            two_clusters, tiny_device, checkpoint=manager
+        ).run()
+        cp = manager.load()
+        other = FpartConfig(use_level2_gains=False)
+        with pytest.raises(CheckpointError, match="configuration"):
+            FpartPartitioner(
+                two_clusters, tiny_device, other
+            ).run(resume_from=cp)
+
+    def test_budget_only_config_change_is_resumable(
+        self, two_clusters, tiny_device, tmp_path
+    ):
+        manager = CheckpointManager(tmp_path / "d.ckpt", every=1)
+        FpartPartitioner(
+            two_clusters, tiny_device, checkpoint=manager
+        ).run()
+        cp = manager.load()
+        bigger = FpartConfig(deadline_seconds=3600.0, max_moves=10**9)
+        result = FpartPartitioner(
+            two_clusters, tiny_device, bigger
+        ).run(resume_from=cp)
+        assert result.feasible
+
+    def test_corrupt_checkpoint_raises(self, tmp_path):
+        path = tmp_path / "bad.ckpt"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            CheckpointManager(path).load()
+
+    def test_wrong_schema_raises(self, tmp_path):
+        path = tmp_path / "old.ckpt"
+        path.write_text('{"schema": 99}', encoding="utf-8")
+        with pytest.raises(CheckpointError, match="schema"):
+            CheckpointManager(path).load()

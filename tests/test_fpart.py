@@ -95,12 +95,32 @@ class TestErrors:
         with pytest.raises(UnpartitionableError, match="exceeds device"):
             FpartPartitioner(hg, tiny_device)
 
-    def test_iteration_limit(self, two_clusters, tiny_device):
+    def test_iteration_limit_strict_raises(self, two_clusters, tiny_device):
         from repro.core import IterationLimitError
 
-        config = FpartConfig(max_iterations=0)
+        config = FpartConfig(max_iterations=0, strict=True)
         with pytest.raises(IterationLimitError):
             FpartPartitioner(two_clusters, tiny_device, config).run()
+
+    def test_iteration_limit_degrades_by_default(
+        self, two_clusters, tiny_device
+    ):
+        config = FpartConfig(max_iterations=0)
+        result = FpartPartitioner(two_clusters, tiny_device, config).run()
+        assert result.status == "budget_exhausted"
+        assert not result.feasible
+        assert result.error
+        assert len(result.assignment) == two_clusters.num_cells
+
+    def test_default_iteration_cap_is_4m_plus_16(
+        self, two_clusters, tiny_device
+    ):
+        from repro.core import RunBudget, default_iteration_cap
+
+        m = tiny_device.lower_bound(two_clusters)
+        budget = RunBudget.from_config(FpartConfig(), m)
+        assert budget.max_iterations == 4 * m + 16
+        assert default_iteration_cap(m) == 4 * m + 16
 
 
 class TestConfigurations:

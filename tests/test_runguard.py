@@ -1,0 +1,110 @@
+"""RunBudget / RunGuard unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    NULL_GUARD,
+    BudgetExhaustedError,
+    FpartConfig,
+    IterationLimitError,
+    PartitioningError,
+    RunBudget,
+    RunGuard,
+    default_iteration_cap,
+)
+
+
+class TestRunBudget:
+    def test_defaults_unlimited(self):
+        budget = RunBudget()
+        assert budget.unlimited
+
+    def test_from_config_defaults_iteration_cap(self):
+        budget = RunBudget.from_config(FpartConfig(), lower_bound=3)
+        assert budget.max_iterations == default_iteration_cap(3) == 28
+        assert budget.deadline_seconds is None
+        assert budget.max_moves is None
+        assert not budget.unlimited
+
+    def test_from_config_passes_overrides(self):
+        config = FpartConfig(
+            deadline_seconds=1.5, max_iterations=7, max_moves=100
+        )
+        budget = RunBudget.from_config(config, lower_bound=2)
+        assert budget.deadline_seconds == 1.5
+        assert budget.max_iterations == 7
+        assert budget.max_moves == 100
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_seconds": -1.0},
+            {"max_iterations": -1},
+            {"max_moves": -5},
+            {"check_interval": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RunBudget(**kwargs)
+
+
+class TestRunGuard:
+    def test_iteration_cap_allows_exactly_n(self):
+        guard = RunGuard(RunBudget(max_iterations=3))
+        for _ in range(3):
+            guard.tick_iteration()
+        with pytest.raises(IterationLimitError):
+            guard.tick_iteration()
+        assert guard.tripped == "iterations"
+
+    def test_iteration_error_is_budget_error(self):
+        guard = RunGuard(RunBudget(max_iterations=0))
+        with pytest.raises(BudgetExhaustedError) as info:
+            guard.tick_iteration()
+        assert info.value.reason == "iterations"
+        assert isinstance(info.value, PartitioningError)
+
+    def test_move_cap_via_leases(self):
+        guard = RunGuard(RunBudget(max_moves=10, check_interval=4))
+        spent = 0
+        with pytest.raises(BudgetExhaustedError) as info:
+            while True:
+                grant = guard.lease()
+                assert grant <= 4
+                spent += grant  # pretend every granted move is applied
+        assert info.value.reason == "moves"
+        assert spent == 10
+        assert guard.moves == 10
+
+    def test_settle_refunds_unused_tail(self):
+        guard = RunGuard(RunBudget(max_moves=100, check_interval=8))
+        grant = guard.lease()
+        guard.settle(grant - 3)  # applied only 3 of the lease
+        assert guard.moves == 3
+
+    def test_deadline_trips(self):
+        guard = RunGuard(RunBudget(deadline_seconds=0.0))
+        guard.start()
+        with pytest.raises(BudgetExhaustedError) as info:
+            guard.check()
+        assert info.value.reason == "deadline"
+
+    def test_preload_resumes_counters(self):
+        guard = RunGuard(RunBudget(max_iterations=5, max_moves=10))
+        guard.preload(iterations=4, moves=9, elapsed=1.25)
+        assert guard.elapsed() >= 1.25
+        guard.tick_iteration()  # 5th: allowed
+        with pytest.raises(IterationLimitError):
+            guard.tick_iteration()
+
+    def test_null_guard_is_unlimited_and_counts(self):
+        before = NULL_GUARD.iterations
+        NULL_GUARD.tick_iteration()
+        assert NULL_GUARD.iterations == before + 1
+        grant = NULL_GUARD.lease()
+        assert grant > 1_000_000
+        NULL_GUARD.settle(0)
+        NULL_GUARD.check()
