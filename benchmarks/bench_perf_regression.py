@@ -69,6 +69,15 @@ SMOKE_SPEEDUP_FLOOR = 2.0
 GUARD_OVERHEAD_CEILING_PCT = 2.0
 SMOKE_GUARD_OVERHEAD_CEILING_PCT = 10.0
 
+#: Maximum acceptable metrics-on overhead on the evaluator path, in
+#: percent (the observability overhead contract, DESIGN.md).  The
+#: engines keep all metric accumulation off the evaluator-path window —
+#: per-move observations ride the selection path into pass-local
+#: variables and are flushed to the registry once per pass — so the
+#: metrics-on evaluator path must stay within 2% of metrics-off.
+METRICS_OVERHEAD_CEILING_PCT = 2.0
+SMOKE_METRICS_OVERHEAD_CEILING_PCT = 10.0
+
 #: Canonical workloads: (circuit, device).  s15850/XC3042 is the
 #: largest Table 3 row exercised by default (M=7 ⇒ 42 directions).
 WORKLOADS: Tuple[Tuple[str, str], ...] = (
@@ -308,6 +317,98 @@ def bench_guard_overhead(
     return row
 
 
+def bench_metrics_overhead(
+    circuit: str = "s15850",
+    device_name: str = "XC3042",
+    moves: int = 20000,
+    ceiling_pct: float = METRICS_OVERHEAD_CEILING_PCT,
+) -> Dict:
+    """Metrics-on vs metrics-off cost of the evaluator-path window.
+
+    Replays the shared move trace through the exact per-move sequence
+    the instrumented Sanchis engine runs on the evaluator path:
+    incremental refresh, key query, the unconditional ``applied``
+    counter.  The metrics-on loop additionally charges the registry
+    flush (counter increment + histogram bucket merge) at every chunk
+    boundary *inside* the timed window — the engine flushes once per
+    pass in its ``finally`` clause, and real passes are usually longer
+    than a chunk, so this over-counts and bounds the production
+    overhead from above.  The per-move gain bucketing rides the
+    selection path (not timed here); the whole-run identity check in
+    the observability integration tests covers it.
+    """
+    from repro.obs import MetricsRegistry, NULL_METRICS
+    from repro.obs.metrics import GAIN_HIST_HI, GAIN_HIST_LO
+
+    hg, device, state, k, trace = _replay_fixture(circuit, device_name, moves)
+    m = device.lower_bound(hg)
+    config = FpartConfig()
+    baseline = state.assignment()
+    perf_counter = time.perf_counter
+
+    inc = IncrementalCostEvaluator(device, config, m, hg.num_terminals)
+    inc.attach(state)
+    state.remove_listener(inc)  # notify manually inside the timed window
+
+    flush_every = 2048  # pass-boundary stand-in (conservative: real
+    # passes are usually longer, so real flushes are rarer)
+
+    def loop(metrics) -> float:
+        collect = metrics.enabled
+        ghist = [0] * (GAIN_HIST_HI - GAIN_HIST_LO)
+        applied = 0
+        total = 0.0
+        for chunk_start in range(0, len(trace), flush_every):
+            for cell, to_block in trace[chunk_start:chunk_start + flush_every]:
+                from_block = state.block_of(cell)
+                state.move(cell, to_block)
+                start = perf_counter()
+                inc.on_move(from_block, to_block)
+                inc.current_key(0)
+                applied += 1
+                total += perf_counter() - start
+            if collect:
+                start = perf_counter()
+                metrics.counter("sanchis.moves_tried").inc(flush_every)
+                metrics.histogram(
+                    "sanchis.gain1", GAIN_HIST_LO, GAIN_HIST_HI
+                ).add_buckets(ghist)
+                total += perf_counter() - start
+        return total
+
+    t_off = float("inf")
+    t_on = float("inf")
+    for _ in range(5):
+        t_off = min(t_off, loop(NULL_METRICS))
+        state.restore(baseline)
+        inc.attach(state)
+        state.remove_listener(inc)
+        t_on = min(t_on, loop(MetricsRegistry()))
+        state.restore(baseline)
+        inc.attach(state)
+        state.remove_listener(inc)
+    inc.detach()
+
+    overhead_pct = (t_on / max(t_off, 1e-9) - 1.0) * 100.0
+    row = {
+        "circuit": circuit,
+        "device": device_name,
+        "blocks": k,
+        "moves": moves,
+        "per_move_us_metrics_off": round(t_off / moves * 1e6, 3),
+        "per_move_us_metrics_on": round(t_on / moves * 1e6, 3),
+        "overhead_pct": round(overhead_pct, 2),
+        "ceiling_pct": ceiling_pct,
+    }
+    print(
+        f"metrics overhead {circuit}/{device_name} (k={k}, {moves} moves): "
+        f"off={row['per_move_us_metrics_off']}us/move "
+        f"on={row['per_move_us_metrics_on']}us/move "
+        f"overhead={overhead_pct:.2f}% (ceiling {ceiling_pct}%)"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -335,6 +436,11 @@ def main(argv=None) -> int:
         if args.smoke
         else GUARD_OVERHEAD_CEILING_PCT
     )
+    metrics_ceiling = (
+        SMOKE_METRICS_OVERHEAD_CEILING_PCT
+        if args.smoke
+        else METRICS_OVERHEAD_CEILING_PCT
+    )
     eval_circuit = workloads[-1][0]
 
     runs = bench_whole_runs(workloads)
@@ -344,9 +450,12 @@ def main(argv=None) -> int:
     guard = bench_guard_overhead(
         eval_circuit, "XC3042", moves=moves, ceiling_pct=guard_ceiling
     )
+    metrics_row = bench_metrics_overhead(
+        eval_circuit, "XC3042", moves=moves, ceiling_pct=metrics_ceiling
+    )
 
     report = {
-        "schema": 2,
+        "schema": 3,
         "generated_utc": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
         ),
@@ -356,6 +465,7 @@ def main(argv=None) -> int:
         "whole_runs": runs,
         "evaluator_path": evaluator,
         "guard_overhead": guard,
+        "metrics_overhead": metrics_row,
     }
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -382,6 +492,12 @@ def main(argv=None) -> int:
         print(
             f"FAIL: guard overhead {guard['overhead_pct']}% exceeds "
             f"the {guard_ceiling}% ceiling"
+        )
+        failed = True
+    if metrics_row["overhead_pct"] > metrics_ceiling:
+        print(
+            f"FAIL: metrics overhead {metrics_row['overhead_pct']}% exceeds "
+            f"the {metrics_ceiling}% ceiling"
         )
         failed = True
     return 1 if failed else 0

@@ -3,6 +3,7 @@
 from .experiments import (
     MEASURED_METHODS,
     ExperimentRecord,
+    aggregate_metrics,
     circuit_for_device,
     render_cpu_table,
     render_device_comparison,
@@ -30,8 +31,12 @@ from .report import generate_report
 from .sweeps import SweepCell, render_sweep, sweep_config
 from .convergence import (
     ConvergencePoint,
+    TracePassPoint,
+    convergence_from_trace,
     convergence_series,
     render_convergence,
+    render_convergence_svg,
+    render_pass_table,
     sparkline,
 )
 from .quality import PartitionQuality, analyze_partition, render_quality
@@ -96,6 +101,11 @@ __all__ = [
     "convergence_series",
     "sparkline",
     "render_convergence",
+    "TracePassPoint",
+    "convergence_from_trace",
+    "render_pass_table",
+    "render_convergence_svg",
+    "aggregate_metrics",
     "records_to_dicts",
     "records_to_json",
     "records_to_csv",

@@ -24,9 +24,20 @@ from ..circuits import (
     MCNC_NAMES,
     mcnc_circuit,
 )
-from ..core import DEFAULT_CONFIG, Device, FpartConfig, device_by_name, fpart
+from ..core import (
+    DEFAULT_CONFIG,
+    Device,
+    FpartConfig,
+    FpartPartitioner,
+    device_by_name,
+)
 from ..hypergraph import Hypergraph
 from ..logging import get_logger
+from ..obs.metrics import (
+    NULL_METRICS,
+    MetricsRegistry,
+    merge_snapshots,
+)
 from .published import (
     TABLE6_CPU_SECONDS,
     PublishedTable,
@@ -41,6 +52,7 @@ __all__ = [
     "circuit_for_device",
     "run_method",
     "run_device_experiment",
+    "aggregate_metrics",
     "render_device_comparison",
     "render_cpu_table",
 ]
@@ -62,24 +74,47 @@ class ExperimentRecord:
     excluded from table totals instead of sinking the whole sweep."""
     error: Optional[str] = None
     """Message of the exception that failed the cell (status="failed")."""
+    metrics: Optional[Dict] = None
+    """Per-cell metrics snapshot (``collect_metrics`` runs only);
+    aggregate across a sweep with :func:`aggregate_metrics`."""
 
 
-def _run_fpart(hg: Hypergraph, device: Device, config: FpartConfig):
-    result = fpart(hg, device, config)
+def _run_fpart(
+    hg: Hypergraph,
+    device: Device,
+    config: FpartConfig,
+    metrics: MetricsRegistry = NULL_METRICS,
+):
+    result = FpartPartitioner(hg, device, config, metrics=metrics).run()
     return result.num_devices, result.lower_bound, result.feasible
 
 
-def _run_kwayx(hg: Hypergraph, device: Device, config: FpartConfig):
+def _run_kwayx(
+    hg: Hypergraph,
+    device: Device,
+    config: FpartConfig,
+    metrics: MetricsRegistry = NULL_METRICS,
+):
     result = kwayx(hg, device, config)
     return result.num_devices, result.lower_bound, result.feasible
 
 
-def _run_fbb(hg: Hypergraph, device: Device, config: FpartConfig):
+def _run_fbb(
+    hg: Hypergraph,
+    device: Device,
+    config: FpartConfig,
+    metrics: MetricsRegistry = NULL_METRICS,
+):
     result = fbb_multiway(hg, device)
     return result.num_devices, result.lower_bound, result.feasible
 
 
-def _run_bfs_pack(hg: Hypergraph, device: Device, config: FpartConfig):
+def _run_bfs_pack(
+    hg: Hypergraph,
+    device: Device,
+    config: FpartConfig,
+    metrics: MetricsRegistry = NULL_METRICS,
+):
     result = bfs_pack(hg, device)
     return result.num_devices, result.lower_bound, result.feasible
 
@@ -120,13 +155,23 @@ def run_method(
     circuit: str,
     device_name: str,
     config: FpartConfig = DEFAULT_CONFIG,
+    collect_metrics: bool = False,
 ) -> ExperimentRecord:
-    """Run one measured method on one circuit/device pair."""
+    """Run one measured method on one circuit/device pair.
+
+    With ``collect_metrics`` the cell runs under a fresh
+    :class:`MetricsRegistry` and the record carries its snapshot
+    (instrumented methods only — the baselines that bypass the
+    instrumented engines return an empty snapshot).
+    """
     runner = MEASURED_METHODS[method]
     device = device_by_name(device_name)
     hg = circuit_for_device(circuit, device_name)
+    registry = MetricsRegistry() if collect_metrics else NULL_METRICS
     start = time.perf_counter()
-    num_devices, lower_bound, feasible = runner(hg, device, config)
+    num_devices, lower_bound, feasible = runner(
+        hg, device, config, metrics=registry
+    )
     runtime = time.perf_counter() - start
     return ExperimentRecord(
         circuit=circuit,
@@ -136,6 +181,7 @@ def run_method(
         lower_bound=lower_bound,
         feasible=feasible,
         runtime_seconds=runtime,
+        metrics=registry.snapshot() if collect_metrics else None,
     )
 
 
@@ -146,6 +192,7 @@ def run_device_experiment(
     config: FpartConfig = DEFAULT_CONFIG,
     isolate: bool = True,
     retries: int = 1,
+    collect_metrics: bool = False,
 ) -> List[ExperimentRecord]:
     """All measured cells of one device's comparison table.
 
@@ -154,6 +201,10 @@ def run_device_experiment(
     baseline yields a ``status="failed"`` record instead of losing the
     whole multi-minute sweep.  ``isolate=False`` restores fail-fast
     propagation for debugging.
+
+    ``collect_metrics`` threads a fresh registry through every cell;
+    the per-cell snapshots land on :attr:`ExperimentRecord.metrics` and
+    :func:`aggregate_metrics` folds them into one sweep-wide view.
     """
     if circuits is None:
         circuits = selected_circuits(device_name)
@@ -165,14 +216,20 @@ def run_device_experiment(
         for method in methods:
             if not isolate:
                 records.append(
-                    run_method(method, circuit, device_name, config)
+                    run_method(
+                        method, circuit, device_name, config,
+                        collect_metrics=collect_metrics,
+                    )
                 )
                 continue
             attempt = 0
             while True:
                 try:
                     records.append(
-                        run_method(method, circuit, device_name, config)
+                        run_method(
+                            method, circuit, device_name, config,
+                            collect_metrics=collect_metrics,
+                        )
                     )
                     break
                 except Exception as error:  # noqa: BLE001 - cell isolation
@@ -202,6 +259,20 @@ def run_device_experiment(
                     )
                     break
     return records
+
+
+def aggregate_metrics(
+    records: Sequence[ExperimentRecord],
+) -> Dict[str, Dict]:
+    """Sweep-wide metrics view over records that carry snapshots.
+
+    Counters/timers/histograms sum, gauges keep their maximum (see
+    :func:`repro.obs.metrics.merge_snapshots`).  Records without a
+    snapshot (baselines, failed cells, metrics-off runs) are skipped.
+    """
+    return merge_snapshots(
+        [r.metrics for r in records if r.metrics is not None]
+    )
 
 
 def render_device_comparison(

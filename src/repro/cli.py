@@ -174,6 +174,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="LEVEL",
         help="enable run logging on stderr (DEBUG/INFO/WARNING)",
     )
+    p.add_argument(
+        "--log-format",
+        choices=["text", "json"],
+        default="text",
+        help="log line format for --log-level (default text)",
+    )
+    p.add_argument(
+        "--metrics",
+        default=None,
+        metavar="PATH",
+        help="write a run-metrics JSON dump to this file (fpart only)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a JSONL trace event stream to this file (fpart only)",
+    )
+    p.add_argument(
+        "--trace-sample",
+        type=int,
+        default=64,
+        metavar="N",
+        help="applied moves between move_batch trace events "
+        "(0 disables move batches; default 64)",
+    )
 
     g = sub.add_parser("generate", help="generate a synthetic netlist")
     g.add_argument("name", help="circuit name (also the seed)")
@@ -211,9 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     r = sub.add_parser(
-        "report", help="full markdown report for one netlist/device"
+        "report", help="full markdown report for one netlist/device, or "
+        "a convergence report from a --trace stream",
     )
-    r.add_argument("netlist")
+    r.add_argument(
+        "netlist", nargs="?", default=None,
+        help="input netlist file (omit when using --trace)",
+    )
     r.add_argument("--device", default="XC3042")
     r.add_argument("--delta", type=float, default=None)
     r.add_argument(
@@ -221,6 +251,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the baseline comparison section",
     )
     r.add_argument("--output", "-o", default=None, help="write to file")
+    r.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="render the per-pass convergence table from a JSONL trace "
+        "written by 'partition --trace' instead of re-running",
+    )
+    r.add_argument(
+        "--svg",
+        default=None,
+        metavar="PATH",
+        help="with --trace: also write an SVG convergence plot",
+    )
 
     t = sub.add_parser("table", help="regenerate a paper comparison table")
     t.add_argument(
@@ -263,7 +306,18 @@ def _fpart_config(args: argparse.Namespace):
 
 
 def _run_fpart_cli(hg, device, args: argparse.Namespace):
-    """Run FPART honouring the guard/checkpoint/resume flags."""
+    """Run FPART honouring guard/checkpoint/resume/telemetry flags.
+
+    Returns ``(result, profile_report_or_None)``.  Checkpoint loading
+    happens *outside* the profiled callable, so ``--profile --resume``
+    profiles the resumed search segment rather than erroring or
+    polluting the hotspot table with snapshot I/O.  One run id flows
+    end-to-end: a resumed run reuses the checkpoint's id, and the same
+    id stamps trace events, the metrics dump and the result.
+    """
+    from .logging import new_run_id
+    from .obs import NULL_METRICS, NULL_TRACE, MetricsRegistry, TraceWriter
+
     config = _fpart_config(args)
     manager = (
         CheckpointManager(args.checkpoint, every=args.checkpoint_every)
@@ -282,27 +336,77 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
             )
         else:
             print(f"no checkpoint at {args.checkpoint}; starting fresh")
-    partitioner = FpartPartitioner(hg, device, config, checkpoint=manager)
-    return partitioner.run(resume_from=resume_cp)
+
+    run_id = (
+        resume_cp.run_id
+        if resume_cp is not None and resume_cp.run_id
+        else new_run_id()
+    )
+    metrics = MetricsRegistry() if args.metrics else NULL_METRICS
+    tracer = (
+        TraceWriter(args.trace, run_id, sample_moves=args.trace_sample)
+        if args.trace
+        else NULL_TRACE
+    )
+    partitioner = FpartPartitioner(
+        hg,
+        device,
+        config,
+        checkpoint=manager,
+        run_id=run_id,
+        metrics=metrics,
+        tracer=tracer,
+    )
+    profile_report = None
+    try:
+        if args.profile:
+            from .analysis.profiling import profile_call
+
+            profile_report = profile_call(
+                lambda: partitioner.run(resume_from=resume_cp)
+            )
+            result = profile_report.result
+        else:
+            result = partitioner.run(resume_from=resume_cp)
+    finally:
+        tracer.close()
+    if args.metrics:
+        metrics.dump_json(args.metrics, run_id=partitioner.run_id)
+        print(f"metrics written to {args.metrics}")
+    if args.trace:
+        print(f"trace written to {args.trace}")
+    return result, profile_report
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
     if args.log_level:
-        configure_logging(args.log_level)
+        from .logging import DEFAULT_FORMAT
+
+        configure_logging(
+            args.log_level,
+            fmt="json" if args.log_format == "json" else DEFAULT_FORMAT,
+        )
+    if args.algorithm != "fpart" and (args.metrics or args.trace):
+        raise PartitioningError(
+            "--metrics/--trace require --algorithm fpart"
+        )
     hg = _load(args.netlist)
     device = device_by_name(args.device)
     if args.delta is not None:
         device = device.with_delta(args.delta)
 
     runners = {
-        "fpart": lambda: _run_fpart_cli(hg, device, args),
         "kwayx": lambda: kwayx(hg, device),
         "rp0": lambda: rp0(hg, device),
         "fbb": lambda: fbb_multiway(hg, device),
         "pack": lambda: bfs_pack(hg, device),
     }
     profile_report = None
-    if args.profile:
+    if args.algorithm == "fpart":
+        # The fpart runner owns profiling itself so --profile composes
+        # with --resume (the checkpoint is loaded outside the profile).
+        res, profile_report = _run_fpart_cli(hg, device, args)
+    elif args.profile:
         from .analysis.profiling import profile_call
 
         profile_report = profile_call(runners[args.algorithm])
@@ -410,6 +514,10 @@ def _cmd_split(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace:
+        return _cmd_report_trace(args)
+    if args.netlist is None:
+        raise PartitioningError("report needs a netlist (or --trace PATH)")
     from .analysis import generate_report
 
     hg = _load(args.netlist)
@@ -424,6 +532,40 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.output}")
     else:
         print(report)
+    return 0
+
+
+def _cmd_report_trace(args: argparse.Namespace) -> int:
+    """Convergence report from a JSONL trace stream."""
+    from .analysis.convergence import (
+        render_convergence_svg,
+        render_pass_table,
+    )
+    from .obs import read_trace, validate_trace
+
+    if not Path(args.trace).exists():
+        raise FileNotFoundError(f"no such trace file: {args.trace}")
+    events = read_trace(args.trace)
+    problems = validate_trace(events)
+    if problems:
+        for problem in problems:
+            print(f"fpart: trace: {problem}", file=sys.stderr)
+        raise PartitioningError(
+            f"{args.trace}: {len(problems)} trace schema error(s)"
+        )
+    run_id = events[0].get("run_id", "-") if events else "-"
+    table = f"Convergence of run {run_id} ({args.trace}):\n"
+    table += render_pass_table(events)
+    if args.output:
+        Path(args.output).write_text(table + "\n", encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(table)
+    if args.svg:
+        Path(args.svg).write_text(
+            render_convergence_svg(events), encoding="utf-8"
+        )
+        print(f"convergence plot written to {args.svg}")
     return 0
 
 

@@ -114,6 +114,12 @@ class CostEvaluator:
         self.lower_bound = lower_bound
         self.num_terminals = num_terminals
         self.t_avg_ext = num_terminals / lower_bound
+        # Full O(k) sweep count — a plain int (not a registry counter) so
+        # the evaluator carries zero telemetry machinery; the FPART
+        # driver folds it into ``cost.full_sweeps`` at run end.  On the
+        # incremental path this counts oracle evaluations (pass
+        # boundaries); on the plain path, every cost query.
+        self.full_sweeps = 0
 
     # -- shared aggregate machinery -------------------------------------
 
@@ -209,6 +215,7 @@ class CostEvaluator:
         A full O(k) sweep — the consistency oracle for the incremental
         evaluator.
         """
+        self.full_sweeps += 1
         feasible = n_s = sum_s = n_t = sum_t = n_b = sum_ext = 0
         for b in range(state.num_blocks):
             terms = self._block_terms(

@@ -45,6 +45,8 @@ from typing import List, Optional, Tuple
 from ..hypergraph import Hypergraph
 from ..initial import create_bipartition
 from ..logging import run_logger
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACE, TraceWriter, cost_fields
 from ..partition import PartitionState
 from .checkpoint import CheckpointManager, RunCheckpoint, config_digest
 from .config import DEFAULT_CONFIG, FpartConfig
@@ -177,7 +179,18 @@ class FpartPartitioner:
         Cost-evaluator override — the fault-injection seam used by
         ``repro.testing.faults`` (and the ablation benches).
     run_id:
-        Log/checkpoint correlation id; generated when omitted.
+        Log/checkpoint correlation id; generated when omitted.  A run
+        resumed from a checkpoint adopts the checkpoint's id unless one
+        was passed explicitly, so the whole lineage — log lines,
+        checkpoint files, trace events, metrics dumps and
+        :attr:`FpartResult.run_id` — shares a single id.
+    metrics:
+        :class:`~repro.obs.metrics.MetricsRegistry` receiving run
+        telemetry (``NULL_METRICS`` default records nothing).
+    tracer:
+        :class:`~repro.obs.trace.TraceWriter` receiving the JSONL event
+        stream (``NULL_TRACE`` default emits nothing).  The writer's
+        ``run_id`` is synchronized to the partitioner's at run start.
 
     Example
     -------
@@ -199,6 +212,8 @@ class FpartPartitioner:
         checkpoint: Optional[CheckpointManager] = None,
         evaluator: Optional[CostEvaluator] = None,
         run_id: Optional[str] = None,
+        metrics: MetricsRegistry = NULL_METRICS,
+        tracer: TraceWriter = NULL_TRACE,
     ) -> None:
         for c in range(hg.num_cells):
             if hg.cell_size(c) > device.s_max:
@@ -214,8 +229,11 @@ class FpartPartitioner:
         self.guard = guard
         self.checkpoint = checkpoint
         self.evaluator = evaluator
+        self.metrics = metrics
+        self.tracer = tracer
         from ..logging import new_run_id
 
+        self._explicit_run_id = run_id is not None
         self.run_id = run_id or new_run_id()
 
     # ------------------------------------------------------------------
@@ -330,10 +348,25 @@ class FpartPartitioner:
         config = self.config
         m = self.lower_bound
         circuit = hg.name or "circuit"
+        # One id end-to-end: unless the caller pinned one, a resumed run
+        # continues under the checkpoint's id, so its log lines, trace
+        # events, metrics dump and result all correlate with the
+        # original run's artifacts.
+        if (
+            resume_from is not None
+            and not self._explicit_run_id
+            and resume_from.run_id
+        ):
+            self.run_id = resume_from.run_id
         log = run_logger("core.fpart", self.run_id)
+        metrics = self.metrics
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.run_id = self.run_id
         evaluator = self.evaluator or make_evaluator(
             device, config, m, hg.num_terminals
         )
+        sweeps_before = getattr(evaluator, "full_sweeps", 0)
         guard = self.guard or RunGuard(RunBudget.from_config(config, m))
 
         best = _BestSolution()
@@ -373,34 +406,66 @@ class FpartPartitioner:
             "run start %s/%s: M=%d budget=%s strict=%s",
             circuit, device.name, m, guard.budget, config.strict,
         )
+        if tracer.enabled:
+            budget = guard.budget
+            tracer.emit(
+                "run_start",
+                circuit=circuit,
+                device=device.name,
+                lower_bound=m,
+                budget={
+                    "deadline_seconds": budget.deadline_seconds,
+                    "max_iterations": budget.max_iterations,
+                    "max_moves": budget.max_moves,
+                },
+                guard=guard.stats(),
+                resumed=resume_from is not None,
+            )
         trace: List[ImproveTraceEntry] = []
         status = "feasible"
         error: Optional[str] = None
+        bip_timer = metrics.timer("fpart.phase.bipartition")
+        imp_timer = metrics.timer("fpart.phase.improve")
+
+        def offer_best(cost: SolutionCost) -> None:
+            # Trace only genuine lexicographic improvements: the event
+            # stream mirrors the tracker the degradation path restores.
+            if best.offer(cost, state, remainder) and tracer.enabled:
+                tracer.emit(
+                    "lex_improve",
+                    iteration=iteration,
+                    cost=cost_fields(cost),
+                )
 
         try:
-            best.offer(evaluator.evaluate(state, remainder), state, remainder)
+            offer_best(evaluator.evaluate(state, remainder))
             while classify(state, device) is not Feasibility.FEASIBLE:
                 iteration += 1
                 guard.tick_iteration()
+                metrics.counter("fpart.iterations").inc()
 
-                new_block = create_bipartition(
-                    state, remainder, device, evaluator
-                )
+                with bip_timer:
+                    new_block = create_bipartition(
+                        state, remainder, device, evaluator
+                    )
 
                 for step in self._scheduled_steps(
                     state, remainder, new_block, m
                 ):
                     cost_before = evaluator.evaluate(state, remainder)
-                    cost_after = improve(
-                        state,
-                        list(step.blocks),
-                        remainder,
-                        evaluator,
-                        device,
-                        config,
-                        m,
-                        guard=guard,
-                    )
+                    with imp_timer:
+                        cost_after = improve(
+                            state,
+                            list(step.blocks),
+                            remainder,
+                            evaluator,
+                            device,
+                            config,
+                            m,
+                            guard=guard,
+                            metrics=metrics,
+                            tracer=tracer,
+                        )
                     if self.keep_trace:
                         trace.append(
                             ImproveTraceEntry(
@@ -411,7 +476,7 @@ class FpartPartitioner:
                                 cost_after=cost_after,
                             )
                         )
-                    best.offer(cost_after, state, remainder)
+                    offer_best(cost_after)
                     if classify(state, device) is Feasibility.FEASIBLE:
                         break
 
@@ -427,9 +492,7 @@ class FpartPartitioner:
                             state.block_pins(b),
                         ),
                     )
-                best.offer(
-                    evaluator.evaluate(state, remainder), state, remainder
-                )
+                offer_best(evaluator.evaluate(state, remainder))
                 log.debug(
                     "iteration %d done: k=%d remainder=%d infeasible=%d",
                     iteration, state.num_blocks, remainder, len(bad),
@@ -443,6 +506,13 @@ class FpartPartitioner:
                             iteration, state, remainder, best, guard
                         )
                     )
+                    metrics.counter("fpart.checkpoints").inc()
+                    if tracer.enabled:
+                        tracer.emit(
+                            "checkpoint",
+                            iteration=iteration,
+                            guard=guard.stats(),
+                        )
                     log.debug(
                         "checkpoint saved at iteration %d -> %s",
                         iteration, self.checkpoint.path,
@@ -487,8 +557,36 @@ class FpartPartitioner:
             self.checkpoint.save(
                 self._make_checkpoint(iteration, state, remainder, best, guard)
             )
+            metrics.counter("fpart.checkpoints").inc()
+            if tracer.enabled:
+                tracer.emit(
+                    "checkpoint", iteration=iteration, guard=guard.stats()
+                )
 
         runtime = time.perf_counter() - start
+        if metrics.enabled:
+            metrics.counter("fpart.runs").inc()
+            metrics.counter("cost.full_sweeps").inc(
+                getattr(evaluator, "full_sweeps", 0) - sweeps_before
+            )
+            metrics.gauge("fpart.num_devices").set(state.num_blocks)
+            metrics.gauge("fpart.runtime_seconds").set(runtime)
+        if tracer.enabled:
+            # Dropping empty blocks can renumber past the old remainder;
+            # clamp (the remainder is moot once the run ended anyway).
+            final_rem = min(remainder, state.num_blocks - 1)
+            try:
+                final_cost = cost_fields(evaluator.evaluate(state, final_rem))
+            except Exception:  # the evaluator may be the faulted part
+                final_cost = None
+            tracer.emit(
+                "run_end",
+                status=status,
+                iterations=iteration,
+                guard=guard.stats(),
+                cost=final_cost,
+                num_devices=state.num_blocks,
+            )
         log.info(
             "run end %s/%s: status=%s k=%d iterations=%d moves=%d %.2fs",
             circuit, device.name, status, state.num_blocks, iteration,

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.trace import NULL_TRACE, TraceWriter, cost_fields
 from ..partition import PartitionState
 from ..sanchis import SanchisEngine
 from .config import FpartConfig
@@ -50,6 +52,8 @@ def improve(
     lower_bound: int,
     use_stacks: bool = True,
     guard: RunGuard = NULL_GUARD,
+    metrics: MetricsRegistry = NULL_METRICS,
+    tracer: TraceWriter = NULL_TRACE,
 ) -> SolutionCost:
     """Improve the partition among ``blocks``; returns the final cost.
 
@@ -62,6 +66,10 @@ def improve(
     an engine run) the state is restored to the best solution seen *so
     far in this call* before the exception propagates, so callers always
     observe a consistent, best-known state.
+
+    ``metrics`` / ``tracer`` (defaulting to the shared null objects)
+    record stack traffic here and are passed through to the engine;
+    retained snapshots additionally emit ``solution_push`` trace events.
     """
     two_block = len(set(blocks)) == 2
     region = MoveRegion(
@@ -75,14 +83,25 @@ def improve(
 
     def make_engine() -> SanchisEngine:
         return SanchisEngine(
-            state, blocks, remainder, evaluator, region, config, guard
+            state, blocks, remainder, evaluator, region, config, guard,
+            metrics, tracer,
         )
 
     stacks = DualSolutionStacks(config.stack_depth if use_stacks else 0)
+    metrics.counter("improve.calls").inc()
 
     def collect(cost: SolutionCost) -> None:
         feasibility = _classify_cost(cost, state.num_blocks)
-        stacks.offer(feasibility, cost, state.assignment())
+        retained = stacks.offer(feasibility, cost, state.assignment())
+        metrics.counter("stack.offers").inc()
+        if retained:
+            metrics.counter("stack.pushes").inc()
+            if tracer.enabled:
+                tracer.emit(
+                    "solution_push",
+                    stack=feasibility.name.lower(),
+                    cost=cost_fields(cost),
+                )
 
     best_cost: SolutionCost = None  # type: ignore[assignment]
     best_assignment = state.assignment()
@@ -95,6 +114,7 @@ def improve(
             if start_assignment == best_assignment:
                 continue
             guard.check()
+            metrics.counter("stack.pops").inc()
             state.restore(start_assignment)
             result = make_engine().run()
             if result.best_cost < best_cost:

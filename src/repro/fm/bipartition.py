@@ -22,6 +22,12 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
 from ..core.runguard import NULL_GUARD, RunGuard
+from ..obs.metrics import (
+    GAIN_HIST_HI,
+    GAIN_HIST_LO,
+    NULL_METRICS,
+    MetricsRegistry,
+)
 from ..partition import PartitionState
 from .buckets import GainBuckets
 from .gains import move_gain
@@ -64,6 +70,10 @@ class FmBipartitioner:
         Run guard consulted per applied move (lease protocol); a pass
         cut short by the guard rewinds to its best prefix before the
         exception propagates.
+    metrics:
+        Metrics registry (``NULL_METRICS`` when telemetry is off).
+        Observations accumulate in pass-local variables on the selection
+        path and are flushed to ``fm.*`` instruments once per pass.
     """
 
     def __init__(
@@ -75,6 +85,7 @@ class FmBipartitioner:
         size_bounds: Dict[int, Tuple[int, float]],
         max_passes: int = 8,
         guard: RunGuard = NULL_GUARD,
+        metrics: MetricsRegistry = NULL_METRICS,
     ) -> None:
         if block_a == block_b:
             raise ValueError("blocks must differ")
@@ -94,6 +105,7 @@ class FmBipartitioner:
         self.size_bounds = size_bounds
         self.max_passes = max_passes
         self.guard = guard
+        self.metrics = metrics
         hg = state.hg
         self._max_deg = max(
             (len(hg.nets_of(c)) for c in self.cells), default=0
@@ -145,6 +157,14 @@ class FmBipartitioner:
             state.block_size(self.block_a) - state.block_size(self.block_b)
         )
 
+        # Telemetry: accumulate locally, flush once in the finally clause
+        # (same contract as the Sanchis engine — no per-move registry
+        # calls).
+        metrics = self.metrics
+        collect = metrics.enabled
+        applied = 0
+        ghist = [0] * (GAIN_HIST_HI - GAIN_HIST_LO)
+
         # Guard lease protocol + exception-safe rollback: the finally
         # clause restores the best prefix even when the guard (or an
         # injected fault) aborts the pass between moves.
@@ -158,6 +178,14 @@ class FmBipartitioner:
                 cell = chosen
                 f = state.block_of(cell)
                 t = self._other(f)
+                applied += 1
+                if collect:
+                    g = buckets[f].gain_of(cell)
+                    if g < GAIN_HIST_LO:
+                        g = GAIN_HIST_LO
+                    elif g >= GAIN_HIST_HI:
+                        g = GAIN_HIST_HI - 1
+                    ghist[g - GAIN_HIST_LO] += 1
                 buckets[f].remove(cell)
                 free.discard(cell)
                 state.move(cell, t)
@@ -188,6 +216,17 @@ class FmBipartitioner:
             guard.settle(budget_left)
             # Roll back to the best prefix.
             state.rewind(best_mark)
+            if collect:
+                accepted = best_mark - mark
+                metrics.counter("fm.passes").inc()
+                metrics.counter("fm.moves_tried").inc(applied)
+                metrics.counter("fm.moves_accepted").inc(accepted)
+                metrics.counter("fm.moves_rolled_back").inc(
+                    applied - accepted
+                )
+                metrics.histogram(
+                    "fm.gain", GAIN_HIST_LO, GAIN_HIST_HI
+                ).add_buckets(ghist)
         return best_mark - mark, best_cut
 
     def _select(self, buckets: Dict[int, GainBuckets]) -> Optional[int]:
@@ -248,6 +287,7 @@ def fm_refine(
     cells: Optional[Sequence[int]] = None,
     max_passes: int = 8,
     guard: RunGuard = NULL_GUARD,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> FmResult:
     """Convenience wrapper: refine two blocks with FM, in place.
 
@@ -256,5 +296,6 @@ def fm_refine(
     if cells is None:
         cells = state.cells_of_blocks((block_a, block_b))
     return FmBipartitioner(
-        state, block_a, block_b, cells, size_bounds, max_passes, guard
+        state, block_a, block_b, cells, size_bounds, max_passes, guard,
+        metrics,
     ).run()

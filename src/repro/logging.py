@@ -22,6 +22,7 @@ Events follow a loose convention: one short lowercase phrase first,
 
 from __future__ import annotations
 
+import json
 import logging
 import uuid
 from typing import Optional
@@ -33,6 +34,7 @@ __all__ = [
     "RunLoggerAdapter",
     "run_logger",
     "configure_logging",
+    "JsonFormatter",
 ]
 
 ROOT_LOGGER_NAME = "repro"
@@ -72,6 +74,26 @@ def run_logger(
     )
 
 
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line — the ``fmt="json"`` structured mode.
+
+    Fields: ``t`` (ISO-ish timestamp from the stdlib formatter),
+    ``level``, ``logger`` and ``msg`` (the fully formatted message,
+    including the run-id prefix added by :class:`RunLoggerAdapter`).
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(
+            {
+                "t": self.formatTime(record),
+                "level": record.levelname,
+                "logger": record.name,
+                "msg": record.getMessage(),
+            },
+            sort_keys=True,
+        )
+
+
 def configure_logging(
     level: str = "INFO",
     path: Optional[str] = None,
@@ -81,14 +103,32 @@ def configure_logging(
 
     Intended for applications, not library code.  Returns the handler so
     tests / callers can detach it again with ``logger.removeHandler``.
+
+    Re-configuring is idempotent: any handler a previous call attached
+    is detached (and closed) first, so repeated calls — the CLI invoked
+    twice in-process, an experiment sweep re-raising the level — replace
+    the configuration instead of stacking duplicate handlers that would
+    repeat every line.
+
+    ``fmt="json"`` selects :class:`JsonFormatter` (one JSON object per
+    line) instead of interpreting ``fmt`` as a percent format string.
     """
     logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for old in [
+        h for h in logger.handlers if getattr(h, "_repro_configured", False)
+    ]:
+        logger.removeHandler(old)
+        old.close()
     handler: logging.Handler
     if path:
         handler = logging.FileHandler(path, encoding="utf-8")
     else:
         handler = logging.StreamHandler()
-    handler.setFormatter(logging.Formatter(fmt))
+    if fmt == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(fmt))
+    handler._repro_configured = True  # type: ignore[attr-defined]
     logger.addHandler(handler)
     logger.setLevel(level.upper())
     return handler

@@ -1,0 +1,62 @@
+"""Run telemetry: metrics registry and pass-level trace stream.
+
+Zero-dependency observability for partitioning runs, the third leg next
+to the perf-regression harness and the run-guard subsystem:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, timers and fixed-bucket histograms with an O(1) record path,
+  threaded through the FPART driver, both improvement engines and the
+  cost evaluator;
+* :mod:`repro.obs.trace` — a :class:`TraceWriter` emitting a versioned
+  JSONL event stream (``run_start`` … ``run_end``) stamped with the run
+  id and the run-guard budget state, plus schema validation helpers.
+
+Both come with shared null implementations (:data:`NULL_METRICS`,
+:data:`NULL_TRACE`) so uninstrumented runs pay nothing: every solve-path
+component accepts the real object or the null one through the same code
+path, mirroring the :data:`~repro.core.runguard.NULL_GUARD` pattern.
+"""
+
+from .metrics import (
+    METRICS_SCHEMA,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Timer,
+    merge_snapshots,
+)
+from .trace import (
+    EVENT_TYPES,
+    NULL_TRACE,
+    TRACE_SCHEMA,
+    NullTraceWriter,
+    TraceWriter,
+    cost_fields,
+    read_trace,
+    validate_event,
+    validate_trace,
+)
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "merge_snapshots",
+    "TRACE_SCHEMA",
+    "EVENT_TYPES",
+    "TraceWriter",
+    "NullTraceWriter",
+    "NULL_TRACE",
+    "cost_fields",
+    "read_trace",
+    "validate_event",
+    "validate_trace",
+]

@@ -1,0 +1,327 @@
+"""Pass-level JSONL trace stream of a partitioning run.
+
+A :class:`TraceWriter` appends one JSON object per line to a file (or
+any text stream).  Every event carries:
+
+* ``schema`` — the stream format version (:data:`TRACE_SCHEMA`),
+* ``seq`` — a strictly increasing sequence number,
+* ``t`` — seconds since the writer was opened (monotonic clock),
+* ``event`` — one of :data:`EVENT_TYPES`,
+* ``run_id`` — the run correlation id shared with log lines,
+  checkpoints and :attr:`FpartResult.run_id`,
+
+plus event-specific fields (see :data:`REQUIRED_FIELDS`).  Events whose
+payload includes a solution cost use the :func:`cost_fields` layout —
+the paper's lexicographic tuple ``(f, d_k, T_SUM, d_k^E)`` spelled out,
+which is what ``fpart report --trace`` turns into the convergence
+table.
+
+Sampling
+--------
+``move_batch`` events are the only high-frequency ones; the
+``sample_moves`` knob (CLI ``--trace-sample``) controls how many applied
+moves elapse between batches, so full-fidelity tracing stays opt-in.
+The engines read :attr:`TraceWriter.sample_moves` once per pass and
+skip the emit call entirely between samples, and the shared
+:data:`NULL_TRACE` writer makes tracing-off a no-op.
+
+Validation
+----------
+:func:`validate_event` / :func:`validate_trace` check a parsed stream
+against the schema (used by tests and the CI observability job);
+``python -m repro.obs.trace FILE`` validates a file from the command
+line.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "EVENT_TYPES",
+    "REQUIRED_FIELDS",
+    "TraceWriter",
+    "NullTraceWriter",
+    "NULL_TRACE",
+    "cost_fields",
+    "read_trace",
+    "validate_event",
+    "validate_trace",
+]
+
+#: Version stamp written on every event.
+TRACE_SCHEMA = 1
+
+#: Every event type, in rough lifecycle order.
+EVENT_TYPES = (
+    "run_start",
+    "pass_start",
+    "move_batch",
+    "solution_push",
+    "lex_improve",
+    "checkpoint",
+    "run_end",
+)
+
+#: Event-specific required fields (common fields are checked separately).
+REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "run_start": ("circuit", "device", "lower_bound", "budget", "guard"),
+    "pass_start": ("pass_index", "blocks", "cost"),
+    "move_batch": ("moves", "key"),
+    "solution_push": ("stack", "cost"),
+    "lex_improve": ("iteration", "cost"),
+    "checkpoint": ("iteration", "guard"),
+    "run_end": ("status", "iterations", "guard"),
+}
+
+#: Keys of the cost payload emitted by :func:`cost_fields`.
+COST_KEYS = ("f", "d_k", "t_sum", "d_k_e", "cut")
+
+
+def cost_fields(cost) -> Dict[str, Union[int, float]]:
+    """JSON layout of one lexicographic solution cost.
+
+    Duck-typed over :class:`~repro.core.cost.SolutionCost` so this
+    module stays import-free of the core package.
+    """
+    return {
+        "f": cost.feasible_blocks,
+        "d_k": cost.distance,
+        "t_sum": cost.total_pins,
+        "d_k_e": cost.ext_balance,
+        "cut": cost.cut_nets,
+    }
+
+
+class TraceWriter:
+    """Versioned JSONL event sink for one run.
+
+    Parameters
+    ----------
+    sink:
+        File path (opened for append-less overwrite) or an open text
+        stream (kept open on :meth:`close` when caller-owned).
+    run_id:
+        Correlation id stamped on every event.
+    sample_moves:
+        Applied moves between ``move_batch`` events (engines consult
+        this; 0 disables move batches entirely).
+    """
+
+    __slots__ = ("run_id", "sample_moves", "_stream", "_owns_stream",
+                 "_seq", "_t0", "_clock")
+
+    #: False only on :class:`NullTraceWriter`; checked once per pass.
+    enabled = True
+
+    def __init__(
+        self,
+        sink: Union[str, Path, io.TextIOBase],
+        run_id: str,
+        sample_moves: int = 64,
+        _clock=time.monotonic,
+    ) -> None:
+        if sample_moves < 0:
+            raise ValueError("sample_moves must be non-negative")
+        self.run_id = run_id
+        self.sample_moves = sample_moves
+        if isinstance(sink, (str, Path)):
+            self._stream = open(sink, "w", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = sink
+            self._owns_stream = False
+        self._seq = 0
+        self._clock = _clock
+        self._t0 = _clock()
+
+    def emit(self, event: str, **fields) -> int:
+        """Write one event line; returns its sequence number."""
+        payload = {
+            "schema": TRACE_SCHEMA,
+            "seq": self._seq,
+            "t": round(self._clock() - self._t0, 6),
+            "event": event,
+            "run_id": self.run_id,
+        }
+        payload.update(fields)
+        self._stream.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._seq += 1
+        return payload["seq"]
+
+    def close(self) -> None:
+        """Flush and (when this writer opened the file) close the sink."""
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullTraceWriter(TraceWriter):
+    """The do-nothing writer behind :data:`NULL_TRACE`."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.run_id = ""
+        self.sample_moves = 0
+        self._stream = None
+        self._owns_stream = False
+        self._seq = 0
+        self._clock = time.monotonic
+        self._t0 = 0.0
+
+    def emit(self, event: str, **fields) -> int:
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared no-op writer used when a caller does not supply one.
+NULL_TRACE = NullTraceWriter()
+
+
+# ---------------------------------------------------------------------------
+# Reading & validation
+# ---------------------------------------------------------------------------
+
+
+def read_trace(path: Union[str, Path]) -> List[dict]:
+    """Parse a JSONL trace file into a list of event dicts.
+
+    Raises ``ValueError`` with the offending line number on corrupt
+    JSON; schema problems are reported by :func:`validate_trace`.
+    """
+    events: List[dict] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt trace line: {error}"
+                ) from error
+    return events
+
+
+def validate_event(event: object) -> List[str]:
+    """Schema errors of one parsed event (empty list = valid)."""
+    errors: List[str] = []
+    if not isinstance(event, dict):
+        return ["event is not a JSON object"]
+    schema = event.get("schema")
+    if schema != TRACE_SCHEMA:
+        errors.append(f"schema is {schema!r}, expected {TRACE_SCHEMA}")
+    seq = event.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        errors.append(f"seq is {seq!r}, expected a non-negative int")
+    t = event.get("t")
+    if not isinstance(t, (int, float)) or t < 0:
+        errors.append(f"t is {t!r}, expected a non-negative number")
+    run_id = event.get("run_id")
+    if not isinstance(run_id, str) or not run_id:
+        errors.append(f"run_id is {run_id!r}, expected a non-empty string")
+    kind = event.get("event")
+    if kind not in EVENT_TYPES:
+        errors.append(f"unknown event type {kind!r}")
+        return errors
+    for field in REQUIRED_FIELDS[kind]:
+        if field not in event:
+            errors.append(f"{kind}: missing field {field!r}")
+    cost = event.get("cost")
+    if cost is not None:
+        if not isinstance(cost, dict):
+            errors.append(f"{kind}: cost is not an object")
+        else:
+            for key in COST_KEYS:
+                if key not in cost:
+                    errors.append(f"{kind}: cost missing {key!r}")
+    return errors
+
+
+def validate_trace(events: Iterable[dict]) -> List[str]:
+    """Schema errors of a whole stream (per-event + stream invariants).
+
+    Stream invariants: sequence numbers strictly increase, every event
+    carries the same run id, and the first event is ``run_start``.  A
+    missing ``run_end`` is *not* an error — interrupted runs are exactly
+    when a trace is most useful.
+    """
+    errors: List[str] = []
+    last_seq: Optional[int] = None
+    run_id: Optional[str] = None
+    for index, event in enumerate(events):
+        for problem in validate_event(event):
+            errors.append(f"event {index}: {problem}")
+        if not isinstance(event, dict):
+            continue
+        if index == 0 and event.get("event") != "run_start":
+            errors.append(
+                f"event 0: stream starts with {event.get('event')!r}, "
+                "expected 'run_start'"
+            )
+        seq = event.get("seq")
+        if isinstance(seq, int):
+            if last_seq is not None and seq <= last_seq:
+                errors.append(
+                    f"event {index}: seq {seq} not greater than {last_seq}"
+                )
+            last_seq = seq
+        rid = event.get("run_id")
+        if isinstance(rid, str) and rid:
+            if run_id is None:
+                run_id = rid
+            elif rid != run_id:
+                errors.append(
+                    f"event {index}: run_id {rid!r} differs from {run_id!r}"
+                )
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.trace FILE`` — validate a trace stream."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="validate an FPART JSONL trace against the schema",
+    )
+    parser.add_argument("trace", help="JSONL trace file")
+    args = parser.parse_args(argv)
+    try:
+        events = read_trace(args.trace)
+    except (OSError, ValueError) as error:
+        print(f"trace: error: {error}")
+        return 1
+    errors = validate_trace(events)
+    if errors:
+        for problem in errors:
+            print(f"trace: {problem}")
+        print(f"{args.trace}: {len(errors)} schema error(s)")
+        return 1
+    kinds: Dict[str, int] = {}
+    for event in events:
+        kinds[event["event"]] = kinds.get(event["event"], 0) + 1
+    summary = ", ".join(f"{k}={kinds[k]}" for k in EVENT_TYPES if k in kinds)
+    print(f"{args.trace}: {len(events)} events OK ({summary})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

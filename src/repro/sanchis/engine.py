@@ -59,6 +59,13 @@ from ..core.cost import CostEvaluator, IncrementalCostEvaluator, SolutionCost
 from ..core.move_region import MoveRegion
 from ..core.runguard import NULL_GUARD, RunGuard
 from ..fm.gains import move_gain_vector, pin_gain
+from ..obs.metrics import (
+    GAIN_HIST_HI,
+    GAIN_HIST_LO,
+    NULL_METRICS,
+    MetricsRegistry,
+)
+from ..obs.trace import NULL_TRACE, TraceWriter, cost_fields
 from ..partition import PartitionState
 
 __all__ = ["SanchisEngine", "SanchisResult"]
@@ -114,6 +121,17 @@ class SanchisEngine:
         interrupted by the guard rewinds to its best prefix before the
         :class:`~repro.core.exceptions.BudgetExhaustedError` propagates,
         so the state is always left consistent.
+    metrics:
+        Metrics registry (``NULL_METRICS`` when telemetry is off).  The
+        overhead contract (DESIGN.md "Observability") keeps all
+        accumulation off the per-move evaluator path: observations land
+        in pass-local variables on the *selection* path and are flushed
+        to the registry once per pass.
+    tracer:
+        Trace writer (``NULL_TRACE`` when tracing is off).  Emits
+        ``pass_start`` per pass and sampled ``move_batch`` events, with
+        the batch interval read once per pass from
+        :attr:`~repro.obs.trace.TraceWriter.sample_moves`.
     """
 
     def __init__(
@@ -125,6 +143,8 @@ class SanchisEngine:
         region: MoveRegion,
         config: FpartConfig,
         guard: RunGuard = NULL_GUARD,
+        metrics: MetricsRegistry = NULL_METRICS,
+        tracer: TraceWriter = NULL_TRACE,
     ) -> None:
         blocks = list(dict.fromkeys(blocks))
         if len(blocks) < 2:
@@ -142,6 +162,8 @@ class SanchisEngine:
         self.region = region
         self.config = config
         self.guard = guard
+        self.metrics = metrics
+        self.tracer = tracer
         self.directions: List[Tuple[int, int]] = [
             (f, t) for f in blocks for t in blocks if f != t
         ]
@@ -179,6 +201,21 @@ class SanchisEngine:
         # evaluator is attached); the SolutionCost object is built once
         # at the end of the pass.
         key_of = evaluator.key_of
+
+        # Telemetry contract: nothing below touches the registry or the
+        # tracer per move.  Observations accumulate in pass-local
+        # variables — on the selection path, never inside the
+        # move-apply/evaluate window — and are flushed once in the
+        # finally clause, which is what keeps metrics-on within the 2%
+        # evaluator-path ceiling (see benchmarks/bench_perf_regression).
+        metrics = self.metrics
+        collect = metrics.enabled
+        tracer = self.tracer
+        trace_every = tracer.sample_moves if tracer.enabled else 0
+        applied = 0  # moves applied this pass (pre-rollback)
+        parks = 0  # move-region boundary hits (entries parked)
+        heap_peak = 0  # deepest dir_heap observed at selection time
+        ghist = [0] * (GAIN_HIST_HI - GAIN_HIST_LO)  # chosen level-1 gains
 
         free: Set[int] = set()
         for b in self.blocks:
@@ -245,6 +282,7 @@ class SanchisEngine:
 
         def head(direction: Tuple[int, int]) -> Optional[_Entry]:
             """Valid, legal top entry of a direction (left on the heap)."""
+            nonlocal parks
             f, t = direction
             heap = heaps[direction]
             while heap:
@@ -263,6 +301,7 @@ class SanchisEngine:
                     and region.can_receive(state, t, size)
                 ):
                     parked[direction].append(heapq.heappop(heap))
+                    parks += 1
                     continue
                 return entry
             return None
@@ -301,6 +340,7 @@ class SanchisEngine:
             Equals the brute-force scan's maximum of
             ``(g1, g2, S_FROM - S_TO, -seq)`` over the direction heads.
             """
+            nonlocal heap_peak
             while dir_heap:
                 ng1, ng2, nseq, f, t = heapq.heappop(dir_heap)
                 direction = (f, t)
@@ -338,6 +378,18 @@ class SanchisEngine:
                 # re-queue their keys (stale ones correct themselves).
                 for cand in cands:
                     enqueue((cand[1], cand[2]), (ng1, ng2, cand[3]))
+                if collect:
+                    # Selection path, not the evaluator path: bucket the
+                    # chosen level-1 gain locally (clamped to the edge
+                    # buckets) and track the queue's high-water mark.
+                    if len(dir_heap) > heap_peak:
+                        heap_peak = len(dir_heap)
+                    g = -ng1
+                    if g < GAIN_HIST_LO:
+                        g = GAIN_HIST_LO
+                    elif g >= GAIN_HIST_HI:
+                        g = GAIN_HIST_HI - 1
+                    ghist[g - GAIN_HIST_LO] += 1
                 return best[0], best[2]
             return None
 
@@ -444,6 +496,9 @@ class SanchisEngine:
                     revive(direction)
 
                 key = key_of(state, self.remainder)
+                applied += 1
+                if trace_every and applied % trace_every == 0:
+                    tracer.emit("move_batch", moves=applied, key=list(key))
                 if key < best_key:
                     best_key = key
                     best_mark = state.journal_mark()
@@ -457,6 +512,23 @@ class SanchisEngine:
         finally:
             guard.settle(budget_left)
             state.rewind(best_mark)
+            if collect:
+                # One flush per pass; runs on every exit path so budget
+                # exhaustion and injected faults still leave a complete
+                # record of the work done before the rewind.
+                accepted = best_mark - mark
+                metrics.counter("sanchis.passes").inc()
+                metrics.counter("sanchis.moves_tried").inc(applied)
+                metrics.counter("sanchis.moves_accepted").inc(accepted)
+                metrics.counter("sanchis.moves_rolled_back").inc(
+                    applied - accepted
+                )
+                metrics.counter("sanchis.region_parks").inc(parks)
+                metrics.counter("sanchis.heap_pushes").inc(seq)
+                metrics.gauge("sanchis.dir_heap_peak").set_max(heap_peak)
+                metrics.histogram(
+                    "sanchis.gain1", GAIN_HIST_LO, GAIN_HIST_HI
+                ).add_buckets(ghist)
         return best_mark - mark, evaluator.cost_of(state, self.remainder)
 
     # ------------------------------------------------------------------
@@ -474,10 +546,22 @@ class SanchisEngine:
         best_cost = initial_cost
         passes = 0
         total_moves = 0
+        tracer = self.tracer
+        pass_timer = self.metrics.timer("sanchis.pass_seconds")
+        entry_cost = initial_cost
         while passes < self.config.max_passes:
-            moves, pass_cost = self.run_pass()
+            if tracer.enabled:
+                tracer.emit(
+                    "pass_start",
+                    pass_index=passes,
+                    blocks=list(self.blocks),
+                    cost=cost_fields(entry_cost),
+                )
+            with pass_timer:
+                moves, pass_cost = self.run_pass()
             passes += 1
             total_moves += moves
+            entry_cost = pass_cost
             if observer is not None:
                 observer(pass_cost)
             if pass_cost < best_cost:

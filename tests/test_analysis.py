@@ -121,6 +121,29 @@ class TestExperimentRunner:
         assert "c3540" in text
         assert "paper" in text
 
+    def test_collect_metrics_snapshots_and_aggregates(self):
+        from repro.analysis import aggregate_metrics
+
+        records = run_device_experiment(
+            "XC3042",
+            circuits=["c3540"],
+            methods=["FPART", "BFS-pack"],
+            collect_metrics=True,
+        )
+        fpart_rec = next(r for r in records if r.method == "FPART")
+        pack_rec = next(r for r in records if r.method == "BFS-pack")
+        assert fpart_rec.metrics is not None
+        assert fpart_rec.metrics["counters"]["fpart.runs"] == 1
+        # BFS-pack bypasses the instrumented engines: empty snapshot.
+        assert pack_rec.metrics["counters"] == {}
+        merged = aggregate_metrics(records)
+        assert merged["counters"]["fpart.runs"] == 1
+        assert merged["counters"]["sanchis.moves_tried"] > 0
+
+    def test_metrics_off_records_have_no_snapshot(self):
+        record = run_method("FPART", "c3540", "XC3042")
+        assert record.metrics is None
+
 
 class TestFigures:
     @pytest.fixture(scope="class")

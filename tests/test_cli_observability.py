@@ -1,0 +1,153 @@
+"""CLI telemetry surface: --metrics / --trace / report --trace."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import METRICS_SCHEMA, read_trace, validate_trace
+
+
+@pytest.fixture
+def netlist_file(tmp_path):
+    path = tmp_path / "c.hgr"
+    assert main(
+        ["generate", "obs-demo", "--cells", "150", "--ios", "20",
+         "--seed", "11", "-o", str(path)]
+    ) == 0
+    return path
+
+
+def _partition(netlist_file, tmp_path, *extra):
+    trace = tmp_path / "run.jsonl"
+    metrics = tmp_path / "run-metrics.json"
+    code = main(
+        ["partition", str(netlist_file), "--device", "XC3020",
+         "--metrics", str(metrics), "--trace", str(trace), *extra]
+    )
+    return code, trace, metrics
+
+
+class TestPartitionTelemetry:
+    def test_writes_schema_valid_trace_and_metrics(
+        self, netlist_file, tmp_path, capsys
+    ):
+        code, trace, metrics = _partition(netlist_file, tmp_path)
+        assert code == 0
+        events = read_trace(trace)
+        assert validate_trace(events) == []
+        payload = json.loads(metrics.read_text())
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["metrics"]["counters"]["fpart.runs"] == 1
+        assert payload["metrics"]["counters"]["sanchis.moves_tried"] > 0
+        # One id across both artifacts.
+        assert payload["run_id"]
+        assert {e["run_id"] for e in events} == {payload["run_id"]}
+
+    def test_trace_sample_zero_suppresses_move_batches(
+        self, netlist_file, tmp_path
+    ):
+        code, trace, _ = _partition(
+            netlist_file, tmp_path, "--trace-sample", "0"
+        )
+        assert code == 0
+        assert not [
+            e for e in read_trace(trace) if e["event"] == "move_batch"
+        ]
+
+    def test_telemetry_requires_fpart(self, netlist_file, tmp_path, capsys):
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--algorithm", "pack", "--metrics", str(tmp_path / "m.json")]
+        ) != 0
+        assert "fpart" in capsys.readouterr().err
+
+    def test_json_log_format(self, netlist_file, capsys):
+        import logging
+
+        from repro.logging import ROOT_LOGGER_NAME
+
+        logger = logging.getLogger(ROOT_LOGGER_NAME)
+        try:
+            assert main(
+                ["partition", str(netlist_file), "--device", "XC3020",
+                 "--log-level", "INFO", "--log-format", "json"]
+            ) == 0
+            lines = [
+                line for line in capsys.readouterr().err.splitlines()
+                if line.strip()
+            ]
+            assert lines
+            for line in lines:
+                record = json.loads(line)
+                assert {"t", "level", "logger", "msg"} <= set(record)
+            assert any("run " in json.loads(l)["msg"] for l in lines)
+        finally:
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_configured", False):
+                    logger.removeHandler(handler)
+                    handler.close()
+
+    def test_identical_result_with_and_without_telemetry(
+        self, netlist_file, tmp_path, capsys
+    ):
+        plain_out = tmp_path / "plain.txt"
+        traced_out = tmp_path / "traced.txt"
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--output", str(plain_out)]
+        ) == 0
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--output", str(traced_out),
+             "--metrics", str(tmp_path / "m.json"),
+             "--trace", str(tmp_path / "t.jsonl")]
+        ) == 0
+        assert traced_out.read_text() == plain_out.read_text()
+
+
+class TestReportTrace:
+    def _trace(self, netlist_file, tmp_path):
+        code, trace, _ = _partition(netlist_file, tmp_path)
+        assert code == 0
+        return trace
+
+    def test_renders_convergence_table(self, netlist_file, tmp_path, capsys):
+        trace = self._trace(netlist_file, tmp_path)
+        assert main(["report", "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Convergence of run" in out
+        assert "T_SUM" in out
+        assert "final" in out
+
+    def test_output_and_svg_files(self, netlist_file, tmp_path, capsys):
+        trace = self._trace(netlist_file, tmp_path)
+        table = tmp_path / "table.txt"
+        svg = tmp_path / "plot.svg"
+        assert main(
+            ["report", "--trace", str(trace),
+             "--output", str(table), "--svg", str(svg)]
+        ) == 0
+        assert "T_SUM" in table.read_text()
+        assert svg.read_text().startswith("<svg")
+
+    def test_report_is_deterministic(self, netlist_file, tmp_path, capsys):
+        trace = self._trace(netlist_file, tmp_path)
+        capsys.readouterr()  # drain the partition stage's output
+        assert main(["report", "--trace", str(trace)]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", "--trace", str(trace)]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_invalid_trace_fails_with_diagnostics(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"schema": 1, "seq": 0, "event": "nope"}\n')
+        assert main(["report", "--trace", str(bad)]) != 0
+        captured = capsys.readouterr()
+        assert "trace" in captured.err
+
+    def test_requires_netlist_or_trace(self, capsys):
+        assert main(["report"]) != 0
+        assert "netlist" in capsys.readouterr().err.lower()

@@ -67,3 +67,67 @@ class TestConvergence:
             iterations=0, runtime_seconds=0.0, trace=[],
         )
         assert render_convergence(empty) == "no trace recorded"
+
+
+class TestTraceConsumers:
+    """Unit tests of the JSONL-trace convergence consumers."""
+
+    COST = {"f": 1, "d_k": 2.5, "t_sum": 120, "d_k_e": 0.5, "cut": 9}
+    FINAL = {"f": 0, "d_k": 0.0, "t_sum": 100, "d_k_e": 0.1, "cut": 7}
+
+    def _events(self):
+        return [
+            {"event": "run_start", "circuit": "c"},
+            {"event": "pass_start", "blocks": [0, 1, 2], "cost": self.COST},
+            {"event": "move_batch", "moves": 64, "key": [1, 2, 3, 4]},
+            {"event": "pass_start", "blocks": [0, 1], "cost": self.FINAL},
+            {"event": "run_end", "num_devices": 2, "cost": self.FINAL},
+        ]
+
+    def test_points_from_pass_starts_and_run_end(self):
+        from repro.analysis import convergence_from_trace
+
+        points = convergence_from_trace(self._events())
+        assert [p.kind for p in points] == ["pass", "pass", "final"]
+        assert points[0].blocks == 3
+        assert points[0].f == 1 and points[0].d_k == 2.5
+        assert points[-1].blocks == 2
+        assert [p.index for p in points] == [0, 1, 2]
+
+    def test_events_without_cost_are_skipped(self):
+        from repro.analysis import convergence_from_trace
+
+        events = self._events()
+        del events[4]["cost"]  # faulted run_end carries cost=None
+        points = convergence_from_trace(events)
+        assert [p.kind for p in points] == ["pass", "pass"]
+
+    def test_pass_table_renders_and_is_deterministic(self):
+        from repro.analysis import render_pass_table
+
+        text = render_pass_table(self._events())
+        assert text == render_pass_table(self._events())
+        lines = text.splitlines()
+        assert "T_SUM" in lines[0] and "d_k^E" in lines[0]
+        assert "final" in text
+        assert "d_k:" in lines[-1]
+
+    def test_pass_table_empty_trace(self):
+        from repro.analysis import render_pass_table
+
+        assert render_pass_table([]) == "no pass data in trace"
+
+    def test_svg_plot(self):
+        from repro.analysis import render_convergence_svg
+
+        svg = render_convergence_svg(self._events())
+        assert svg.startswith("<svg")
+        assert "polyline" in svg
+        assert svg == render_convergence_svg(self._events())
+
+    def test_svg_empty_trace(self):
+        from repro.analysis import render_convergence_svg
+
+        svg = render_convergence_svg([])
+        assert svg.startswith("<svg")
+        assert "no pass data" in svg

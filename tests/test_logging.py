@@ -1,0 +1,109 @@
+"""Tests of run-scoped logging configuration (repro.logging)."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from repro.logging import (
+    DEFAULT_FORMAT,
+    JsonFormatter,
+    ROOT_LOGGER_NAME,
+    configure_logging,
+    get_logger,
+    new_run_id,
+    run_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_handlers():
+    """Detach any handler a test's configure_logging call attached."""
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    before = list(logger.handlers)
+    yield
+    for handler in list(logger.handlers):
+        if handler not in before:
+            logger.removeHandler(handler)
+            handler.close()
+
+
+def _configured_handlers():
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    return [
+        h for h in logger.handlers
+        if getattr(h, "_repro_configured", False)
+    ]
+
+
+class TestConfigureLogging:
+    def test_reconfigure_is_idempotent(self, tmp_path):
+        configure_logging(path=str(tmp_path / "a.log"))
+        configure_logging(path=str(tmp_path / "b.log"))
+        configure_logging(path=str(tmp_path / "c.log"))
+        assert len(_configured_handlers()) == 1
+
+    def test_reconfigure_does_not_duplicate_lines(self, tmp_path):
+        path = tmp_path / "run.log"
+        configure_logging(path=str(path))
+        configure_logging(path=str(path))
+        get_logger("test").info("once")
+        for handler in _configured_handlers():
+            handler.flush()
+        content = path.read_text()
+        assert content.count("once") == 1
+
+    def test_foreign_handlers_survive_reconfiguration(self):
+        logger = logging.getLogger(ROOT_LOGGER_NAME)
+        foreign = logging.NullHandler()
+        logger.addHandler(foreign)
+        try:
+            configure_logging()
+            configure_logging()
+            assert foreign in logger.handlers
+        finally:
+            logger.removeHandler(foreign)
+
+    def test_json_mode_emits_parseable_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        configure_logging(path=str(path), fmt="json")
+        run_logger("core.fpart", "abc12345").info("run start k=3")
+        for handler in _configured_handlers():
+            handler.flush()
+        lines = path.read_text().splitlines()
+        assert lines
+        record = json.loads(lines[0])
+        assert record["level"] == "INFO"
+        assert record["logger"] == f"{ROOT_LOGGER_NAME}.core.fpart"
+        assert record["msg"] == "[run abc12345] run start k=3"
+        assert "t" in record
+
+    def test_text_mode_uses_percent_format(self, tmp_path):
+        path = tmp_path / "run.log"
+        handler = configure_logging(path=str(path), fmt=DEFAULT_FORMAT)
+        assert not isinstance(handler.formatter, JsonFormatter)
+        get_logger("x").warning("plain line")
+        handler.flush()
+        assert "WARNING" in path.read_text()
+
+    def test_returns_attached_handler(self):
+        handler = configure_logging()
+        assert handler in logging.getLogger(ROOT_LOGGER_NAME).handlers
+
+
+class TestRunIds:
+    def test_new_run_id_shape(self):
+        rid = new_run_id()
+        assert len(rid) == 8
+        int(rid, 16)  # hex
+
+    def test_run_logger_prefixes_messages(self):
+        adapter = run_logger("comp", "deadbeef")
+        msg, _ = adapter.process("hello", {})
+        assert msg == "[run deadbeef] hello"
+
+    def test_run_logger_generates_id_when_missing(self):
+        adapter = run_logger("comp")
+        assert adapter.extra["run_id"]

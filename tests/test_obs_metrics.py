@@ -1,0 +1,160 @@
+"""Unit tests of the metrics registry (repro.obs.metrics)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    GAIN_HIST_HI,
+    GAIN_HIST_LO,
+    METRICS_SCHEMA,
+    Histogram,
+    MetricsRegistry,
+    NULL_METRICS,
+    NullMetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        c.inc()
+        c.inc(41)
+        assert reg.counter("a.b").value == 42
+        assert reg.counter("a.b") is c
+
+    def test_gauge_set_and_set_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("peak")
+        g.set(5.0)
+        g.set_max(3.0)
+        assert g.value == 5.0
+        g.set_max(9.0)
+        assert g.value == 9.0
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        t = reg.timer("phase")
+        with t:
+            pass
+        with t:
+            pass
+        assert t.count == 2
+        assert t.total_seconds >= 0.0
+
+    def test_histogram_record_clamps_to_overflow_buckets(self):
+        h = Histogram("g", -2, 3)
+        for v in (-5, -2, 0, 2, 7):
+            h.record(v)
+        assert h.underflow == 1
+        assert h.overflow == 1
+        assert h.counts == [1, 0, 1, 0, 1]
+        assert h.total == 5
+        assert h.sum == 2
+
+    def test_histogram_add_buckets_merges_local_array(self):
+        h = Histogram("g", GAIN_HIST_LO, GAIN_HIST_HI)
+        local = [0] * (GAIN_HIST_HI - GAIN_HIST_LO)
+        local[0] = 2          # two observations of GAIN_HIST_LO
+        local[-1] = 3         # three of GAIN_HIST_HI - 1
+        h.add_buckets(local)
+        assert h.total == 5
+        assert h.sum == 2 * GAIN_HIST_LO + 3 * (GAIN_HIST_HI - 1)
+
+    def test_histogram_add_buckets_rejects_wrong_length(self):
+        h = Histogram("g", 0, 4)
+        with pytest.raises(ValueError):
+            h.add_buckets([1, 2])
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("g", 3, 3)
+        with pytest.raises(ValueError):
+            Histogram("g", 0, 4, width=0)
+
+
+class TestRegistry:
+    def test_snapshot_is_sorted_and_deterministic(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        reg.gauge("m").set(1.5)
+        reg.histogram("h", 0, 2).record(1)
+        with reg.timer("t"):
+            pass
+        snap = reg.snapshot()
+        assert list(snap) == ["counters", "gauges", "timers", "histograms"]
+        assert list(snap["counters"]) == ["a", "z"]
+        assert snap["counters"] == {"a": 2, "z": 1}
+        assert snap["gauges"] == {"m": 1.5}
+        assert snap["timers"]["t"]["count"] == 1
+        assert snap["histograms"]["h"]["counts"] == [0, 1]
+        # A second snapshot of the same state is byte-identical.
+        assert json.dumps(snap, sort_keys=True) == json.dumps(
+            reg.snapshot(), sort_keys=True
+        )
+
+    def test_dump_json_layout(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        out = reg.dump_json(
+            tmp_path / "m.json", run_id="abc123", extra={"num_devices": 4}
+        )
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == METRICS_SCHEMA
+        assert payload["run_id"] == "abc123"
+        assert payload["num_devices"] == 4
+        assert payload["metrics"]["counters"] == {"runs": 1}
+
+    def test_null_registry_is_inert(self):
+        assert NULL_METRICS.enabled is False
+        assert MetricsRegistry.enabled is True
+        NULL_METRICS.counter("x").inc(100)
+        NULL_METRICS.gauge("x").set(9)
+        NULL_METRICS.histogram("x").record(3)
+        with NULL_METRICS.timer("x"):
+            pass
+        assert NULL_METRICS.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {}
+        }
+        # Shared instruments: no per-name allocation.
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")
+        assert isinstance(NULL_METRICS, NullMetricsRegistry)
+
+
+class TestMergeSnapshots:
+    def _snap(self, count, peak, gain_bucket0):
+        reg = MetricsRegistry()
+        reg.counter("moves").inc(count)
+        reg.gauge("heap_peak").set(peak)
+        with reg.timer("pass"):
+            pass
+        h = reg.histogram("gain", 0, 2)
+        for _ in range(gain_bucket0):
+            h.record(0)
+        return reg.snapshot()
+
+    def test_counters_sum_gauges_max_histograms_sum(self):
+        merged = merge_snapshots([self._snap(3, 7.0, 1), self._snap(4, 5.0, 2)])
+        assert merged["counters"] == {"moves": 7}
+        assert merged["gauges"] == {"heap_peak": 7.0}
+        assert merged["timers"]["pass"]["count"] == 2
+        assert merged["histograms"]["gain"]["counts"] == [3, 0]
+        assert merged["histograms"]["gain"]["total"] == 3
+
+    def test_empty_input(self):
+        assert merge_snapshots([]) == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {}
+        }
+
+    def test_incompatible_histogram_layouts_raise(self):
+        a = MetricsRegistry()
+        a.histogram("h", 0, 2).record(0)
+        b = MetricsRegistry()
+        b.histogram("h", 0, 4).record(0)
+        with pytest.raises(ValueError):
+            merge_snapshots([a.snapshot(), b.snapshot()])

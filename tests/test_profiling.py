@@ -1,0 +1,88 @@
+"""Tests of the profiling helpers (repro.analysis.profiling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.profiling import (
+    HotSpot,
+    ProfileReport,
+    profile_call,
+    render_hotspots,
+    time_call,
+)
+
+
+def _busy(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestProfileCall:
+    def test_round_trip_result_and_hotspots(self):
+        report = profile_call(_busy, 10000)
+        assert isinstance(report, ProfileReport)
+        assert report.result == _busy(10000)
+        assert report.elapsed > 0
+        assert report.hotspots
+        assert all(isinstance(h, HotSpot) for h in report.hotspots)
+        # The profiled workload itself shows up in the table.
+        assert any("_busy" in h.function for h in report.hotspots)
+
+    def test_kwargs_forwarded(self):
+        report = profile_call(lambda a, b=0: a + b, 1, b=2)
+        assert report.result == 3
+
+    def test_top_limits_hotspot_count(self):
+        report = profile_call(_busy, 1000, top=1)
+        assert len(report.hotspots) <= 1
+
+    def test_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            profile_call(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+
+    def test_render_respects_limit(self):
+        report = profile_call(_busy, 1000)
+        limited = report.render(limit=1)
+        # header + rule + at most one row
+        assert len(limited.splitlines()) <= 3
+
+
+class TestRenderHotspots:
+    HOTSPOTS = (
+        HotSpot(function="src/repro/a.py:10(run)", calls=5,
+                tottime=0.5, cumtime=1.25),
+        HotSpot(function="heappush", calls=100,
+                tottime=0.001, cumtime=0.001),
+    )
+
+    def test_deterministic_output(self):
+        first = render_hotspots(self.HOTSPOTS)
+        second = render_hotspots(tuple(self.HOTSPOTS))
+        assert first == second
+
+    def test_fixed_width_layout(self):
+        text = render_hotspots(self.HOTSPOTS)
+        lines = text.splitlines()
+        assert lines[0].split() == ["calls", "tottime", "cumtime", "function"]
+        assert lines[1] == "-" * 72
+        assert "src/repro/a.py:10(run)" in lines[2]
+        assert "0.500" in lines[2] and "1.250" in lines[2]
+        assert "heappush" in lines[3]
+
+    def test_empty_table_is_header_only(self):
+        lines = render_hotspots(()).splitlines()
+        assert len(lines) == 2
+
+
+class TestTimeCall:
+    def test_returns_result_and_best_time(self):
+        result, best = time_call(_busy, 1000, repeat=3)
+        assert result == _busy(1000)
+        assert best >= 0
+
+    def test_rejects_zero_repeat(self):
+        with pytest.raises(ValueError):
+            time_call(_busy, 10, repeat=0)
