@@ -77,6 +77,12 @@ class ExperimentRecord:
     metrics: Optional[Dict] = None
     """Per-cell metrics snapshot (``collect_metrics`` runs only);
     aggregate across a sweep with :func:`aggregate_metrics`."""
+    run_id: str = ""
+    """Registry correlation id (FPART's own run id; generated for the
+    baselines so every recorded cell is addressable in a run store)."""
+    cost: Optional[Dict] = None
+    """Final lexicographic cost tuple in ``cost_fields`` layout (FPART
+    cells only)."""
 
 
 def _run_fpart(
@@ -85,8 +91,16 @@ def _run_fpart(
     config: FpartConfig,
     metrics: MetricsRegistry = NULL_METRICS,
 ):
+    from ..obs.trace import cost_fields
+
     result = FpartPartitioner(hg, device, config, metrics=metrics).run()
-    return result.num_devices, result.lower_bound, result.feasible
+    extra = {
+        "run_id": result.run_id,
+        "status": result.status,
+        "iterations": result.iterations,
+        "cost": cost_fields(result.cost) if result.cost is not None else None,
+    }
+    return result.num_devices, result.lower_bound, result.feasible, extra
 
 
 def _run_kwayx(
@@ -96,7 +110,7 @@ def _run_kwayx(
     metrics: MetricsRegistry = NULL_METRICS,
 ):
     result = kwayx(hg, device, config)
-    return result.num_devices, result.lower_bound, result.feasible
+    return result.num_devices, result.lower_bound, result.feasible, {}
 
 
 def _run_fbb(
@@ -106,7 +120,7 @@ def _run_fbb(
     metrics: MetricsRegistry = NULL_METRICS,
 ):
     result = fbb_multiway(hg, device)
-    return result.num_devices, result.lower_bound, result.feasible
+    return result.num_devices, result.lower_bound, result.feasible, {}
 
 
 def _run_bfs_pack(
@@ -116,7 +130,7 @@ def _run_bfs_pack(
     metrics: MetricsRegistry = NULL_METRICS,
 ):
     result = bfs_pack(hg, device)
-    return result.num_devices, result.lower_bound, result.feasible
+    return result.num_devices, result.lower_bound, result.feasible, {}
 
 
 #: Methods measured live, in table order.
@@ -156,6 +170,7 @@ def run_method(
     device_name: str,
     config: FpartConfig = DEFAULT_CONFIG,
     collect_metrics: bool = False,
+    runs_dir: Optional[str] = None,
 ) -> ExperimentRecord:
     """Run one measured method on one circuit/device pair.
 
@@ -163,17 +178,23 @@ def run_method(
     :class:`MetricsRegistry` and the record carries its snapshot
     (instrumented methods only — the baselines that bypass the
     instrumented engines return an empty snapshot).
+
+    With ``runs_dir`` the finished cell is also appended to that
+    :class:`~repro.obs.runstore.RunStore` registry, so a whole sweep
+    becomes ``fpart history`` / ``fpart compare`` addressable.
     """
+    from ..logging import new_run_id
+
     runner = MEASURED_METHODS[method]
     device = device_by_name(device_name)
     hg = circuit_for_device(circuit, device_name)
     registry = MetricsRegistry() if collect_metrics else NULL_METRICS
     start = time.perf_counter()
-    num_devices, lower_bound, feasible = runner(
+    num_devices, lower_bound, feasible, extra = runner(
         hg, device, config, metrics=registry
     )
     runtime = time.perf_counter() - start
-    return ExperimentRecord(
+    record = ExperimentRecord(
         circuit=circuit,
         device=device_name,
         method=method,
@@ -182,7 +203,52 @@ def run_method(
         feasible=feasible,
         runtime_seconds=runtime,
         metrics=registry.snapshot() if collect_metrics else None,
+        run_id=extra.get("run_id") or new_run_id(),
+        cost=extra.get("cost"),
     )
+    if runs_dir:
+        _store_experiment_record(
+            runs_dir,
+            record,
+            config,
+            status=extra.get("status", "ok"),
+            iterations=int(extra.get("iterations", 0)),
+        )
+    return record
+
+
+def _store_experiment_record(
+    runs_dir: str,
+    record: ExperimentRecord,
+    config: FpartConfig,
+    status: str = "ok",
+    iterations: int = 0,
+) -> None:
+    """Append one sweep cell to the run registry (best effort)."""
+    from ..core.checkpoint import config_digest
+    from ..obs.runstore import RunRecord, RunStore, RunStoreError
+
+    run_record = RunRecord(
+        run_id=record.run_id,
+        circuit=record.circuit,
+        device=record.device,
+        method=record.method,
+        status=status,
+        num_devices=record.num_devices,
+        lower_bound=record.lower_bound,
+        feasible=record.feasible,
+        cost=record.cost,
+        wall_seconds=record.runtime_seconds,
+        iterations=iterations,
+        config_digest=config_digest(config),
+        seed=config.seed,
+    )
+    try:
+        RunStore(runs_dir).record_run(run_record, metrics=record.metrics)
+    except RunStoreError as error:
+        get_logger("analysis.experiments").warning(
+            "run %s not recorded in %s: %s", record.run_id, runs_dir, error
+        )
 
 
 def run_device_experiment(
@@ -193,6 +259,7 @@ def run_device_experiment(
     isolate: bool = True,
     retries: int = 1,
     collect_metrics: bool = False,
+    runs_dir: Optional[str] = None,
 ) -> List[ExperimentRecord]:
     """All measured cells of one device's comparison table.
 
@@ -205,6 +272,9 @@ def run_device_experiment(
     ``collect_metrics`` threads a fresh registry through every cell;
     the per-cell snapshots land on :attr:`ExperimentRecord.metrics` and
     :func:`aggregate_metrics` folds them into one sweep-wide view.
+
+    ``runs_dir`` appends every cell — failed ones included — to the run
+    registry, making the sweep ``fpart history``-addressable.
     """
     if circuits is None:
         circuits = selected_circuits(device_name)
@@ -219,6 +289,7 @@ def run_device_experiment(
                     run_method(
                         method, circuit, device_name, config,
                         collect_metrics=collect_metrics,
+                        runs_dir=runs_dir,
                     )
                 )
                 continue
@@ -229,6 +300,7 @@ def run_device_experiment(
                         run_method(
                             method, circuit, device_name, config,
                             collect_metrics=collect_metrics,
+                            runs_dir=runs_dir,
                         )
                     )
                     break
@@ -244,19 +316,25 @@ def run_device_experiment(
                         "cell %s/%s/%s failed after %d attempts: %s",
                         circuit, device_name, method, attempt, error,
                     )
-                    records.append(
-                        ExperimentRecord(
-                            circuit=circuit,
-                            device=device_name,
-                            method=method,
-                            num_devices=0,
-                            lower_bound=0,
-                            feasible=False,
-                            runtime_seconds=0.0,
-                            status="failed",
-                            error=f"{type(error).__name__}: {error}",
-                        )
+                    from ..logging import new_run_id
+
+                    failed = ExperimentRecord(
+                        circuit=circuit,
+                        device=device_name,
+                        method=method,
+                        num_devices=0,
+                        lower_bound=0,
+                        feasible=False,
+                        runtime_seconds=0.0,
+                        status="failed",
+                        error=f"{type(error).__name__}: {error}",
+                        run_id=new_run_id(),
                     )
+                    records.append(failed)
+                    if runs_dir:
+                        _store_experiment_record(
+                            runs_dir, failed, config, status="failed"
+                        )
                     break
     return records
 

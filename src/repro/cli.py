@@ -8,7 +8,12 @@ Installed as ``fpart`` (also ``python -m repro``).  Subcommands:
 * ``split`` — emit one netlist file per device from a saved assignment;
 * ``generate`` — emit a synthetic benchmark netlist;
 * ``info`` — print hypergraph statistics of a netlist file;
-* ``table`` — regenerate one of the paper's comparison tables live.
+* ``table`` — regenerate one of the paper's comparison tables live;
+* ``history`` — list the runs recorded in a ``--runs-dir`` registry;
+* ``compare`` — judge a recorded run against a baseline run (exit 0 ok,
+  3 on a quality/latency regression — CI-gateable);
+* ``export`` — re-render stored telemetry as OpenMetrics text or a
+  Chrome-tracing (catapult) JSON timeline.
 
 Netlist files are autodetected by extension: ``.hgr`` (extended hMETIS),
 ``.nets`` (named netlist) or ``.blif`` (structural BLIF).
@@ -200,6 +205,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="applied moves between move_batch trace events "
         "(0 disables move batches; default 64)",
     )
+    p.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="record this run in an append-only run registry (implies "
+        "metrics collection; traces into DIR/<run_id>/trace.jsonl "
+        "unless --trace names another path; fpart only)",
+    )
+    p.add_argument(
+        "--progress",
+        action="store_true",
+        help="print a live progress line to stderr while the run is "
+        "searching (fpart only)",
+    )
+    p.add_argument(
+        "--progress-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between progress heartbeats (default 2.0)",
+    )
 
     g = sub.add_parser("generate", help="generate a synthetic netlist")
     g.add_argument("name", help="circuit name (also the seed)")
@@ -262,7 +288,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--svg",
         default=None,
         metavar="PATH",
-        help="with --trace: also write an SVG convergence plot",
+        help="with --trace/--from-runs: also write an SVG convergence "
+        "plot",
+    )
+    r.add_argument(
+        "--from-runs",
+        nargs=2,
+        default=None,
+        metavar=("DIR", "RUN_ID"),
+        help="render the convergence report of a run recorded with "
+        "'partition --runs-dir DIR' (RUN_ID may be a unique prefix)",
     )
 
     t = sub.add_parser("table", help="regenerate a paper comparison table")
@@ -285,6 +320,74 @@ def build_parser() -> argparse.ArgumentParser:
         "--export",
         default=None,
         help="also write raw records to this .json or .csv file",
+    )
+    t.add_argument(
+        "--runs-dir",
+        default=None,
+        metavar="DIR",
+        help="also record every measured run in this run registry",
+    )
+
+    h = sub.add_parser(
+        "history", help="list the runs recorded in a runs directory"
+    )
+    h.add_argument("--runs-dir", required=True, metavar="DIR")
+    h.add_argument("--circuit", default=None, help="filter by circuit")
+    h.add_argument("--device", default=None, help="filter by device")
+    h.add_argument("--method", default=None, help="filter by method")
+    h.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="show only the N most recent runs",
+    )
+
+    c = sub.add_parser(
+        "compare",
+        help="judge a recorded run against a baseline run "
+        "(exit 0 ok / 3 regression)",
+    )
+    c.add_argument("--runs-dir", required=True, metavar="DIR")
+    c.add_argument(
+        "candidate", help="candidate run id (a unique prefix is accepted)"
+    )
+    c.add_argument(
+        "baseline",
+        nargs="?",
+        default=None,
+        help="baseline run id; defaults to the most recent earlier run "
+        "of the same circuit/device/method/config",
+    )
+    c.add_argument(
+        "--max-slowdown",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="also fail when the candidate's wall time exceeds the "
+        "baseline's by more than PCT percent (latency gating is opt-in "
+        "because identical runs differ by timer noise)",
+    )
+
+    e = sub.add_parser(
+        "export",
+        help="re-render stored run telemetry in standard formats",
+    )
+    e.add_argument("--runs-dir", required=True, metavar="DIR")
+    e.add_argument("run_id", help="recorded run id (prefix accepted)")
+    e.add_argument(
+        "--openmetrics",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics snapshot as an OpenMetrics "
+        "(Prometheus textfile-collector) document",
+    )
+    e.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="PATH",
+        help="write the run's trace stream as Chrome-tracing (catapult) "
+        "JSON for chrome://tracing / Perfetto",
     )
     return parser
 
@@ -316,7 +419,14 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
     id stamps trace events, the metrics dump and the result.
     """
     from .logging import new_run_id
-    from .obs import NULL_METRICS, NULL_TRACE, MetricsRegistry, TraceWriter
+    from .obs import (
+        NULL_METRICS,
+        NULL_TRACE,
+        HeartbeatEmitter,
+        MetricsRegistry,
+        RunStore,
+        TraceWriter,
+    )
 
     config = _fpart_config(args)
     manager = (
@@ -342,11 +452,33 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         if resume_cp is not None and resume_cp.run_id
         else new_run_id()
     )
-    metrics = MetricsRegistry() if args.metrics else NULL_METRICS
+    store = RunStore(args.runs_dir) if args.runs_dir else None
+    # A run registry without telemetry would be an index of blanks: the
+    # store implies metrics, and traces land inside the run's own
+    # directory unless --trace pins another path.
+    metrics = (
+        MetricsRegistry()
+        if args.metrics or store is not None
+        else NULL_METRICS
+    )
+    trace_path = args.trace
+    if store is not None and not trace_path:
+        run_dir = store.run_dir(run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        trace_path = str(run_dir / "trace.jsonl")
     tracer = (
-        TraceWriter(args.trace, run_id, sample_moves=args.trace_sample)
-        if args.trace
+        TraceWriter(trace_path, run_id, sample_moves=args.trace_sample)
+        if trace_path
         else NULL_TRACE
+    )
+    heartbeat = (
+        HeartbeatEmitter(
+            tracer=tracer,
+            stream=sys.stderr if args.progress else None,
+            interval_seconds=args.progress_interval,
+        )
+        if args.progress or tracer.enabled
+        else None
     )
     partitioner = FpartPartitioner(
         hg,
@@ -356,6 +488,7 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         run_id=run_id,
         metrics=metrics,
         tracer=tracer,
+        heartbeat=heartbeat,
     )
     profile_report = None
     try:
@@ -375,7 +508,46 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         print(f"metrics written to {args.metrics}")
     if args.trace:
         print(f"trace written to {args.trace}")
+    if store is not None:
+        _record_fpart_run(store, args, config, partitioner, result, metrics)
     return result, profile_report
+
+
+def _record_fpart_run(store, args, config, partitioner, result, metrics):
+    """Append the finished run to the ``--runs-dir`` registry."""
+    from .core.checkpoint import config_digest
+    from .obs import RunRecord, RunStoreError, cost_fields
+
+    artifacts = {}
+    if args.trace:
+        # Trace written outside the registry: keep a copy with the run.
+        artifacts["trace.jsonl"] = args.trace
+    record = RunRecord(
+        run_id=partitioner.run_id,
+        circuit=result.circuit,
+        device=result.device,
+        method="FPART",
+        status=result.status,
+        num_devices=result.num_devices,
+        lower_bound=result.lower_bound,
+        feasible=result.feasible,
+        cost=cost_fields(result.cost) if result.cost is not None else None,
+        wall_seconds=result.runtime_seconds,
+        iterations=result.iterations,
+        config_digest=config_digest(config),
+        seed=config.seed,
+    )
+    try:
+        store.record_run(
+            record,
+            metrics=metrics.snapshot() if metrics.enabled else None,
+            artifacts=artifacts,
+        )
+        print(f"run {record.run_id} recorded in {args.runs_dir}")
+    except RunStoreError as error:
+        # E.g. resuming an already-recorded finished run: the partition
+        # itself succeeded, so only warn.
+        print(f"fpart: warning: run not recorded: {error}", file=sys.stderr)
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
@@ -386,9 +558,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
             args.log_level,
             fmt="json" if args.log_format == "json" else DEFAULT_FORMAT,
         )
-    if args.algorithm != "fpart" and (args.metrics or args.trace):
+    if args.algorithm != "fpart" and (
+        args.metrics or args.trace or args.runs_dir or args.progress
+    ):
         raise PartitioningError(
-            "--metrics/--trace require --algorithm fpart"
+            "--metrics/--trace/--runs-dir/--progress require "
+            "--algorithm fpart"
         )
     hg = _load(args.netlist)
     device = device_by_name(args.device)
@@ -514,10 +689,14 @@ def _cmd_split(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.from_runs:
+        return _cmd_report_from_runs(args)
     if args.trace:
         return _cmd_report_trace(args)
     if args.netlist is None:
-        raise PartitioningError("report needs a netlist (or --trace PATH)")
+        raise PartitioningError(
+            "report needs a netlist (or --trace PATH / --from-runs)"
+        )
     from .analysis import generate_report
 
     hg = _load(args.netlist)
@@ -569,9 +748,125 @@ def _cmd_report_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report_from_runs(args: argparse.Namespace) -> int:
+    """Convergence report of a run recorded in a ``--runs-dir`` store."""
+    from .analysis.convergence import (
+        render_convergence_svg,
+        render_pass_table,
+    )
+    from .obs import RunStore, read_trace
+
+    runs_dir, run_id = args.from_runs
+    store = RunStore(runs_dir)
+    record = store.get(run_id)
+    cost = record.cost or {}
+    lines = [
+        f"Run {record.run_id} ({record.circuit} on {record.device}, "
+        f"{record.method}):",
+        f"  recorded: {record.created_utc}",
+        f"  status: {record.status}  devices: {record.num_devices} "
+        f"(M={record.lower_bound})",
+        f"  wall: {record.wall_seconds:.3f}s  "
+        f"iterations: {record.iterations}",
+    ]
+    if cost:
+        lines.append(
+            f"  cost: f={cost.get('f')} d_k={cost.get('d_k')} "
+            f"T_SUM={cost.get('t_sum')} d_k_e={cost.get('d_k_e')}"
+        )
+    trace_file = store.trace_path(record.run_id)
+    if trace_file is not None:
+        events = read_trace(trace_file)
+        lines.append("")
+        lines.append(render_pass_table(events))
+        if args.svg:
+            Path(args.svg).write_text(
+                render_convergence_svg(events), encoding="utf-8"
+            )
+            lines.append(f"convergence plot written to {args.svg}")
+    else:
+        lines.append("  (no trace stream stored for this run)")
+    report = "\n".join(lines)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    from .obs import RunStore, render_history
+
+    store = RunStore(args.runs_dir)
+    records = store.records(
+        circuit=args.circuit, device=args.device, method=args.method
+    )
+    print(render_history(records, limit=args.limit))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .obs import RunStore, compare_runs
+
+    store = RunStore(args.runs_dir)
+    comparison = compare_runs(
+        store,
+        args.candidate,
+        baseline_id=args.baseline,
+        max_slowdown_pct=args.max_slowdown,
+    )
+    print(comparison.render())
+    return EXIT_DEGRADED if comparison.regressed else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .obs import (
+        RunStore,
+        read_trace,
+        write_chrome_trace,
+        write_openmetrics,
+    )
+
+    if not args.openmetrics and not args.chrome_trace:
+        raise PartitioningError(
+            "export needs --openmetrics PATH and/or --chrome-trace PATH"
+        )
+    store = RunStore(args.runs_dir)
+    record = store.get(args.run_id)
+    if args.openmetrics:
+        snapshot = store.metrics_of(record.run_id)
+        if not snapshot:
+            raise PartitioningError(
+                f"run {record.run_id} has no metrics snapshot"
+            )
+        write_openmetrics(
+            args.openmetrics,
+            snapshot,
+            labels={
+                "run_id": record.run_id,
+                "circuit": record.circuit,
+                "device": record.device,
+            },
+        )
+        print(f"OpenMetrics written to {args.openmetrics}")
+    if args.chrome_trace:
+        trace_file = store.trace_path(record.run_id)
+        if trace_file is None:
+            raise PartitioningError(
+                f"run {record.run_id} has no stored trace stream"
+            )
+        write_chrome_trace(args.chrome_trace, read_trace(trace_file))
+        print(f"Chrome trace written to {args.chrome_trace}")
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     records = run_device_experiment(
-        args.device, circuits=args.circuits, methods=args.methods
+        args.device,
+        circuits=args.circuits,
+        methods=args.methods,
+        runs_dir=args.runs_dir,
     )
     print(render_device_comparison(args.device, records, args.methods))
     if args.export:
@@ -598,6 +893,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "split": _cmd_split,
         "report": _cmd_report,
         "table": _cmd_table,
+        "history": _cmd_history,
+        "compare": _cmd_compare,
+        "export": _cmd_export,
     }
     try:
         return handlers[args.command](args)

@@ -46,6 +46,7 @@ from ..hypergraph import Hypergraph
 from ..initial import create_bipartition
 from ..logging import run_logger
 from ..obs.metrics import NULL_METRICS, MetricsRegistry
+from ..obs.progress import HeartbeatEmitter
 from ..obs.trace import NULL_TRACE, TraceWriter, cost_fields
 from ..partition import PartitionState
 from .checkpoint import CheckpointManager, RunCheckpoint, config_digest
@@ -112,6 +113,10 @@ class FpartResult:
     """Message of the trapped error/exhaustion for degraded statuses."""
     run_id: str = ""
     """Correlates this result with its log lines and checkpoints."""
+    cost: Optional[SolutionCost] = None
+    """Final lexicographic cost of the returned assignment (``None``
+    only when the evaluator itself is the faulted component) — what the
+    run store persists and ``fpart compare`` judges regressions on."""
 
     @property
     def gap_to_lower_bound(self) -> int:
@@ -191,6 +196,10 @@ class FpartPartitioner:
         :class:`~repro.obs.trace.TraceWriter` receiving the JSONL event
         stream (``NULL_TRACE`` default emits nothing).  The writer's
         ``run_id`` is synchronized to the partitioner's at run start.
+    heartbeat:
+        :class:`~repro.obs.progress.HeartbeatEmitter` for live progress;
+        attached to the run's guard tick for the duration of
+        :meth:`run` (detached again on every exit path).
 
     Example
     -------
@@ -214,6 +223,7 @@ class FpartPartitioner:
         run_id: Optional[str] = None,
         metrics: MetricsRegistry = NULL_METRICS,
         tracer: TraceWriter = NULL_TRACE,
+        heartbeat: Optional[HeartbeatEmitter] = None,
     ) -> None:
         for c in range(hg.num_cells):
             if hg.cell_size(c) > device.s_max:
@@ -231,6 +241,7 @@ class FpartPartitioner:
         self.evaluator = evaluator
         self.metrics = metrics
         self.tracer = tracer
+        self.heartbeat = heartbeat
         from ..logging import new_run_id
 
         self._explicit_run_id = run_id is not None
@@ -368,6 +379,9 @@ class FpartPartitioner:
         )
         sweeps_before = getattr(evaluator, "full_sweeps", 0)
         guard = self.guard or RunGuard(RunBudget.from_config(config, m))
+        heartbeat = self.heartbeat
+        if heartbeat is not None:
+            heartbeat.attach(guard)
 
         best = _BestSolution()
         if resume_from is not None:
@@ -430,11 +444,28 @@ class FpartPartitioner:
         def offer_best(cost: SolutionCost) -> None:
             # Trace only genuine lexicographic improvements: the event
             # stream mirrors the tracker the degradation path restores.
-            if best.offer(cost, state, remainder) and tracer.enabled:
+            if best.offer(cost, state, remainder):
+                if heartbeat is not None:
+                    heartbeat.note_best(cost)
+                if tracer.enabled:
+                    tracer.emit(
+                        "lex_improve",
+                        iteration=iteration,
+                        cost=cost_fields(cost),
+                    )
+
+        def close_trace(end_status: str, exc: BaseException) -> None:
+            # Strict-mode propagation still closes the event stream, so
+            # every trace that saw run_start also carries a terminal
+            # run_end with the failure status.
+            if tracer.enabled:
                 tracer.emit(
-                    "lex_improve",
-                    iteration=iteration,
-                    cost=cost_fields(cost),
+                    "run_end",
+                    status=end_status,
+                    iterations=iteration,
+                    guard=guard.stats(),
+                    cost=None,
+                    error=str(exc),
                 )
 
         try:
@@ -519,6 +550,7 @@ class FpartPartitioner:
                     )
         except BudgetExhaustedError as exc:
             if config.strict:
+                close_trace("budget_exhausted", exc)
                 raise
             status = "budget_exhausted"
             error = str(exc)
@@ -527,6 +559,7 @@ class FpartPartitioner:
             state, remainder = self._restore_best(best)
         except UnpartitionableError as exc:
             if config.strict:
+                close_trace("failed", exc)
                 raise
             status = "failed"
             error = str(exc)
@@ -535,6 +568,7 @@ class FpartPartitioner:
             state, remainder = self._restore_best(best)
         except Exception as exc:  # trapped internal fault
             if config.strict:
+                close_trace("failed", exc)
                 raise
             error = f"{type(exc).__name__}: {exc}"
             log.exception("internal error trapped; degrading: %s", exc)
@@ -542,6 +576,12 @@ class FpartPartitioner:
             state, remainder = self._restore_best(best)
             bad = self._infeasible_blocks(state)
             status = "semi_feasible" if len(bad) <= 1 else "failed"
+        finally:
+            # Every exit path — return, strict raise, KeyboardInterrupt —
+            # releases the guard hook and pushes buffered events to disk.
+            if heartbeat is not None:
+                heartbeat.detach(guard)
+            tracer.flush()
 
         state = self._drop_empty_blocks(state)
         feasible = classify(state, device) is Feasibility.FEASIBLE
@@ -571,22 +611,27 @@ class FpartPartitioner:
             )
             metrics.gauge("fpart.num_devices").set(state.num_blocks)
             metrics.gauge("fpart.runtime_seconds").set(runtime)
+        # Dropping empty blocks can renumber past the old remainder;
+        # clamp (the remainder is moot once the run ended anyway).
+        final_rem = min(remainder, state.num_blocks - 1)
+        try:
+            final_cost: Optional[SolutionCost] = evaluator.evaluate(
+                state, final_rem
+            )
+        except Exception:  # the evaluator may be the faulted part
+            final_cost = None
         if tracer.enabled:
-            # Dropping empty blocks can renumber past the old remainder;
-            # clamp (the remainder is moot once the run ended anyway).
-            final_rem = min(remainder, state.num_blocks - 1)
-            try:
-                final_cost = cost_fields(evaluator.evaluate(state, final_rem))
-            except Exception:  # the evaluator may be the faulted part
-                final_cost = None
             tracer.emit(
                 "run_end",
                 status=status,
                 iterations=iteration,
                 guard=guard.stats(),
-                cost=final_cost,
+                cost=cost_fields(final_cost)
+                if final_cost is not None
+                else None,
                 num_devices=state.num_blocks,
             )
+            tracer.flush()
         log.info(
             "run end %s/%s: status=%s k=%d iterations=%d moves=%d %.2fs",
             circuit, device.name, status, state.num_blocks, iteration,
@@ -607,6 +652,7 @@ class FpartPartitioner:
             status=status,
             error=error,
             run_id=self.run_id,
+            cost=final_cost,
         )
 
     @staticmethod

@@ -122,11 +122,17 @@ class RunGuard:
     checkpoint/resume through :meth:`preload`.
     """
 
-    __slots__ = ("budget", "_t0", "_iterations", "_moves", "_outstanding",
-                 "_elapsed_offset", "_tripped")
+    __slots__ = ("budget", "on_tick", "_t0", "_iterations", "_moves",
+                 "_outstanding", "_elapsed_offset", "_tripped")
 
     def __init__(self, budget: Optional[RunBudget] = None) -> None:
         self.budget = budget if budget is not None else RunBudget()
+        #: Optional observer called with the guard on every budget check
+        #: (once per move lease / Algorithm 1 iteration — off the
+        #: evaluator-path window).  The heartbeat emitter of
+        #: ``repro.obs.progress`` installs itself here; the hook must
+        #: only *read* guard state.
+        self.on_tick = None
         self._t0: Optional[float] = None
         self._iterations = 0
         self._moves = 0
@@ -191,6 +197,8 @@ class RunGuard:
 
     def check(self) -> None:
         """Raise if the wall-clock deadline has passed (cheap elsewhere)."""
+        if self.on_tick is not None:
+            self.on_tick(self)
         deadline = self.budget.deadline_seconds
         if deadline is not None:
             if self._t0 is None:

@@ -9,14 +9,38 @@ to the perf-regression harness and the run-guard subsystem:
   cost evaluator;
 * :mod:`repro.obs.trace` — a :class:`TraceWriter` emitting a versioned
   JSONL event stream (``run_start`` … ``run_end``) stamped with the run
-  id and the run-guard budget state, plus schema validation helpers.
+  id and the run-guard budget state, plus schema validation helpers;
+* :mod:`repro.obs.runstore` — an append-only on-disk registry of
+  finished runs (``fpart partition --runs-dir``, sweep records), the
+  substrate of cross-run analysis;
+* :mod:`repro.obs.compare` — run-vs-run / run-vs-baseline regression
+  analysis over store records (``fpart history`` / ``fpart compare``);
+* :mod:`repro.obs.export` — OpenMetrics text export of metrics
+  snapshots and the trace → Chrome-tracing (catapult JSON) converter;
+* :mod:`repro.obs.progress` — the :class:`HeartbeatEmitter` riding the
+  run-guard tick for live ``progress`` events and ``--progress`` lines.
 
-Both come with shared null implementations (:data:`NULL_METRICS`,
-:data:`NULL_TRACE`) so uninstrumented runs pay nothing: every solve-path
-component accepts the real object or the null one through the same code
-path, mirroring the :data:`~repro.core.runguard.NULL_GUARD` pattern.
+Metrics and traces come with shared null implementations
+(:data:`NULL_METRICS`, :data:`NULL_TRACE`) so uninstrumented runs pay
+nothing: every solve-path component accepts the real object or the null
+one through the same code path, mirroring the
+:data:`~repro.core.runguard.NULL_GUARD` pattern.
 """
 
+from .compare import (
+    RunComparison,
+    compare_records,
+    compare_runs,
+    quality_key,
+    render_history,
+)
+from .export import (
+    to_openmetrics,
+    trace_to_chrome,
+    validate_openmetrics,
+    write_chrome_trace,
+    write_openmetrics,
+)
 from .metrics import (
     METRICS_SCHEMA,
     NULL_METRICS,
@@ -27,6 +51,14 @@ from .metrics import (
     NullMetricsRegistry,
     Timer,
     merge_snapshots,
+)
+from .progress import HeartbeatEmitter
+from .runstore import (
+    RUNSTORE_SCHEMA,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    atomic_write_text,
 )
 from .trace import (
     EVENT_TYPES,
@@ -59,4 +91,20 @@ __all__ = [
     "read_trace",
     "validate_event",
     "validate_trace",
+    "RUNSTORE_SCHEMA",
+    "RunRecord",
+    "RunStore",
+    "RunStoreError",
+    "atomic_write_text",
+    "RunComparison",
+    "compare_records",
+    "compare_runs",
+    "quality_key",
+    "render_history",
+    "to_openmetrics",
+    "validate_openmetrics",
+    "write_openmetrics",
+    "trace_to_chrome",
+    "write_chrome_trace",
+    "HeartbeatEmitter",
 ]

@@ -1,0 +1,335 @@
+"""Exporters: OpenMetrics text format and Chrome-tracing JSON.
+
+Two zero-dependency bridges from the repo's native telemetry formats to
+the ecosystem's standard viewers:
+
+* :func:`to_openmetrics` renders any :meth:`MetricsRegistry.snapshot`
+  dict as the OpenMetrics text exposition format (the Prometheus
+  node-exporter *textfile collector* input), so a cron of partitioning
+  runs can drop ``.prom`` files on a scrape target.  Counters map to
+  counter families (``_total`` sample suffix), gauges to gauges, timers
+  to summaries (``_count``/``_sum``) and fixed-bucket histograms to
+  cumulative ``le``-bucketed histogram families.  The document ends
+  with the mandatory ``# EOF`` terminator and
+  :func:`validate_openmetrics` line-checks a rendered document (used by
+  tests and the CI observability job).
+
+* :func:`trace_to_chrome` converts a JSONL trace stream (see
+  :mod:`repro.obs.trace`) into the catapult *Trace Event Format* JSON
+  object, so pass/move-batch timelines open directly in
+  ``chrome://tracing`` or Perfetto: engine passes become duration
+  (``"X"``) events on one track, discrete events become instants on a
+  second, and the lexicographic ``d_k``/``T_SUM`` series become counter
+  (``"C"``) tracks plotted over run time.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from .runstore import atomic_write_text
+
+__all__ = [
+    "to_openmetrics",
+    "write_openmetrics",
+    "validate_openmetrics",
+    "trace_to_chrome",
+    "write_chrome_trace",
+]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Sample line of the text format: name, optional label set, value,
+#: optional timestamp.  Values may be numbers, +Inf/-Inf or NaN.
+_SAMPLE_LINE = re.compile(
+    r"[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\\n]|\\.)*\")*\})?"  # labels
+    r" (?:[-+]?(?:[0-9]*\.)?[0-9]+(?:[eE][-+]?[0-9]+)?"
+    r"|[-+]?Inf|NaN)"  # value
+    r"( [0-9]+(\.[0-9]+)?)?\Z"  # optional timestamp
+)
+_COMMENT_LINE = re.compile(
+    r"# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*"
+    r"|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* "
+    r"(counter|gauge|histogram|summary|unknown|info|stateset)"
+    r"|EOF)\Z"
+)
+
+
+def _metric_name(dotted: str) -> str:
+    """OpenMetrics-legal metric name from a dotted instrument name."""
+    name = _SANITIZE.sub("_", dotted)
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_metric_name(k)}="{_escape_label(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def to_openmetrics(
+    snapshot: Dict[str, Dict],
+    labels: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a metrics snapshot as an OpenMetrics text document.
+
+    ``labels`` (e.g. ``{"run_id": ..., "circuit": ...}``) are attached
+    to every sample.  Families are emitted in sorted-name order so the
+    same snapshot always renders byte-identically.
+    """
+    labels = labels or {}
+    base_labels = _label_str(labels)
+    lines: List[str] = []
+
+    for dotted in sorted(snapshot.get("counters", {})):
+        name = _metric_name(dotted)
+        lines.append(f"# TYPE {name} counter")
+        value = snapshot["counters"][dotted]
+        lines.append(f"{name}_total{base_labels} {_fmt(value)}")
+
+    for dotted in sorted(snapshot.get("gauges", {})):
+        name = _metric_name(dotted)
+        lines.append(f"# TYPE {name} gauge")
+        value = snapshot["gauges"][dotted]
+        lines.append(f"{name}{base_labels} {_fmt(value)}")
+
+    for dotted in sorted(snapshot.get("timers", {})):
+        name = _metric_name(dotted)
+        timer = snapshot["timers"][dotted]
+        lines.append(f"# TYPE {name} summary")
+        lines.append(f"{name}_count{base_labels} {_fmt(timer['count'])}")
+        lines.append(
+            f"{name}_sum{base_labels} {_fmt(timer['total_seconds'])}"
+        )
+
+    for dotted in sorted(snapshot.get("histograms", {})):
+        name = _metric_name(dotted)
+        hist = snapshot["histograms"][dotted]
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = int(hist.get("underflow", 0))
+        lo = int(hist["lo"])
+        width = int(hist.get("width", 1))
+        for i, count in enumerate(hist["counts"]):
+            cumulative += int(count)
+            upper = lo + (i + 1) * width
+            bucket_labels = _label_str({**labels, "le": str(float(upper))})
+            lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
+        inf_labels = _label_str({**labels, "le": "+Inf"})
+        lines.append(f"{name}_bucket{inf_labels} {_fmt(hist['total'])}")
+        lines.append(f"{name}_count{base_labels} {_fmt(hist['total'])}")
+        lines.append(f"{name}_sum{base_labels} {_fmt(hist['sum'])}")
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    path: Union[str, Path],
+    snapshot: Dict[str, Dict],
+    labels: Optional[Dict[str, str]] = None,
+) -> Path:
+    """Atomically write the rendered document; returns the path."""
+    return atomic_write_text(path, to_openmetrics(snapshot, labels))
+
+
+def validate_openmetrics(text: str) -> List[str]:
+    """Line-format errors of an OpenMetrics document (empty = valid).
+
+    Checks every line against the exposition grammar (comment lines,
+    sample lines) and the document framing (non-empty, single ``# EOF``
+    terminator as the last line).
+    """
+    errors: List[str] = []
+    lines = text.splitlines()
+    if not lines:
+        return ["document is empty"]
+    eof_lines = [i for i, line in enumerate(lines) if line == "# EOF"]
+    if not eof_lines:
+        errors.append("missing '# EOF' terminator")
+    elif eof_lines[-1] != len(lines) - 1:
+        errors.append("'# EOF' is not the last line")
+    if len(eof_lines) > 1:
+        errors.append("multiple '# EOF' lines")
+    if text and not text.endswith("\n"):
+        errors.append("document must end with a newline")
+    for lineno, line in enumerate(lines, 1):
+        if not line:
+            errors.append(f"line {lineno}: blank line")
+            continue
+        if line.startswith("#"):
+            if not _COMMENT_LINE.match(line):
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        if not _SAMPLE_LINE.match(line):
+            errors.append(f"line {lineno}: malformed sample: {line!r}")
+    return errors
+
+
+# ---------------------------------------------------------------------------
+# Chrome tracing (catapult Trace Event Format)
+# ---------------------------------------------------------------------------
+
+_PID = 1
+_TID_PASSES = 1
+_TID_EVENTS = 2
+
+#: Cost components plotted as counter tracks, with their trace names.
+_COUNTER_TRACKS = (("d_k", "d_k"), ("t_sum", "T_SUM"))
+
+
+def _us(t_seconds: float) -> float:
+    return round(float(t_seconds) * 1e6, 1)
+
+
+def trace_to_chrome(events: Iterable[dict]) -> dict:
+    """Convert a parsed JSONL trace into a catapult trace object.
+
+    Engine passes (``pass_start`` … next ``pass_start``/``run_end``)
+    become complete (``"X"``) events on the "passes" track; every other
+    event becomes an instant (``"i"``) on the "events" track; the
+    ``d_k``/``T_SUM`` series of pass-entry costs become counter
+    (``"C"``) tracks.  The result serialises with ``json.dumps`` and
+    loads directly in ``chrome://tracing`` / Perfetto.
+    """
+    events = list(events)
+    trace_events: List[dict] = []
+    run_id = ""
+    process_name = "fpart"
+    for event in events:
+        if event.get("event") == "run_start":
+            run_id = event.get("run_id", "")
+            process_name = (
+                f"fpart {event.get('circuit', '?')}/{event.get('device', '?')}"
+            )
+            break
+
+    trace_events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    )
+    for tid, name in ((_TID_PASSES, "passes"), (_TID_EVENTS, "events")):
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    open_pass: Optional[dict] = None
+    last_t = 0.0
+
+    def close_pass(end_t: float) -> None:
+        nonlocal open_pass
+        if open_pass is None:
+            return
+        start_t = open_pass["t"]
+        trace_events.append(
+            {
+                "ph": "X",
+                "name": f"pass {open_pass.get('pass_index', '?')}",
+                "cat": "pass",
+                "pid": _PID,
+                "tid": _TID_PASSES,
+                "ts": _us(start_t),
+                "dur": max(_us(end_t) - _us(start_t), 0.0),
+                "args": {
+                    "blocks": open_pass.get("blocks"),
+                    "cost": open_pass.get("cost"),
+                },
+            }
+        )
+        open_pass = None
+
+    for event in events:
+        kind = event.get("event")
+        t = float(event.get("t", last_t))
+        last_t = max(last_t, t)
+        if kind == "pass_start":
+            close_pass(t)
+            open_pass = event
+            cost = event.get("cost") or {}
+            for key, track in _COUNTER_TRACKS:
+                if key in cost:
+                    trace_events.append(
+                        {
+                            "ph": "C",
+                            "name": track,
+                            "pid": _PID,
+                            "tid": 0,
+                            "ts": _us(t),
+                            "args": {track: float(cost[key])},
+                        }
+                    )
+            continue
+        if kind == "run_end":
+            close_pass(t)
+        args = {
+            k: v
+            for k, v in event.items()
+            if k not in ("schema", "seq", "t", "event", "run_id")
+        }
+        trace_events.append(
+            {
+                "ph": "i",
+                "s": "p",
+                "name": kind or "?",
+                "cat": "event",
+                "pid": _PID,
+                "tid": _TID_EVENTS,
+                "ts": _us(t),
+                "args": args,
+            }
+        )
+    close_pass(last_t)
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"run_id": run_id},
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path], events: Iterable[dict]
+) -> Path:
+    """Atomically write the converted trace; returns the path."""
+    return atomic_write_text(
+        path, json.dumps(trace_to_chrome(events), indent=1) + "\n"
+    )

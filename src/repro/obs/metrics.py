@@ -26,6 +26,7 @@ catalogue recorded by the partitioner is documented in DESIGN.md
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
@@ -272,7 +273,12 @@ class MetricsRegistry:
         run_id: str = "",
         extra: Optional[Dict[str, object]] = None,
     ) -> Path:
-        """Write the snapshot as a JSON document; returns the path."""
+        """Write the snapshot as a JSON document; returns the path.
+
+        The write is atomic (temp file + ``os.replace``, same pattern
+        as ``repro.core.checkpoint``), so a run killed mid-dump never
+        leaves a truncated metrics file behind.
+        """
         payload: Dict[str, object] = {
             "schema": METRICS_SCHEMA,
             "run_id": run_id,
@@ -281,10 +287,12 @@ class MetricsRegistry:
         if extra:
             payload.update(extra)
         out = Path(path)
-        out.write_text(
+        tmp = out.with_name(out.name + ".tmp")
+        tmp.write_text(
             json.dumps(payload, indent=1, sort_keys=True) + "\n",
             encoding="utf-8",
         )
+        os.replace(tmp, out)
         return out
 
 

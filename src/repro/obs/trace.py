@@ -65,6 +65,7 @@ EVENT_TYPES = (
     "solution_push",
     "lex_improve",
     "checkpoint",
+    "progress",
     "run_end",
 )
 
@@ -76,6 +77,7 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "solution_push": ("stack", "cost"),
     "lex_improve": ("iteration", "cost"),
     "checkpoint": ("iteration", "guard"),
+    "progress": ("iteration", "moves", "elapsed_seconds"),
     "run_end": ("status", "iterations", "guard"),
 }
 
@@ -154,6 +156,10 @@ class TraceWriter:
         self._seq += 1
         return payload["seq"]
 
+    def flush(self) -> None:
+        """Push buffered events to the sink (run-end safety flush)."""
+        self._stream.flush()
+
     def close(self) -> None:
         """Flush and (when this writer opened the file) close the sink."""
         self._stream.flush()
@@ -185,6 +191,9 @@ class NullTraceWriter(TraceWriter):
 
     def emit(self, event: str, **fields) -> int:
         return 0
+
+    def flush(self) -> None:
+        pass
 
     def close(self) -> None:
         pass

@@ -1,0 +1,147 @@
+"""Unit tests of run-vs-run regression analysis (repro.obs.compare)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.compare import (
+    compare_records,
+    compare_runs,
+    quality_key,
+    render_history,
+)
+from repro.obs.runstore import RunStore, RunStoreError
+
+from test_runstore import make_record
+
+
+class TestQualityKey:
+    def test_status_downgrade_dominates(self):
+        good = make_record(status="feasible")
+        bad = make_record(status="budget_exhausted")
+        assert quality_key(good) < quality_key(bad)
+
+    def test_device_count_breaks_status_ties(self):
+        small = make_record(num_devices=3)
+        large = make_record(num_devices=4)
+        assert quality_key(small) < quality_key(large)
+
+    def test_larger_f_is_better(self):
+        more = make_record(cost={"f": 3, "d_k": 0, "t_sum": 0, "d_k_e": 0})
+        fewer = make_record(cost={"f": 2, "d_k": 0, "t_sum": 0, "d_k_e": 0})
+        assert quality_key(more) < quality_key(fewer)
+
+    def test_smaller_t_sum_is_better(self):
+        lean = make_record(cost={"f": 3, "d_k": 0, "t_sum": 100, "d_k_e": 0})
+        fat = make_record(cost={"f": 3, "d_k": 0, "t_sum": 140, "d_k_e": 0})
+        assert quality_key(lean) < quality_key(fat)
+
+    def test_missing_cost_compares_on_prefix(self):
+        a = make_record(cost=None)
+        b = make_record(cost=None, num_devices=5)
+        assert quality_key(a) < quality_key(b)
+
+    def test_unknown_status_ranks_worst(self):
+        weird = make_record(status="exploded")
+        failed = make_record(status="failed")
+        assert quality_key(weird) > quality_key(failed)
+
+
+class TestCompareRecords:
+    def test_equal_runs(self):
+        cmp = compare_records(make_record("a" * 8), make_record("b" * 8))
+        assert cmp.quality == "equal"
+        assert not cmp.regressed
+        assert "EQUAL" in cmp.render()
+
+    def test_quality_regression(self):
+        base = make_record("a" * 8)
+        cand = make_record("b" * 8, num_devices=4)
+        cmp = compare_records(base, cand)
+        assert cmp.quality == "regressed"
+        assert cmp.regressed
+        assert "REGRESSION" in cmp.render()
+
+    def test_improvement(self):
+        base = make_record(
+            "a" * 8, cost={"f": 3, "d_k": 0, "t_sum": 160, "d_k_e": 0}
+        )
+        cand = make_record(
+            "b" * 8, cost={"f": 3, "d_k": 0, "t_sum": 150, "d_k_e": 0}
+        )
+        cmp = compare_records(base, cand)
+        assert cmp.quality == "improved"
+        assert not cmp.regressed
+
+    def test_wall_clock_gating_is_opt_in(self):
+        base = make_record("a" * 8, wall_seconds=1.0)
+        cand = make_record("b" * 8, wall_seconds=2.0)
+        ungated = compare_records(base, cand)
+        assert ungated.wall_delta_pct == pytest.approx(100.0)
+        assert not ungated.regressed  # reported, not gated
+        gated = compare_records(base, cand, max_slowdown_pct=50.0)
+        assert gated.slower and gated.regressed
+
+    def test_slowdown_within_threshold_passes(self):
+        base = make_record("a" * 8, wall_seconds=1.0)
+        cand = make_record("b" * 8, wall_seconds=1.2)
+        cmp = compare_records(base, cand, max_slowdown_pct=25.0)
+        assert not cmp.regressed
+
+    def test_incomparable_workloads_raise(self):
+        with pytest.raises(RunStoreError, match="not comparable"):
+            compare_records(
+                make_record("a" * 8), make_record("b" * 8, circuit="other")
+            )
+
+    def test_counter_deltas_reported(self):
+        cmp = compare_records(
+            make_record("a" * 8),
+            make_record("b" * 8),
+            baseline_metrics={"counters": {"moves": 10, "same": 1}},
+            candidate_metrics={"counters": {"moves": 99, "same": 1}},
+        )
+        assert cmp.counter_deltas == {"moves": (10.0, 99.0)}
+        assert "moves" in cmp.render()
+
+
+class TestCompareRuns:
+    def test_auto_baseline_and_explicit_baseline(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001"))
+        store.record_run(make_record("aaaa0002", num_devices=4))
+        auto = compare_runs(store, "aaaa0002")
+        assert auto.baseline.run_id == "aaaa0001"
+        assert auto.quality == "regressed"
+        explicit = compare_runs(store, "aaaa0001", baseline_id="aaaa0002")
+        assert explicit.quality == "improved"
+
+    def test_no_baseline_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001"))
+        with pytest.raises(RunStoreError, match="no comparable baseline"):
+            compare_runs(store, "aaaa0001")
+
+    def test_uses_stored_metrics(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(
+            make_record("aaaa0001"), metrics={"counters": {"x": 1}}
+        )
+        store.record_run(
+            make_record("aaaa0002"), metrics={"counters": {"x": 5}}
+        )
+        cmp = compare_runs(store, "aaaa0002")
+        assert cmp.counter_deltas == {"x": (1.0, 5.0)}
+
+
+class TestRenderHistory:
+    def test_renders_all_and_limits(self):
+        records = [make_record(f"run0000{i}") for i in range(4)]
+        full = render_history(records)
+        assert full.count("run0000") == 4
+        limited = render_history(records, limit=2)
+        assert limited.count("run0000") == 2
+        assert "run00003" in limited
+
+    def test_empty(self):
+        assert "no runs" in render_history([])

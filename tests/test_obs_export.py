@@ -1,0 +1,165 @@
+"""Exporter tests: OpenMetrics rendering and Chrome-trace conversion."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.circuits import generate_circuit
+from repro.core import XC3020, FpartPartitioner
+from repro.obs.export import (
+    to_openmetrics,
+    trace_to_chrome,
+    validate_openmetrics,
+    write_chrome_trace,
+    write_openmetrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceWriter
+
+
+@pytest.fixture()
+def snapshot():
+    reg = MetricsRegistry()
+    reg.counter("fpart.runs").inc(2)
+    reg.gauge("fpart.num_devices").set(3)
+    timer = reg.timer("fpart.phase.improve")
+    with timer:
+        pass
+    hist = reg.histogram("sanchis.gain", lo=-2, hi=3)
+    for v in (-5, -1, 0, 2, 7):
+        hist.record(v)
+    return reg.snapshot()
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    hg = generate_circuit("exp-demo", num_cells=150, num_ios=20, seed=11)
+    buf = io.StringIO()
+    tracer = TraceWriter(buf, run_id="deadbeef", sample_moves=32)
+    FpartPartitioner(hg, XC3020, run_id="deadbeef", tracer=tracer).run()
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestOpenMetrics:
+    def test_document_validates(self, snapshot):
+        text = to_openmetrics(snapshot, labels={"run_id": "deadbeef"})
+        assert validate_openmetrics(text) == []
+
+    def test_counter_gauge_summary_families(self, snapshot):
+        text = to_openmetrics(snapshot)
+        assert "# TYPE fpart_runs counter" in text
+        assert "fpart_runs_total 2" in text
+        assert "# TYPE fpart_num_devices gauge" in text
+        assert "fpart_num_devices 3" in text
+        assert "# TYPE fpart_phase_improve summary" in text
+        assert "fpart_phase_improve_count 1" in text
+
+    def test_histogram_buckets_are_cumulative(self, snapshot):
+        text = to_openmetrics(snapshot)
+        buckets = [
+            line
+            for line in text.splitlines()
+            if line.startswith("sanchis_gain_bucket")
+        ]
+        # 5 range buckets + the +Inf bucket.
+        assert len(buckets) == 6
+        counts = [int(line.split()[-1]) for line in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert buckets[-1].split()[-1] == "5"  # +Inf == total
+        assert 'le="+Inf"' in buckets[-1]
+        assert "sanchis_gain_count 5" in text
+
+    def test_labels_attached_to_every_sample(self, snapshot):
+        text = to_openmetrics(snapshot, labels={"circuit": "c880"})
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            assert 'circuit="c880"' in line
+
+    def test_terminator_is_last_line(self, snapshot):
+        text = to_openmetrics(snapshot)
+        assert text.endswith("# EOF\n")
+
+    def test_deterministic(self, snapshot):
+        assert to_openmetrics(snapshot) == to_openmetrics(snapshot)
+
+    def test_empty_snapshot_is_valid(self):
+        text = to_openmetrics(
+            {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+        )
+        assert validate_openmetrics(text) == []
+
+    def test_validate_rejects_bad_documents(self):
+        assert validate_openmetrics("") != []
+        assert any(
+            "EOF" in problem
+            for problem in validate_openmetrics("metric 1\n")
+        )
+        assert any(
+            "malformed sample" in problem
+            for problem in validate_openmetrics("not a metric line!\n# EOF\n")
+        )
+        assert any(
+            "not the last line" in problem
+            for problem in validate_openmetrics("# EOF\nmetric 1\n")
+        )
+
+    def test_write_is_atomic(self, snapshot, tmp_path):
+        out = tmp_path / "run.prom"
+        write_openmetrics(out, snapshot)
+        assert validate_openmetrics(out.read_text()) == []
+        assert list(tmp_path.iterdir()) == [out]
+
+
+class TestChromeTrace:
+    def test_converts_real_run(self, traced_run):
+        obj = trace_to_chrome(traced_run)
+        assert obj["displayTimeUnit"] == "ms"
+        assert obj["otherData"]["run_id"] == "deadbeef"
+        # Valid catapult JSON: serialisable and phase fields present.
+        reloaded = json.loads(json.dumps(obj))
+        phases = {e["ph"] for e in reloaded["traceEvents"]}
+        assert {"M", "X", "i", "C"} <= phases
+        for event in reloaded["traceEvents"]:
+            assert {"ph", "name", "pid"} <= set(event)
+            if event["ph"] in ("X", "i", "C"):
+                assert event["ts"] >= 0
+
+    def test_pass_spans_match_pass_starts(self, traced_run):
+        obj = trace_to_chrome(traced_run)
+        spans = [e for e in obj["traceEvents"] if e["ph"] == "X"]
+        passes = [e for e in traced_run if e["event"] == "pass_start"]
+        assert len(spans) == len(passes)
+        for span in spans:
+            assert span["dur"] >= 0
+
+    def test_counter_tracks_present(self, traced_run):
+        obj = trace_to_chrome(traced_run)
+        tracks = {
+            e["name"] for e in obj["traceEvents"] if e["ph"] == "C"
+        }
+        assert tracks == {"d_k", "T_SUM"}
+
+    def test_run_end_becomes_instant(self, traced_run):
+        obj = trace_to_chrome(traced_run)
+        instants = [
+            e["name"] for e in obj["traceEvents"] if e["ph"] == "i"
+        ]
+        assert "run_start" in instants
+        assert "run_end" in instants
+
+    def test_empty_stream(self):
+        obj = trace_to_chrome([])
+        # Metadata only, still a loadable document.
+        assert all(e["ph"] == "M" for e in obj["traceEvents"])
+        json.dumps(obj)
+
+    def test_write_chrome_trace(self, traced_run, tmp_path):
+        out = tmp_path / "trace.json"
+        write_chrome_trace(out, traced_run)
+        obj = json.loads(out.read_text())
+        assert obj["traceEvents"]
+        assert list(tmp_path.iterdir()) == [out]

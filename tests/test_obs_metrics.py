@@ -126,6 +126,131 @@ class TestRegistry:
         assert isinstance(NULL_METRICS, NullMetricsRegistry)
 
 
+class TestNullObjectApiParity:
+    """Null instruments expose the real API surface and no-op all of it,
+    so solve-path code can hold either implementation branch-free."""
+
+    def test_null_registry_mirrors_real_registry_api(self):
+        real = MetricsRegistry()
+        null = NullMetricsRegistry()
+        real_api = {
+            n for n in dir(real)
+            if not n.startswith("_") and callable(getattr(real, n))
+        }
+        null_api = {
+            n for n in dir(null)
+            if not n.startswith("_") and callable(getattr(null, n))
+        }
+        assert real_api <= null_api
+
+    @pytest.mark.parametrize("factory", ["counter", "gauge", "histogram"])
+    def test_null_instruments_share_real_api(self, factory):
+        real = getattr(MetricsRegistry(), factory)("x")
+        null = getattr(NULL_METRICS, factory)("x")
+        for name in dir(type(real)):
+            if name.startswith("_") or not callable(getattr(real, name)):
+                continue
+            assert callable(getattr(null, name)), (factory, name)
+
+    def test_every_recording_method_is_a_no_op(self):
+        null = NullMetricsRegistry()
+        counter = null.counter("c")
+        counter.inc()
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = null.gauge("g")
+        gauge.set(5.0)
+        gauge.set_max(50.0)
+        assert gauge.value == 0.0
+        hist = null.histogram("h", lo=-8, hi=9)
+        hist.record(3)
+        hist.record_many([1, 2, 3])
+        hist.add_buckets([7])  # matching length for the null's 1 bucket
+        assert hist.total == 0 and hist.sum == 0
+        assert hist.counts == [0]
+        timer = null.timer("t")
+        with timer:
+            pass
+        assert timer.count == 0 and timer.total_seconds == 0.0
+
+    def test_null_snapshot_always_empty(self):
+        null = NullMetricsRegistry()
+        null.counter("x").inc()
+        assert null.snapshot() == {
+            "counters": {}, "gauges": {}, "timers": {}, "histograms": {}
+        }
+
+    def test_null_trace_and_guard_share_the_pattern(self):
+        from repro.core.runguard import NULL_GUARD
+        from repro.obs.trace import NULL_TRACE
+
+        assert NULL_TRACE.enabled is False
+        assert NULL_TRACE.emit("run_start", circuit="c") == 0
+        NULL_TRACE.flush()
+        NULL_TRACE.close()
+        assert NULL_GUARD.lease() > 0
+        NULL_GUARD.check()
+
+
+class TestHistogramBoundaries:
+    def test_lo_edge_lands_in_first_bucket(self):
+        h = Histogram("h", -2, 3)
+        h.record(-2)
+        assert h.counts[0] == 1
+        assert h.underflow == 0
+
+    def test_hi_edge_overflows(self):
+        h = Histogram("h", -2, 3)
+        h.record(3)  # [lo, hi) — hi itself is out of range
+        assert h.overflow == 1
+        assert sum(h.counts) == 0
+
+    def test_hi_minus_one_lands_in_last_bucket(self):
+        h = Histogram("h", -2, 3)
+        h.record(2)
+        assert h.counts[-1] == 1
+        assert h.overflow == 0
+
+    def test_lo_minus_one_underflows(self):
+        h = Histogram("h", -2, 3)
+        h.record(-3)
+        assert h.underflow == 1
+        assert sum(h.counts) == 0
+
+    def test_out_of_range_still_counted_in_total_and_sum(self):
+        h = Histogram("h", 0, 4)
+        h.record(-100)
+        h.record(100)
+        assert h.total == 2
+        assert h.sum == 0
+        assert h.underflow == 1 and h.overflow == 1
+
+    def test_wide_buckets_cover_partial_tail(self):
+        h = Histogram("h", 0, 5, width=2)
+        # Buckets: [0,2) [2,4) [4,5) — ceil division creates the stub.
+        assert len(h.counts) == 3
+        h.record(4)
+        assert h.counts == [0, 0, 1]
+
+
+class TestDumpAtomicity:
+    def test_dump_leaves_no_tmp_file(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        out = reg.dump_json(tmp_path / "m.json")
+        assert list(tmp_path.iterdir()) == [out]
+
+    def test_dump_replaces_existing_file_atomically(self, tmp_path):
+        target = tmp_path / "m.json"
+        target.write_text("{\"stale\": true}")
+        reg = MetricsRegistry()
+        reg.counter("runs").inc(3)
+        reg.dump_json(target)
+        payload = json.loads(target.read_text())
+        assert payload["metrics"]["counters"] == {"runs": 3}
+        assert "stale" not in payload
+
+
 class TestMergeSnapshots:
     def _snap(self, count, peak, gain_bucket0):
         reg = MetricsRegistry()

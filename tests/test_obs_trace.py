@@ -99,6 +99,7 @@ def _valid_stream():
     writer.emit("solution_push", stack="f1", cost=cost_fields(FakeCost()))
     writer.emit("lex_improve", iteration=0, cost=cost_fields(FakeCost()))
     writer.emit("checkpoint", iteration=0, guard={})
+    writer.emit("progress", iteration=1, moves=64, elapsed_seconds=0.5)
     writer.emit("run_end", status="ok", iterations=1, guard={})
     writer.close()
     return [json.loads(line) for line in sink.getvalue().splitlines()]
@@ -183,7 +184,7 @@ class TestCliValidator:
         path = self._write(tmp_path, _valid_stream())
         assert trace_main([str(path)]) == 0
         out = capsys.readouterr().out
-        assert "7 events OK" in out
+        assert "8 events OK" in out
         assert "run_start=1" in out
 
     def test_invalid_file_exits_one(self, tmp_path, capsys):

@@ -1,0 +1,191 @@
+"""Unit tests of the run registry (repro.obs.runstore)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.runstore import (
+    INDEX_NAME,
+    RUNSTORE_SCHEMA,
+    RunRecord,
+    RunStore,
+    RunStoreError,
+    atomic_write_text,
+)
+
+
+def make_record(run_id="run00001", **overrides):
+    fields = dict(
+        run_id=run_id,
+        circuit="demo",
+        device="XC3042",
+        method="FPART",
+        status="feasible",
+        num_devices=3,
+        lower_bound=3,
+        feasible=True,
+        cost={"f": 3, "d_k": 0.0, "t_sum": 150, "d_k_e": 0.1, "cut": 57},
+        wall_seconds=0.5,
+        iterations=2,
+        config_digest="abc123",
+        seed=1,
+    )
+    fields.update(overrides)
+    return RunRecord(**fields)
+
+
+class TestAtomicWrite:
+    def test_replaces_content_and_leaves_no_tmp(self, tmp_path):
+        target = tmp_path / "file.txt"
+        atomic_write_text(target, "one\n")
+        atomic_write_text(target, "two\n")
+        assert target.read_text() == "two\n"
+        assert list(tmp_path.iterdir()) == [target]
+
+
+class TestRunRecord:
+    def test_json_roundtrip(self):
+        record = make_record()
+        raw = json.loads(record.to_json_line())
+        assert RunRecord.from_dict(raw) == record
+
+    def test_rejects_unknown_schema(self):
+        raw = json.loads(make_record().to_json_line())
+        raw["schema"] = RUNSTORE_SCHEMA + 1
+        with pytest.raises(RunStoreError, match="schema"):
+            RunRecord.from_dict(raw)
+
+    def test_rejects_unknown_fields(self):
+        raw = json.loads(make_record().to_json_line())
+        raw["mystery"] = 1
+        with pytest.raises(RunStoreError, match="malformed"):
+            RunRecord.from_dict(raw)
+
+
+class TestRunStore:
+    def test_record_and_read_back(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        run_dir = store.record_run(
+            make_record(), metrics={"counters": {"fpart.runs": 1}}
+        )
+        assert run_dir == store.run_dir("run00001")
+        assert (run_dir / "run.json").exists()
+        records = store.records()
+        assert [r.run_id for r in records] == ["run00001"]
+        assert records[0].created_utc  # stamped at record time
+        assert store.metrics_of("run00001") == {
+            "counters": {"fpart.runs": 1}
+        }
+
+    def test_index_is_append_ordered(self, tmp_path):
+        store = RunStore(tmp_path)
+        for i in range(3):
+            store.record_run(make_record(f"run0000{i}"))
+        assert [r.run_id for r in store.records()] == [
+            "run00000", "run00001", "run00002",
+        ]
+        assert len(
+            (tmp_path / INDEX_NAME).read_text().strip().splitlines()
+        ) == 3
+
+    def test_duplicate_run_id_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record())
+        with pytest.raises(RunStoreError, match="already recorded"):
+            store.record_run(make_record())
+
+    def test_filters(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001", circuit="c1"))
+        store.record_run(make_record("aaaa0002", circuit="c2"))
+        store.record_run(make_record("aaaa0003", circuit="c1", method="BFS"))
+        assert len(store.records(circuit="c1")) == 2
+        assert len(store.records(circuit="c1", method="FPART")) == 1
+        assert store.records(device="nope") == []
+
+    def test_get_exact_prefix_ambiguous_and_missing(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("abcd1111"))
+        store.record_run(make_record("abce2222"))
+        assert store.get("abcd1111").run_id == "abcd1111"
+        assert store.get("abce").run_id == "abce2222"
+        with pytest.raises(RunStoreError, match="ambiguous"):
+            store.get("abc")
+        with pytest.raises(RunStoreError, match="no run"):
+            store.get("zzzz")
+
+    def test_invalid_run_ids_rejected(self, tmp_path):
+        store = RunStore(tmp_path)
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(RunStoreError, match="invalid run id"):
+                store.run_dir(bad)
+
+    def test_corrupt_index_line_raises(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record())
+        with open(store.index_path, "a", encoding="utf-8") as stream:
+            stream.write("{not json\n")
+        with pytest.raises(RunStoreError, match="corrupt index"):
+            store.records()
+
+    def test_artifacts_are_copied(self, tmp_path):
+        source = tmp_path / "elsewhere.jsonl"
+        source.write_text('{"event": "run_start"}\n')
+        store = RunStore(tmp_path / "runs")
+        store.record_run(
+            make_record(), artifacts={"trace.jsonl": source}
+        )
+        stored = store.trace_path("run00001")
+        assert stored is not None
+        assert stored.read_text() == source.read_text()
+
+    def test_trace_path_none_without_trace(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record())
+        assert store.trace_path("run00001") is None
+
+    def test_artifact_names_must_be_bare(self, tmp_path):
+        store = RunStore(tmp_path)
+        with pytest.raises(RunStoreError, match="artifact name"):
+            store.record_run(
+                make_record(), artifacts={"../evil": tmp_path / "x"}
+            )
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        store = RunStore(tmp_path / "runs")
+        store.record_run(make_record())
+        leftovers = [
+            p for p in (tmp_path / "runs").rglob("*.tmp")
+        ]
+        assert leftovers == []
+
+
+class TestBaselineFor:
+    def test_picks_most_recent_comparable_earlier_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001"))
+        store.record_run(make_record("aaaa0002", circuit="other"))
+        store.record_run(make_record("aaaa0003"))
+        store.record_run(make_record("aaaa0004"))
+        baseline = store.baseline_for(store.get("aaaa0004"))
+        assert baseline is not None and baseline.run_id == "aaaa0003"
+
+    def test_requires_same_config_digest(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001", config_digest="x"))
+        store.record_run(make_record("aaaa0002", config_digest="y"))
+        assert store.baseline_for(store.get("aaaa0002")) is None
+
+    def test_none_for_first_run(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001"))
+        assert store.baseline_for(store.get("aaaa0001")) is None
+
+    def test_unrecorded_candidate_uses_latest(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001"))
+        fresh = make_record("bbbb0001")
+        baseline = store.baseline_for(fresh)
+        assert baseline is not None and baseline.run_id == "aaaa0001"
