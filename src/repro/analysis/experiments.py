@@ -51,6 +51,7 @@ __all__ = [
     "selected_circuits",
     "circuit_for_device",
     "run_method",
+    "run_sweep_cell",
     "run_device_experiment",
     "aggregate_metrics",
     "render_device_comparison",
@@ -251,6 +252,77 @@ def _store_experiment_record(
         )
 
 
+def _failed_cell_record(
+    circuit: str,
+    device_name: str,
+    method: str,
+    error: str,
+) -> ExperimentRecord:
+    """The ``status="failed"`` placeholder a broken cell leaves behind."""
+    from ..logging import new_run_id
+
+    return ExperimentRecord(
+        circuit=circuit,
+        device=device_name,
+        method=method,
+        num_devices=0,
+        lower_bound=0,
+        feasible=False,
+        runtime_seconds=0.0,
+        status="failed",
+        error=error,
+        run_id=new_run_id(),
+    )
+
+
+def run_sweep_cell(
+    method: str,
+    circuit: str,
+    device_name: str,
+    config: FpartConfig = DEFAULT_CONFIG,
+    retries: int = 1,
+    collect_metrics: bool = False,
+    runs_dir: Optional[str] = None,
+) -> ExperimentRecord:
+    """One isolated sweep cell: :func:`run_method` plus the retry loop.
+
+    Module-level (hence picklable) so sharded sweeps can ship whole
+    cells to worker processes — a worker retries and degrades exactly
+    like the serial sweep, including recording its own runs (failed
+    ones too) into ``runs_dir``.
+    """
+    log = get_logger("analysis.experiments")
+    attempt = 0
+    while True:
+        try:
+            return run_method(
+                method, circuit, device_name, config,
+                collect_metrics=collect_metrics,
+                runs_dir=runs_dir,
+            )
+        except Exception as error:  # noqa: BLE001 - cell isolation
+            attempt += 1
+            if attempt <= retries:
+                log.warning(
+                    "retrying %s/%s/%s (attempt %d): %s",
+                    circuit, device_name, method, attempt + 1, error,
+                )
+                continue
+            log.error(
+                "cell %s/%s/%s failed after %d attempts: %s",
+                circuit, device_name, method, attempt, error,
+            )
+            failed = _failed_cell_record(
+                circuit, device_name, method,
+                error=f"{type(error).__name__}: {error}",
+            )
+            if runs_dir:
+                _store_experiment_record(
+                    runs_dir, failed, config, status="failed"
+                )
+            return failed
+
+
 def run_device_experiment(
     device_name: str,
     circuits: Optional[Sequence[str]] = None,
@@ -260,6 +332,8 @@ def run_device_experiment(
     retries: int = 1,
     collect_metrics: bool = False,
     runs_dir: Optional[str] = None,
+    jobs: int = 1,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> List[ExperimentRecord]:
     """All measured cells of one device's comparison table.
 
@@ -271,19 +345,37 @@ def run_device_experiment(
 
     ``collect_metrics`` threads a fresh registry through every cell;
     the per-cell snapshots land on :attr:`ExperimentRecord.metrics` and
-    :func:`aggregate_metrics` folds them into one sweep-wide view.
+    :func:`aggregate_metrics` folds them into one sweep-wide view.  Pass
+    a live ``metrics`` registry to additionally fold every snapshot into
+    it as cells finish (:meth:`MetricsRegistry.merge`) — the aggregation
+    point for sharded sweeps, whose workers each run their own registry.
 
     ``runs_dir`` appends every cell — failed ones included — to the run
     registry, making the sweep ``fpart history``-addressable.
+
+    ``jobs > 1`` shards the cells across worker processes (requires
+    ``isolate``; each worker runs :func:`run_sweep_cell`, so retry,
+    degradation and run-store recording semantics are identical).
+    Records always come back in serial circuit × method order, so the
+    sweep output is independent of worker count and completion order; a
+    worker that crashes or times out degrades to a ``failed`` record
+    like any other broken cell.
     """
     if circuits is None:
         circuits = selected_circuits(device_name)
     if methods is None:
         methods = list(MEASURED_METHODS)
-    log = get_logger("analysis.experiments")
-    records = []
-    for circuit in circuits:
-        for method in methods:
+    cells = [(c, m) for c in circuits for m in methods]
+    if jobs > 1:
+        if not isolate:
+            raise ValueError("sharded sweeps (jobs > 1) require isolate")
+        records = _run_sharded(
+            cells, device_name, config, retries, collect_metrics,
+            runs_dir, jobs,
+        )
+    else:
+        records = []
+        for circuit, method in cells:
             if not isolate:
                 records.append(
                     run_method(
@@ -293,49 +385,73 @@ def run_device_experiment(
                     )
                 )
                 continue
-            attempt = 0
-            while True:
-                try:
-                    records.append(
-                        run_method(
-                            method, circuit, device_name, config,
-                            collect_metrics=collect_metrics,
-                            runs_dir=runs_dir,
-                        )
-                    )
-                    break
-                except Exception as error:  # noqa: BLE001 - cell isolation
-                    attempt += 1
-                    if attempt <= retries:
-                        log.warning(
-                            "retrying %s/%s/%s (attempt %d): %s",
-                            circuit, device_name, method, attempt + 1, error,
-                        )
-                        continue
-                    log.error(
-                        "cell %s/%s/%s failed after %d attempts: %s",
-                        circuit, device_name, method, attempt, error,
-                    )
-                    from ..logging import new_run_id
+            records.append(
+                run_sweep_cell(
+                    method, circuit, device_name, config,
+                    retries=retries,
+                    collect_metrics=collect_metrics,
+                    runs_dir=runs_dir,
+                )
+            )
+    if metrics is not None:
+        for record in records:
+            if record.metrics is not None:
+                metrics.merge(record.metrics)
+    return records
 
-                    failed = ExperimentRecord(
-                        circuit=circuit,
-                        device=device_name,
-                        method=method,
-                        num_devices=0,
-                        lower_bound=0,
-                        feasible=False,
-                        runtime_seconds=0.0,
-                        status="failed",
-                        error=f"{type(error).__name__}: {error}",
-                        run_id=new_run_id(),
-                    )
-                    records.append(failed)
-                    if runs_dir:
-                        _store_experiment_record(
-                            runs_dir, failed, config, status="failed"
-                        )
-                    break
+
+def _run_sharded(
+    cells: Sequence[Tuple[str, str]],
+    device_name: str,
+    config: FpartConfig,
+    retries: int,
+    collect_metrics: bool,
+    runs_dir: Optional[str],
+    jobs: int,
+) -> List[ExperimentRecord]:
+    """Fan sweep cells across a worker pool, keeping serial ordering."""
+    # Deferred import: repro.parallel pulls in core.fpart at import
+    # time; loading it lazily keeps `import repro.analysis` light and
+    # cycle-proof.
+    from ..parallel.pool import ParallelTask, WorkerPool
+
+    log = get_logger("analysis.experiments")
+    tasks = [
+        ParallelTask(
+            index=i,
+            fn=run_sweep_cell,
+            args=(method, circuit, device_name, config),
+            kwargs={
+                "retries": retries,
+                "collect_metrics": collect_metrics,
+                "runs_dir": runs_dir,
+            },
+            label=f"{circuit}/{method}",
+        )
+        for i, (circuit, method) in enumerate(cells)
+    ]
+    outcomes = WorkerPool(jobs=jobs).run(tasks)
+    records = []
+    for outcome, (circuit, method) in zip(outcomes, cells):
+        if outcome.ok:
+            records.append(outcome.value)
+            continue
+        # The worker itself died (crash/timeout) or never ran — the
+        # in-worker retry loop could not leave a failed record, so the
+        # parent degrades the cell the same way the serial sweep would.
+        log.error(
+            "cell %s/%s/%s lost to worker %s: %s",
+            circuit, device_name, method, outcome.status, outcome.error,
+        )
+        failed = _failed_cell_record(
+            circuit, device_name, method,
+            error=f"worker {outcome.status}: {outcome.error}",
+        )
+        records.append(failed)
+        if runs_dir:
+            _store_experiment_record(
+                runs_dir, failed, config, status="failed"
+            )
     return records
 
 

@@ -155,6 +155,48 @@ def build_parser() -> argparse.ArgumentParser:
         "returning the best degraded solution (fpart only)",
     )
     p.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="run seed; 0 (default) is the canonical deterministic "
+        "trajectory, any other value perturbs constructive tie-breaks "
+        "reproducibly (fpart only)",
+    )
+    p.add_argument(
+        "--restarts",
+        type=int,
+        default=1,
+        metavar="R",
+        help="run R independent seeded restarts (seeds S..S+R-1) and "
+        "keep the lexicographic best; the winner is bit-identical for "
+        "any --jobs (fpart only)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the restart portfolio (default 1 = "
+        "in-process)",
+    )
+    p.add_argument(
+        "--builder-jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for constructing initial-bipartition "
+        "candidates; cannot change results (fpart only)",
+    )
+    p.add_argument(
+        "--restart-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-restart wall-clock cap enforced by the pool "
+        "(a timed-out restart is dropped from the portfolio)",
+    )
+    p.add_argument(
         "--checkpoint",
         default=None,
         metavar="PATH",
@@ -327,6 +369,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also record every measured run in this run registry",
     )
+    t.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="shard the sweep's circuit x method cells across N worker "
+        "processes (results and record order are identical for any N)",
+    )
 
     h = sub.add_parser(
         "history", help="list the runs recorded in a runs directory"
@@ -341,6 +391,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="show only the N most recent runs",
+    )
+    h.add_argument(
+        "--best",
+        action="store_true",
+        help="print only the lexicographically best matching run "
+        "(status rank, devices, then the f/d_k/T_SUM/d_k_e tuple — the "
+        "ordering restart portfolios reduce with)",
     )
 
     c = sub.add_parser(
@@ -403,9 +460,79 @@ def _fpart_config(args: argparse.Namespace):
         overrides["max_moves"] = args.max_moves
     if args.strict:
         overrides["strict"] = True
+    if args.seed:
+        overrides["seed"] = args.seed
+    if args.builder_jobs != 1:
+        overrides["builder_jobs"] = args.builder_jobs
     if not overrides:
         return DEFAULT_CONFIG
     return dataclasses.replace(DEFAULT_CONFIG, **overrides)
+
+
+def _run_fpart_portfolio(hg, device, args: argparse.Namespace):
+    """Run the ``--restarts`` portfolio and return the reduced winner.
+
+    Per-run telemetry flags would need one stream per restart and are
+    rejected; ``--runs-dir`` composes — every restart records itself
+    into the shared registry from its worker, and this driver skips the
+    single-run recording path so the winner is never stored twice.
+    """
+    from .core.runguard import RunBudget, RunGuard
+    from .parallel import run_restarts
+
+    for active, name in (
+        (args.checkpoint, "--checkpoint"),
+        (args.resume, "--resume"),
+        (args.profile, "--profile"),
+        (args.trace, "--trace"),
+        (args.metrics, "--metrics"),
+        (args.progress, "--progress"),
+    ):
+        if active:
+            raise PartitioningError(
+                f"{name} is incompatible with --restarts > 1"
+            )
+    config = _fpart_config(args)
+    guard = None
+    if config.deadline_seconds is not None:
+        # Umbrella guard: the portfolio as a whole honours --deadline;
+        # each restart's own deadline and the pool's hard timeout are
+        # clamped to what remains.
+        guard = RunGuard(
+            RunBudget(deadline_seconds=config.deadline_seconds)
+        ).start()
+    portfolio = run_restarts(
+        hg,
+        device,
+        config,
+        restarts=args.restarts,
+        jobs=args.jobs,
+        runs_dir=args.runs_dir,
+        timeout_seconds=args.restart_timeout,
+        guard=guard,
+    )
+    print(
+        f"portfolio {portfolio.portfolio_id}: {portfolio.restarts} "
+        f"restarts (seeds {config.seed}..{config.seed + args.restarts - 1}) "
+        f"jobs={args.jobs} status={portfolio.status}"
+    )
+    for report in portfolio.reports:
+        status = report.result_status or report.task_status
+        t_sum = (report.cost or {}).get("t_sum")
+        marker = "  <- winner" if report.index == portfolio.winner_index else ""
+        print(
+            f"  restart {report.index} seed={report.seed} "
+            f"run={report.run_id} status={status} k={report.num_devices} "
+            f"T_SUM={'-' if t_sum is None else int(t_sum)} "
+            f"wall={report.wall_seconds:.2f}s{marker}"
+        )
+    if args.runs_dir:
+        print(f"portfolio runs recorded in {args.runs_dir}")
+    if portfolio.winner is None:
+        raise PartitioningError(
+            "portfolio failed: no restart produced a solution"
+        )
+    return portfolio.winner
 
 
 def _run_fpart_cli(hg, device, args: argparse.Namespace):
@@ -560,11 +687,16 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         )
     if args.algorithm != "fpart" and (
         args.metrics or args.trace or args.runs_dir or args.progress
+        or args.restarts != 1 or args.seed or args.builder_jobs != 1
     ):
         raise PartitioningError(
-            "--metrics/--trace/--runs-dir/--progress require "
-            "--algorithm fpart"
+            "--metrics/--trace/--runs-dir/--progress/--restarts/--seed/"
+            "--builder-jobs require --algorithm fpart"
         )
+    if args.restarts < 1:
+        raise PartitioningError("--restarts must be at least 1")
+    if args.jobs < 1:
+        raise PartitioningError("--jobs must be at least 1")
     hg = _load(args.netlist)
     device = device_by_name(args.device)
     if args.delta is not None:
@@ -577,7 +709,9 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         "pack": lambda: bfs_pack(hg, device),
     }
     profile_report = None
-    if args.algorithm == "fpart":
+    if args.algorithm == "fpart" and args.restarts > 1:
+        res = _run_fpart_portfolio(hg, device, args)
+    elif args.algorithm == "fpart":
         # The fpart runner owns profiling itself so --profile composes
         # with --resume (the checkpoint is loaded outside the profile).
         res, profile_report = _run_fpart_cli(hg, device, args)
@@ -802,6 +936,26 @@ def _cmd_history(args: argparse.Namespace) -> int:
     records = store.records(
         circuit=args.circuit, device=args.device, method=args.method
     )
+    if args.best:
+        from .obs.compare import quality_key
+
+        if not records:
+            print("no runs recorded")
+            return EXIT_DATAERR
+        # Same (key, arrival-order) tiebreak as the portfolio reduction:
+        # min() keeps the earliest record among equals.
+        best = min(records, key=quality_key)
+        print(render_history([best]))
+        cost = best.cost or {}
+        if cost:
+            print(
+                f"best: {best.run_id} "
+                f"(f={cost.get('f')} d_k={cost.get('d_k')} "
+                f"T_SUM={cost.get('t_sum')} d_k_e={cost.get('d_k_e')})"
+            )
+        else:
+            print(f"best: {best.run_id}")
+        return 0
     print(render_history(records, limit=args.limit))
     return 0
 
@@ -862,11 +1016,14 @@ def _cmd_export(args: argparse.Namespace) -> int:
 
 
 def _cmd_table(args: argparse.Namespace) -> int:
+    if args.jobs < 1:
+        raise PartitioningError("--jobs must be at least 1")
     records = run_device_experiment(
         args.device,
         circuits=args.circuits,
         methods=args.methods,
         runs_dir=args.runs_dir,
+        jobs=args.jobs,
     )
     print(render_device_comparison(args.device, records, args.methods))
     if args.export:

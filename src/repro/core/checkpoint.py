@@ -9,10 +9,10 @@ continue from an iteration boundary:
   iteration schedule is re-derived deterministically from the state, so
   the boundary index is sufficient),
 * the **best-so-far** snapshot backing graceful degradation,
-* the **RNG seed and state** — FPART proper is deterministic (every
-  tie-break is ordered), so ``rng_state`` is ``None`` for it; the field
-  exists so stochastic drivers (annealing/naive baselines) can reuse the
-  same format,
+* the **RNG seed and state** — ``None`` for the canonical ``seed=0``
+  run (every tie-break is ordered); seeded runs store the Mersenne
+  state of their root rng (:func:`rng_state_to_json`) so a resumed
+  seeded run replays the exact same perturbation draws,
 * consumed **guard budget** (iterations, moves, elapsed wall-clock), so
   a resumed run honours the original deadline rather than restarting it.
 
@@ -39,7 +39,14 @@ from typing import Dict, List, Optional, Union
 from .config import FpartConfig
 from .exceptions import CheckpointError
 
-__all__ = ["CHECKPOINT_SCHEMA", "RunCheckpoint", "CheckpointManager", "config_digest"]
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "RunCheckpoint",
+    "CheckpointManager",
+    "config_digest",
+    "rng_state_to_json",
+    "rng_state_from_json",
+]
 
 CHECKPOINT_SCHEMA = 1
 
@@ -60,8 +67,25 @@ def config_digest(config: FpartConfig) -> str:
         max_moves=None,
         guard_check_interval=256,
         strict=False,
+        # Execution-layer knob: parallel candidate construction is
+        # bit-identical to serial, so it must not fork run lineages.
+        builder_jobs=1,
     )
     return hashlib.sha256(repr(masked).encode("utf-8")).hexdigest()[:16]
+
+
+def rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` tuple → JSON-serialisable list."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def rng_state_from_json(raw: list) -> tuple:
+    """Inverse of :func:`rng_state_to_json` (JSON arrays → tuples)."""
+    if not isinstance(raw, (list, tuple)) or len(raw) != 3:
+        raise CheckpointError("malformed checkpoint: bad rng_state layout")
+    version, internal, gauss_next = raw
+    return (version, tuple(internal), gauss_next)
 
 
 @dataclass

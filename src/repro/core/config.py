@@ -116,7 +116,18 @@ class FpartConfig:
     max_iterations: Optional[int] = None
     """Safety cap on Algorithm 1 iterations (None = 4*M + 16)."""
     seed: int = 0
-    """Seed for the few randomized tie-breaks (kept deterministic)."""
+    """Run seed.  ``0`` (the default) is the canonical fully
+    deterministic trajectory — no rng exists anywhere in the solve
+    path.  Any other value activates a ``random.Random(seed)`` root
+    that perturbs constructive seed selection and enables the third
+    builder (``seed_grow``) in the initial-bipartition portfolio; runs
+    remain bit-reproducible per seed.  Multi-seed restarts
+    (``--restarts``) run seeds ``seed + 0 .. seed + R-1``."""
+    builder_jobs: int = 1
+    """Worker processes for *constructing* initial-bipartition
+    candidates (the builders are pure functions, so this cannot change
+    results — candidate evaluation always stays serial in portfolio
+    order).  ``1`` builds in-process."""
 
     # --- run guard (budgets & degradation) --------------------------------
     deadline_seconds: Optional[float] = None
@@ -170,6 +181,8 @@ class FpartConfig:
             raise ValueError("max_moves must be non-negative or None")
         if self.guard_check_interval < 1:
             raise ValueError("guard_check_interval must be positive")
+        if self.builder_jobs < 1:
+            raise ValueError("builder_jobs must be positive")
 
     # -- derived caps ----------------------------------------------------
 

@@ -38,6 +38,7 @@ bit-identically to an uninterrupted one.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
@@ -49,7 +50,13 @@ from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.progress import HeartbeatEmitter
 from ..obs.trace import NULL_TRACE, TraceWriter, cost_fields
 from ..partition import PartitionState
-from .checkpoint import CheckpointManager, RunCheckpoint, config_digest
+from .checkpoint import (
+    CheckpointManager,
+    RunCheckpoint,
+    config_digest,
+    rng_state_from_json,
+    rng_state_to_json,
+)
 from .config import DEFAULT_CONFIG, FpartConfig
 from .cost import CostEvaluator, SolutionCost, make_evaluator
 from .device import Device
@@ -246,6 +253,13 @@ class FpartPartitioner:
 
         self._explicit_run_id = run_id is not None
         self.run_id = run_id or new_run_id()
+        # The run's single randomness root.  seed == 0 (the default)
+        # keeps the canonical rng-free trajectory; any other seed
+        # perturbs constructive seed selection through this one object,
+        # so the whole run is a pure function of (inputs, seed).
+        self._rng: Optional[random.Random] = (
+            random.Random(config.seed) if config.seed != 0 else None
+        )
 
     # ------------------------------------------------------------------
 
@@ -306,7 +320,11 @@ class FpartPartitioner:
             best_num_blocks=best.num_blocks,
             best_remainder=best.remainder,
             seed=self.config.seed,
-            rng_state=None,  # FPART proper is deterministic
+            rng_state=(
+                rng_state_to_json(self._rng.getstate())
+                if self._rng is not None
+                else None
+            ),
             guard={
                 "iterations": guard.iterations,
                 "moves": guard.moves,
@@ -397,6 +415,10 @@ class FpartPartitioner:
                 moves=int(cp.guard.get("moves", 0)),
                 elapsed=float(cp.guard.get("elapsed_seconds", 0.0)),
             )
+            if cp.rng_state is not None and self._rng is not None:
+                # Replay-exact resume for seeded runs: continue the
+                # Mersenne stream where the checkpoint froze it.
+                self._rng.setstate(rng_state_from_json(cp.rng_state))
             best_state = PartitionState.from_assignment(
                 hg, cp.best_assignment, cp.best_num_blocks
             )
@@ -477,7 +499,12 @@ class FpartPartitioner:
 
                 with bip_timer:
                     new_block = create_bipartition(
-                        state, remainder, device, evaluator
+                        state,
+                        remainder,
+                        device,
+                        evaluator,
+                        rng=self._rng,
+                        jobs=config.builder_jobs,
                     )
 
                 for step in self._scheduled_steps(

@@ -178,6 +178,20 @@ class RunGuard:
             return self._elapsed_offset
         return self._elapsed_offset + (time.monotonic() - self._t0)
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock budget left, or ``None`` when no deadline is set.
+
+        This is the guard's composition surface for fan-out: a driver
+        that launches worker runs under an umbrella guard caps each
+        worker's own deadline (and the pool's hard per-task timeout) at
+        the umbrella's remaining budget, so children can never outlive
+        the parent's promise (see ``repro.parallel.restarts``).
+        """
+        deadline = self.budget.deadline_seconds
+        if deadline is None:
+            return None
+        return max(deadline - self.elapsed(), 0.0)
+
     def stats(self) -> dict:
         """Counters for logging / checkpointing."""
         return {

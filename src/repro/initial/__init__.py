@@ -2,17 +2,22 @@
 
 from .greedy_merge import greedy_merge_bipartition
 from .growing import GrowingBlock
-from .initial import create_bipartition
+from .initial import BUILDERS, build_candidate, create_bipartition
 from .ratio_cut import SweepResult, ratio_cut_bipartition, ratio_cut_sweep
-from .seeds import bfs_distances_within, select_seeds
+from .seed_grow import seed_grow_bipartition
+from .seeds import SEED_POOL_SIZE, bfs_distances_within, select_seeds
 
 __all__ = [
     "GrowingBlock",
+    "SEED_POOL_SIZE",
     "select_seeds",
     "bfs_distances_within",
     "greedy_merge_bipartition",
     "ratio_cut_sweep",
     "ratio_cut_bipartition",
+    "seed_grow_bipartition",
     "SweepResult",
+    "BUILDERS",
+    "build_candidate",
     "create_bipartition",
 ]

@@ -18,6 +18,7 @@ produced device ``P_k`` and everything else forms the remainder.
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, Optional, Set, Tuple
 
 from ..core.device import Device
@@ -114,18 +115,23 @@ class _Grower:
 
 
 def greedy_merge_bipartition(
-    hg: Hypergraph, cells: Iterable[int], device: Device
+    hg: Hypergraph,
+    cells: Iterable[int],
+    device: Device,
+    rng: Optional[random.Random] = None,
 ) -> Set[int]:
     """Split ``cells`` constructively; returns the produced block ``P_k``.
 
     The returned set is the bigger of the two grown blocks (ties prefer
     fewer pins, then the block of the first seed); the complement within
     ``cells`` is the remainder.  Always a proper non-empty subset.
+    ``rng`` perturbs the growth-seed choice (see ``initial.seeds``);
+    ``None`` is the canonical deterministic path.
     """
     cell_list = sorted(set(cells))
     if len(cell_list) < 2:
         raise ValueError("cannot bipartition fewer than two cells")
-    seed1, seed2 = select_seeds(hg, cell_list)
+    seed1, seed2 = select_seeds(hg, cell_list, rng=rng)
     unassigned = set(cell_list) - {seed1, seed2}
 
     grower_a = _Grower(hg, seed1, device.s_max)

@@ -14,6 +14,7 @@ seeds and keeps the better result.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -170,17 +171,21 @@ def ratio_cut_sweep(
 
 
 def ratio_cut_bipartition(
-    hg: Hypergraph, cells: Iterable[int], device: Device
+    hg: Hypergraph,
+    cells: Iterable[int],
+    device: Device,
+    rng: Optional[random.Random] = None,
 ) -> Optional[Set[int]]:
     """Best-of-two-seeds ratio-cut bipartition of ``cells``.
 
     Returns the produced block ``P_k`` or ``None`` when no sweep prefix
     had a feasible side (the greedy-merge pass then decides alone).
+    ``rng`` perturbs the sweep-seed choice (see ``initial.seeds``).
     """
     cell_list = sorted(set(cells))
     if len(cell_list) < 2:
         raise ValueError("cannot bipartition fewer than two cells")
-    seed1, seed2 = select_seeds(hg, cell_list)
+    seed1, seed2 = select_seeds(hg, cell_list, rng=rng)
     results = [
         ratio_cut_sweep(hg, cell_list, device, seed1),
         ratio_cut_sweep(hg, cell_list, device, seed2),

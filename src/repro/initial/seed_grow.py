@@ -1,0 +1,59 @@
+"""Single-seed block growing — the third constructive builder.
+
+The simplest member of the constructive family behind section 3.2:
+grow *one* block from the primary seed by the same size-per-pin merge
+score the greedy two-seed method uses, until nothing more fits under
+``S_MAX``; the grown block is the produced device ``P_k`` and the rest
+is the remainder.  On its own it suffers exactly the greedy tendency
+the two-seed method was designed to alleviate — but that bias makes it
+a *diverse* portfolio member: on circuits with one dominant cone it
+regularly wins the lexicographic best-of, which is why the seeded
+builder portfolio (``create_bipartition`` with an rng) includes it.
+
+It joins the portfolio only on seeded runs, keeping the default
+``seed=0`` trajectory bit-identical to the historical two-builder one.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Optional, Set
+
+from ..core.device import Device
+from ..hypergraph import Hypergraph
+from .greedy_merge import _Grower
+from .seeds import select_seeds
+
+__all__ = ["seed_grow_bipartition"]
+
+
+def seed_grow_bipartition(
+    hg: Hypergraph,
+    cells: Iterable[int],
+    device: Device,
+    rng: Optional[random.Random] = None,
+) -> Set[int]:
+    """Grow one block from the primary seed; returns ``P_k``.
+
+    Always a proper non-empty subset of ``cells`` (growth stops one
+    cell short of swallowing everything).  ``rng`` perturbs the seed
+    choice exactly as in the sibling builders.
+    """
+    cell_list = sorted(set(cells))
+    if len(cell_list) < 2:
+        raise ValueError("cannot bipartition fewer than two cells")
+    seed1, _seed2 = select_seeds(hg, cell_list, rng=rng)
+    unassigned = set(cell_list) - {seed1}
+
+    grower = _Grower(hg, seed1, device.s_max)
+    grower.extend_frontier(seed1, unassigned)
+    # Keep at least one cell outside so the split is always proper.
+    while len(unassigned) > 1:
+        cell = grower.pick(unassigned)
+        if cell is None:
+            break
+        unassigned.discard(cell)
+        grower.discard(cell)
+        grower.block.add(cell)
+        grower.extend_frontier(cell, unassigned)
+    return set(grower.block.cells)

@@ -4,16 +4,31 @@ The first seed is the biggest-size cell; the second is the cell at
 maximal breadth-first distance from the first, with unreachable cells
 (other connected components) counting as infinitely far.  Ties break
 toward the lowest index so runs are deterministic.
+
+Seeded perturbation
+-------------------
+With an ``rng`` the choice is sampled from the *top candidates* of the
+same rankings (the ``pool_size`` best) instead of taking rank 1
+outright.  This is the randomization point behind multi-seed restarts
+(``--restarts``): each restart sees slightly different growth seeds —
+and therefore a different constructive trajectory — while staying fully
+reproducible from its integer seed.  ``rng=None`` (the default, and the
+meaning of ``FpartConfig.seed == 0``) is bit-identical to the
+historical deterministic choice.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Dict, Iterable, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..hypergraph import Hypergraph
 
-__all__ = ["bfs_distances_within", "select_seeds"]
+__all__ = ["bfs_distances_within", "select_seeds", "SEED_POOL_SIZE"]
+
+#: How many top-ranked candidates a seeded selection samples from.
+SEED_POOL_SIZE = 8
 
 
 def bfs_distances_within(
@@ -39,30 +54,43 @@ def bfs_distances_within(
     return dist
 
 
-def select_seeds(hg: Hypergraph, cells: Iterable[int]) -> Tuple[int, int]:
+def _sample_top(
+    ranked: List[int], rng: Optional[random.Random], pool_size: int
+) -> int:
+    """First element deterministically, or one of the best ``pool_size``."""
+    if rng is None:
+        return ranked[0]
+    pool = ranked[:pool_size]
+    return pool[rng.randrange(len(pool))]
+
+
+def select_seeds(
+    hg: Hypergraph,
+    cells: Iterable[int],
+    rng: Optional[random.Random] = None,
+    pool_size: int = SEED_POOL_SIZE,
+) -> Tuple[int, int]:
     """Pick the two growth seeds among ``cells``.
 
     Returns ``(seed1, seed2)`` — the biggest cell and the farthest cell
-    from it.  Raises ``ValueError`` with fewer than two cells.
+    from it (with ``rng``: sampled from the ``pool_size`` biggest /
+    farthest).  Raises ``ValueError`` with fewer than two cells.
     """
     cell_list = sorted(set(cells))
     if len(cell_list) < 2:
         raise ValueError("need at least two cells to select seeds")
     cell_set = set(cell_list)
 
-    seed1 = max(cell_list, key=lambda c: (hg.cell_size(c), -c))
+    by_size = sorted(cell_list, key=lambda c: (-hg.cell_size(c), c))
+    seed1 = _sample_top(by_size, rng, pool_size)
 
     dist = bfs_distances_within(hg, cell_set, seed1)
     unreached = [c for c in cell_list if c not in dist]
     if unreached:
-        return seed1, unreached[0]  # another component: infinitely far
-    best_cell = seed1
-    best_dist = -1
-    for c in cell_list:
-        if c == seed1:
-            continue
-        d = dist[c]
-        if d > best_dist:
-            best_dist = d
-            best_cell = c
-    return seed1, best_cell
+        # Another component: infinitely far, all equally good.
+        return seed1, _sample_top(unreached, rng, pool_size)
+    by_distance = sorted(
+        (c for c in cell_list if c != seed1),
+        key=lambda c: (-dist[c], c),
+    )
+    return seed1, _sample_top(by_distance, rng, pool_size)

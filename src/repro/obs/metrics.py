@@ -241,6 +241,48 @@ class MetricsRegistry:
             )
         return instrument
 
+    # -- aggregation -----------------------------------------------------
+
+    def merge(self, snapshot: Dict[str, Dict[str, object]]) -> "MetricsRegistry":
+        """Fold one :meth:`snapshot` dict into this live registry.
+
+        The cross-process aggregation primitive: sharded sweeps and
+        restart portfolios run each worker under its own registry, ship
+        the snapshot back (pickled dict), and the parent folds every
+        snapshot in here.  Semantics match :func:`merge_snapshots` —
+        counters/timers/histograms sum, gauges keep the maximum — so
+        ``jobs=N`` aggregates equal the serial single-registry totals.
+        Returns self for chaining.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set_max(value)
+        for name, value in snapshot.get("timers", {}).items():
+            timer = self.timer(name)
+            timer.total_seconds += value["total_seconds"]
+            timer.count += value["count"]
+        for name, value in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(
+                name, lo=value["lo"], hi=value["hi"], width=value["width"]
+            )
+            if (
+                histogram.lo != value["lo"]
+                or histogram.hi != value["hi"]
+                or histogram.width != value["width"]
+            ):
+                raise ValueError(
+                    f"histogram {name!r}: incompatible bucket layouts"
+                )
+            histogram.counts = [
+                a + b for a, b in zip(histogram.counts, value["counts"])
+            ]
+            histogram.underflow += value["underflow"]
+            histogram.overflow += value["overflow"]
+            histogram.total += value["total"]
+            histogram.sum += value["sum"]
+        return self
+
     # -- output ----------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
@@ -374,6 +416,11 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         return {"counters": {}, "gauges": {}, "timers": {}, "histograms": {}}
+
+    def merge(
+        self, snapshot: Dict[str, Dict[str, object]]
+    ) -> "MetricsRegistry":
+        return self
 
 
 #: Shared no-op registry used when a caller does not supply one.

@@ -23,10 +23,22 @@ All writes are atomic (temp file + ``os.replace``, the same pattern as
 can never truncate the index or leave a half-written ``run.json``
 behind.  The per-run directory is written before the index line, so an
 indexed run always has its artifact directory on disk.
+
+Concurrency
+-----------
+Parallel restarts and sharded sweeps have several worker processes
+recording into the *same* runs directory.  The index append is a
+read-modify-write (the whole file is rewritten through ``os.replace``),
+so concurrent appends would silently drop lines; :meth:`record_run`
+therefore serialises writers through an advisory ``flock`` on
+``<runs-dir>/.index.lock`` — uniqueness re-check and append happen
+under the same critical section.  On platforms without ``fcntl`` the
+lock degrades to a no-op (single-writer behaviour, as before).
 """
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import json
 import os
@@ -34,11 +46,17 @@ import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Union
+
+try:  # POSIX only; Windows degrades to unlocked single-writer mode.
+    import fcntl
+except ImportError:  # pragma: no cover - exercised on Windows only
+    fcntl = None  # type: ignore[assignment]
 
 __all__ = [
     "RUNSTORE_SCHEMA",
     "INDEX_NAME",
+    "LOCK_NAME",
     "RunRecord",
     "RunStore",
     "RunStoreError",
@@ -50,6 +68,9 @@ RUNSTORE_SCHEMA = 1
 
 #: Name of the JSONL index file inside a runs directory.
 INDEX_NAME = "index.jsonl"
+
+#: Name of the advisory writer-lock file next to the index.
+LOCK_NAME = ".index.lock"
 
 
 class RunStoreError(ValueError):
@@ -132,6 +153,28 @@ class RunStore:
 
     # -- writing ---------------------------------------------------------
 
+    @contextlib.contextmanager
+    def _writer_lock(self) -> Iterator[None]:
+        """Advisory exclusive lock serialising index writers.
+
+        ``flock`` on ``<runs-dir>/.index.lock`` — held across the
+        uniqueness check and the index rewrite so concurrent recorders
+        (parallel restarts, sharded sweep workers) cannot interleave a
+        read-modify-write and drop each other's lines.  Released (and
+        thus safe) even if the holder dies: the kernel drops the lock
+        with the file descriptor.
+        """
+        if fcntl is None:  # pragma: no cover - Windows fallback
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with open(self.root / LOCK_NAME, "w") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
     def record_run(
         self,
         record: RunRecord,
@@ -144,33 +187,37 @@ class RunStore:
         in ``run.json``; ``artifacts`` maps destination file names to
         source paths copied into the run directory (e.g. a trace stream
         written elsewhere).  The index line is appended last, so a crash
-        mid-record leaves no dangling index entry.
+        mid-record leaves no dangling index entry.  Safe to call from
+        several processes sharing one runs directory: writers serialise
+        on :meth:`_writer_lock`.
         """
-        existing = {r.run_id for r in self.records()}
-        if record.run_id in existing:
-            raise RunStoreError(
-                f"run {record.run_id!r} is already recorded in {self.root}"
+        with self._writer_lock():
+            existing = {r.run_id for r in self.records()}
+            if record.run_id in existing:
+                raise RunStoreError(
+                    f"run {record.run_id!r} is already recorded in "
+                    f"{self.root}"
+                )
+            if not record.created_utc:
+                record = dataclasses.replace(record, created_utc=_utc_now())
+            run_dir = self.run_dir(record.run_id)
+            run_dir.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "schema": RUNSTORE_SCHEMA,
+                "record": dataclasses.asdict(record),
+                "metrics": metrics,
+            }
+            atomic_write_text(
+                run_dir / "run.json",
+                json.dumps(payload, indent=1, sort_keys=True) + "\n",
             )
-        if not record.created_utc:
-            record = dataclasses.replace(record, created_utc=_utc_now())
-        run_dir = self.run_dir(record.run_id)
-        run_dir.mkdir(parents=True, exist_ok=True)
-        payload = {
-            "schema": RUNSTORE_SCHEMA,
-            "record": dataclasses.asdict(record),
-            "metrics": metrics,
-        }
-        atomic_write_text(
-            run_dir / "run.json",
-            json.dumps(payload, indent=1, sort_keys=True) + "\n",
-        )
-        for name, source in (artifacts or {}).items():
-            if Path(name).name != name:
-                raise RunStoreError(f"invalid artifact name {name!r}")
-            src = Path(source)
-            if src.resolve() != (run_dir / name).resolve():
-                shutil.copyfile(src, run_dir / name)
-        self._append_index(record.to_json_line())
+            for name, source in (artifacts or {}).items():
+                if Path(name).name != name:
+                    raise RunStoreError(f"invalid artifact name {name!r}")
+                src = Path(source)
+                if src.resolve() != (run_dir / name).resolve():
+                    shutil.copyfile(src, run_dir / name)
+            self._append_index(record.to_json_line())
         return run_dir
 
     def _append_index(self, line: str) -> None:
@@ -178,7 +225,9 @@ class RunStore:
 
         The index stays small (one short line per run), so the rewrite
         is cheap; in exchange a kill at any point leaves either the old
-        or the new complete file, never a torn line.
+        or the new complete file, never a torn line.  Callers must hold
+        :meth:`_writer_lock` — the read-modify-write is not safe against
+        concurrent appenders on its own.
         """
         try:
             text = self.index_path.read_text(encoding="utf-8")

@@ -1,0 +1,379 @@
+"""Zero-dependency process pool with a work-queue scheduler.
+
+The execution substrate of :mod:`repro.parallel`: the parent keeps a
+queue of :class:`ParallelTask` payloads and feeds them to worker
+processes one at a time over **per-worker duplex pipes** — a worker
+gets its next task the moment it reports the previous one, so a slow
+task never blocks the others behind a static round-robin split.
+Everything is stdlib ``multiprocessing``; nothing is imported that the
+container does not already have.
+
+Per-worker pipes (rather than one shared queue) are a deliberate
+robustness choice: killing a process that holds a shared queue's
+internal lock — or that dies mid-``put`` through the queue's feeder
+thread — corrupts the stream for every survivor.  With one pipe per
+worker a dying worker can only tear its *own* channel, which the
+parent observes as ``EOFError`` and converts into a casualty outcome.
+
+Degradation contract
+--------------------
+The pool never lets one bad task sink the batch:
+
+* a task that **raises** inside the worker returns an ``"error"``
+  outcome (the worker survives and receives the next task);
+* a worker that **dies** (segfault, ``os._exit``, OOM kill) is detected
+  through its broken pipe; the task it was running is marked
+  ``"crashed"`` and a replacement worker is spawned while unassigned
+  tasks remain;
+* a task that exceeds its **timeout** has its worker terminated and is
+  marked ``"timeout"`` — the hard backstop behind the cooperative
+  :class:`~repro.core.runguard.RunGuard` deadline that well-behaved
+  tasks enforce on themselves (see DESIGN.md §8 for how the two
+  compose).
+
+Every outcome — survivor or casualty — comes back in **task order**,
+not completion order, so reducers downstream never observe scheduling
+nondeterminism (:mod:`repro.parallel.reduce` relies on this).
+
+``jobs=1`` runs every task inline in the calling process: no fork, no
+pickling, bit-identical to what the same tasks produce under any
+``jobs=N`` (the determinism tests in ``tests/test_parallel.py`` pin
+this).  Inline mode cannot pre-empt a hung task; it relies on the
+task's own run guard, which is exactly the composition the restart
+driver sets up.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TASK_STATUSES",
+    "ParallelTask",
+    "TaskOutcome",
+    "WorkerPool",
+    "run_tasks",
+]
+
+#: Possible values of :attr:`TaskOutcome.status`.
+TASK_STATUSES = ("ok", "error", "crashed", "timeout", "not_run")
+
+#: Seconds between scheduler bookkeeping sweeps (liveness + timeouts).
+_POLL_SECONDS = 0.05
+
+
+@dataclass(frozen=True)
+class ParallelTask:
+    """One unit of work: a picklable top-level callable plus arguments.
+
+    ``fn`` must be importable from the worker process (a module-level
+    function), and ``args``/``kwargs`` plus the return value must
+    pickle — the standard multiprocessing contract.
+    """
+
+    index: int
+    fn: Callable[..., Any]
+    args: Tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+    timeout_seconds: Optional[float] = None
+    """Hard wall-clock cap for this task, measured from the moment it is
+    handed to a worker.  ``None`` defers to the pool default."""
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """How one task ended.  ``value`` is set only for ``"ok"``."""
+
+    index: int
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    wall_seconds: float = 0.0
+    label: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+def _worker_main(conn) -> None:
+    """Worker loop: receive a task, run it, report, repeat until EOF.
+
+    Runs in the child process.  Every exit from the task callable —
+    return, raise — is converted into one complete, synchronous
+    ``send`` before the next ``recv``, so the parent's view of this
+    pipe is always a whole message or a clean break.
+    """
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        index, fn, args, kwargs = item
+        start = time.perf_counter()
+        try:
+            value = fn(*args, **kwargs)
+        except BaseException as exc:  # noqa: BLE001 - task isolation
+            message = (
+                index,
+                "error",
+                None,
+                f"{type(exc).__name__}: {exc}",
+                time.perf_counter() - start,
+            )
+        else:
+            message = (index, "ok", value, None, time.perf_counter() - start)
+        try:
+            conn.send(message)
+        except Exception as exc:  # e.g. an unpicklable return value
+            conn.send(
+                (
+                    index,
+                    "error",
+                    None,
+                    f"result not transferable: {type(exc).__name__}: {exc}",
+                    time.perf_counter() - start,
+                )
+            )
+
+
+class _WorkerSlot:
+    """Parent-side bookkeeping for one live worker process."""
+
+    __slots__ = ("process", "conn", "task", "started_at")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.task: Optional[ParallelTask] = None
+        self.started_at = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.task is None
+
+    def assign(self, task: ParallelTask) -> None:
+        self.task = task
+        self.started_at = time.perf_counter()
+        self.conn.send((task.index, task.fn, task.args, task.kwargs))
+
+    def shutdown(self) -> None:
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def reap(self, kill: bool = False) -> None:
+        if kill and self.process.is_alive():
+            self.process.terminate()
+        self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class WorkerPool:
+    """Work-queue scheduler over ``jobs`` worker processes.
+
+    Parameters
+    ----------
+    jobs:
+        Worker process count.  ``1`` runs inline (no subprocesses).
+    timeout_seconds:
+        Default per-task hard timeout (:attr:`ParallelTask.timeout_seconds`
+        overrides it per task); ``None`` disables the backstop.
+    max_respawns:
+        Replacement workers allowed across the batch before the pool
+        stops replacing casualties and drains still-unassigned tasks as
+        ``"not_run"`` — a backstop against a poisoned workload killing
+        workers forever.  Defaults to twice the task count.
+    """
+
+    def __init__(
+        self,
+        jobs: int,
+        timeout_seconds: Optional[float] = None,
+        max_respawns: Optional[int] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if timeout_seconds is not None and timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive or None")
+        self.jobs = jobs
+        self.timeout_seconds = timeout_seconds
+        self.max_respawns = max_respawns
+
+    # -- public API ------------------------------------------------------
+
+    def run(self, tasks: Sequence[ParallelTask]) -> List[TaskOutcome]:
+        """Execute every task; outcomes are returned in task order."""
+        tasks = list(tasks)
+        indexes = [t.index for t in tasks]
+        if len(set(indexes)) != len(indexes):
+            raise ValueError("task indexes must be unique")
+        if not tasks:
+            return []
+        if self.jobs == 1 or len(tasks) == 1:
+            return [self._run_inline(task) for task in tasks]
+        return self._run_pool(tasks)
+
+    # -- inline path -----------------------------------------------------
+
+    def _run_inline(self, task: ParallelTask) -> TaskOutcome:
+        start = time.perf_counter()
+        try:
+            value = task.fn(*task.args, **task.kwargs)
+        except Exception as exc:  # noqa: BLE001 - task isolation
+            return TaskOutcome(
+                index=task.index,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+                wall_seconds=time.perf_counter() - start,
+                label=task.label,
+            )
+        return TaskOutcome(
+            index=task.index,
+            status="ok",
+            value=value,
+            wall_seconds=time.perf_counter() - start,
+            label=task.label,
+        )
+
+    # -- process-pool path -----------------------------------------------
+
+    def _timeout_of(self, task: ParallelTask) -> Optional[float]:
+        if task.timeout_seconds is not None:
+            return task.timeout_seconds
+        return self.timeout_seconds
+
+    def _run_pool(self, tasks: Sequence[ParallelTask]) -> List[TaskOutcome]:
+        ctx = multiprocessing.get_context()
+        pending = deque(tasks)
+        outcomes: Dict[int, TaskOutcome] = {}
+        slots: List[_WorkerSlot] = []
+        respawn_budget = (
+            self.max_respawns
+            if self.max_respawns is not None
+            else 2 * len(tasks)
+        )
+
+        def spawn() -> None:
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_worker_main, args=(child_conn,), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            slots.append(_WorkerSlot(process, parent_conn))
+
+        def casualty(slot: _WorkerSlot, status: str) -> None:
+            nonlocal respawn_budget
+            task = slot.task
+            assert task is not None
+            outcomes[task.index] = TaskOutcome(
+                index=task.index,
+                status=status,
+                error=f"worker pid={slot.process.pid} {status}",
+                wall_seconds=time.perf_counter() - slot.started_at,
+                label=task.label,
+            )
+            slot.task = None
+            slots.remove(slot)
+            slot.reap(kill=True)
+            if pending and respawn_budget > 0:
+                respawn_budget -= 1
+                spawn()
+
+        for _ in range(min(self.jobs, len(tasks))):
+            spawn()
+
+        try:
+            while len(outcomes) < len(tasks):
+                # Feed idle workers from the front of the queue.
+                for slot in slots:
+                    if slot.idle and pending:
+                        task = pending.popleft()
+                        try:
+                            slot.assign(task)
+                        except (BrokenPipeError, OSError):
+                            # Worker died between tasks; retry the task
+                            # on another worker via the casualty path's
+                            # respawn, but record no outcome for it.
+                            pending.appendleft(task)
+                            slot.task = None
+
+                if not slots:
+                    # Every worker is gone and the respawn budget is
+                    # spent: drain what never ran.
+                    for task in pending:
+                        outcomes[task.index] = TaskOutcome(
+                            index=task.index,
+                            status="not_run",
+                            error="no live workers remain",
+                            label=task.label,
+                        )
+                    pending.clear()
+                    break
+
+                ready = mp_connection.wait(
+                    [slot.conn for slot in slots], timeout=_POLL_SECONDS
+                )
+                conn_to_slot = {slot.conn: slot for slot in slots}
+                for conn in ready:
+                    slot = conn_to_slot[conn]
+                    try:
+                        message = conn.recv()
+                    except (EOFError, OSError):
+                        if slot.task is not None:
+                            casualty(slot, "crashed")
+                        else:
+                            slots.remove(slot)
+                            slot.reap(kill=True)
+                            if pending and respawn_budget > 0:
+                                respawn_budget -= 1
+                                spawn()
+                        continue
+                    index, status, value, error, wall = message
+                    task = slot.task
+                    slot.task = None
+                    outcomes[index] = TaskOutcome(
+                        index=index,
+                        status=status,
+                        value=value,
+                        error=error,
+                        wall_seconds=wall,
+                        label=task.label if task is not None else "",
+                    )
+
+                now = time.perf_counter()
+                for slot in list(slots):
+                    if slot.task is None:
+                        continue
+                    cap = self._timeout_of(slot.task)
+                    if cap is not None and now - slot.started_at > cap:
+                        casualty(slot, "timeout")
+        finally:
+            for slot in slots:
+                slot.shutdown()
+            for slot in slots:
+                slot.reap(kill=True)
+
+        return [outcomes[task.index] for task in tasks]
+
+
+def run_tasks(
+    tasks: Sequence[ParallelTask],
+    jobs: int = 1,
+    timeout_seconds: Optional[float] = None,
+) -> List[TaskOutcome]:
+    """One-shot convenience wrapper around :class:`WorkerPool`."""
+    return WorkerPool(jobs, timeout_seconds=timeout_seconds).run(tasks)

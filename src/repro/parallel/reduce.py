@@ -1,0 +1,110 @@
+"""Deterministic lexicographic reduction of parallel candidates.
+
+Parallel execution must not change *what* the partitioner answers, only
+*how fast* it answers.  The contract that makes that true is this
+module: every portfolio (initial-bipartition builders, multi-seed
+restarts, sharded sweeps) reduces its candidates with
+:func:`reduce_candidates`, which picks the winner by
+
+1. the paper's lexicographic quality tuple — status rank, device count,
+   then ``(f, d_k, T_SUM, d_k^E)`` with ``f`` maximised — exactly the
+   ordering :func:`repro.obs.compare.quality_key` applies to stored
+   runs, and
+2. the candidate's **submission index** as the final tiebreak.
+
+The index is assigned when the portfolio is *built* (seed index,
+builder order, cell order), never when a worker happens to finish, so
+the reduction is a pure function of the candidate set: shuffling
+completion order, changing ``--jobs``, or losing-and-retrying a worker
+cannot flip the winner between equal-quality candidates.  The property
+tests in ``tests/test_parallel.py`` pin this invariance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..obs.compare import STATUS_RANK
+
+__all__ = [
+    "Candidate",
+    "result_quality_key",
+    "reduce_candidates",
+    "rank_candidates",
+]
+
+#: Cost-tuple components in lexicographic order with comparison sign
+#: (+1 = smaller is better, -1 = larger is better) — the ``cost_fields``
+#: layout shared with :mod:`repro.obs.compare`.
+_COST_COMPONENTS: Tuple[Tuple[str, int], ...] = (
+    ("f", -1),
+    ("d_k", 1),
+    ("t_sum", 1),
+    ("d_k_e", 1),
+)
+
+#: Status rank assigned to candidates that produced no result at all
+#: (worker crash/timeout) — strictly worse than every real status.
+_NO_RESULT_RANK = max(STATUS_RANK.values()) + 1
+
+
+def result_quality_key(
+    status: Optional[str],
+    num_devices: int,
+    cost: Optional[Dict[str, float]],
+) -> Tuple:
+    """Lexicographic quality of one candidate (smaller compares better).
+
+    Mirrors :func:`repro.obs.compare.quality_key` for candidates that
+    are not (yet) :class:`RunRecord` instances.  ``status=None`` marks a
+    candidate with no result — it ranks below every completed run but
+    still participates in the reduction, so a fully-dead portfolio
+    reduces to a well-defined (if useless) winner instead of crashing.
+    """
+    if status is None:
+        rank = _NO_RESULT_RANK
+    else:
+        rank = STATUS_RANK.get(status, _NO_RESULT_RANK)
+    cost = cost or {}
+    return (rank, num_devices) + tuple(
+        sign * float(cost.get(name, 0.0)) for name, sign in _COST_COMPONENTS
+    )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One reducible portfolio entry.
+
+    ``index`` is the deterministic submission index (seed index,
+    builder index, ...), ``key`` the precomputed quality tuple, and
+    ``value`` the payload the winner carries (an ``FpartResult``, a
+    report dict — reduction never inspects it).
+    """
+
+    index: int
+    key: Tuple
+    value: Any = None
+
+
+def rank_candidates(candidates: Iterable[Candidate]) -> List[Candidate]:
+    """Candidates ordered best-first by ``(key, index)``.
+
+    Plain tuple comparison: the quality key decides, the submission
+    index breaks exact ties.  Sorting is reproducible from the
+    candidate *set* alone, independent of iteration order.
+    """
+    return sorted(candidates, key=lambda c: (c.key, c.index))
+
+
+def reduce_candidates(candidates: Iterable[Candidate]) -> Candidate:
+    """The deterministic winner of a portfolio.
+
+    Raises ``ValueError`` on an empty portfolio — the caller decides
+    what an empty portfolio means (the restart driver reports status
+    ``"failed"`` instead of reducing).
+    """
+    ranked = rank_candidates(candidates)
+    if not ranked:
+        raise ValueError("cannot reduce an empty candidate portfolio")
+    return ranked[0]

@@ -189,3 +189,54 @@ class TestBaselineFor:
         fresh = make_record("bbbb0001")
         baseline = store.baseline_for(fresh)
         assert baseline is not None and baseline.run_id == "aaaa0001"
+
+
+def _record_batch(root, worker, count):
+    """Spawned in a child process by the concurrency test."""
+    store = RunStore(root)
+    for i in range(count):
+        store.record_run(
+            make_record(f"w{worker}n{i:03d}", config_digest=str(worker))
+        )
+
+
+class TestConcurrentWriters:
+    def test_parallel_recorders_lose_no_lines(self, tmp_path):
+        """N processes appending into one store: the advisory index
+        lock must serialise the read-modify-write so every line lands
+        (without it, concurrent rewrites silently drop records)."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        workers, per_worker = 4, 8
+        processes = [
+            ctx.Process(
+                target=_record_batch, args=(str(tmp_path), w, per_worker)
+            )
+            for w in range(workers)
+        ]
+        for p in processes:
+            p.start()
+        for p in processes:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        records = RunStore(tmp_path).records()
+        assert len(records) == workers * per_worker
+        assert len({r.run_id for r in records}) == workers * per_worker
+        # Every indexed run has its artifact directory on disk.
+        for record in records:
+            assert (tmp_path / record.run_id / "run.json").exists()
+
+    def test_duplicate_id_still_rejected_across_processes(self, tmp_path):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("dup00001"))
+        with pytest.raises(RunStoreError):
+            store.record_run(make_record("dup00001"))
+
+    def test_lock_file_is_not_a_record(self, tmp_path):
+        from repro.obs.runstore import LOCK_NAME
+
+        store = RunStore(tmp_path)
+        store.record_run(make_record("aaaa0001"))
+        assert (tmp_path / LOCK_NAME).exists()
+        assert len(store.records()) == 1
