@@ -18,8 +18,9 @@ Environment knob (see DESIGN.md section 4):
 from __future__ import annotations
 
 import os
+import random
 from pathlib import Path
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 from repro.circuits import (
     COMBINATIONAL_CIRCUITS,
@@ -65,3 +66,69 @@ def baseline_circuits(device: str) -> Tuple[str, ...]:
 def run_once(benchmark, fn):
     """Run ``fn`` exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+# ----------------------------------------------------------------------
+# Perf-regression bench plumbing (shared by bench_perf_regression.py)
+# ----------------------------------------------------------------------
+
+def replay_fixture(
+    circuit: str,
+    device_name: str,
+    moves: int,
+    backend: str = "object",
+    seed: int = 1999,
+):
+    """A real mid-run partition state plus a recorded random move trace.
+
+    Runs FPART once on ``circuit``/``device_name`` and rebuilds its final
+    assignment as a fresh state of the requested substrate, so every
+    bench case times the same workload shape (``k`` matches a real run).
+    Returns ``(hg, device, state, k, trace)`` with ``trace`` a list of
+    ``(cell, to_block)`` pairs drawn from a fixed-seed RNG.
+    """
+    from repro.circuits import mcnc_circuit
+    from repro.core import FpartConfig, device_by_name, fpart
+    from repro.core.backend import make_state
+
+    hg = mcnc_circuit(circuit)
+    device = device_by_name(device_name)
+    result = fpart(hg, device, config=FpartConfig())
+    k = result.num_devices
+    state = make_state(hg, result.assignment, k, backend)
+    rng = random.Random(seed)
+    trace = [
+        (rng.randrange(hg.num_cells), rng.randrange(k)) for _ in range(moves)
+    ]
+    return hg, device, state, k, trace
+
+
+def attach_untracked(evaluator, state) -> None:
+    """Attach an incremental evaluator but drive it by hand.
+
+    The listener registration is removed again so ``state.move()`` does
+    not notify the evaluator: the bench calls ``on_move`` itself inside
+    its timed window (production rides the listener; the work is the
+    same, this just makes it timeable).
+    """
+    evaluator.attach(state)
+    state.remove_listener(evaluator)
+
+
+def min_window(
+    loop: Callable[[], float],
+    reset: Callable[[], None],
+    repeats: int = 3,
+) -> float:
+    """Min-of-``repeats`` of a timed window loop.
+
+    ``loop()`` returns the accumulated in-window seconds of one full
+    trace replay; ``reset()`` restores the fixture between repeats.
+    The minimum is the standard noise-rejecting aggregate for
+    replay-style microbenchmarks.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        best = min(best, loop())
+        reset()
+    return best

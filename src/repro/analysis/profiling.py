@@ -40,6 +40,10 @@ class ProfileReport:
     result: Any
     elapsed: float
     hotspots: Tuple[HotSpot, ...]
+    all_calls: Tuple[HotSpot, ...] = ()
+    """Every profiled function, cumulative order — ``hotspots`` is the
+    truncated view; consumers that count calls to a specific function
+    (e.g. the CLI's per-move line) must scan this instead."""
 
     def render(self, limit: int = 15) -> str:
         return render_hotspots(self.hotspots[:limit])
@@ -78,7 +82,7 @@ def profile_call(
     stats = pstats.Stats(profiler)
     stats.sort_stats("cumulative")
     rows: List[HotSpot] = []
-    for func in stats.fcn_list[:top]:  # type: ignore[attr-defined]
+    for func in stats.fcn_list:  # type: ignore[attr-defined]
         cc, nc, tt, ct, _ = stats.stats[func]  # type: ignore[attr-defined]
         rows.append(
             HotSpot(
@@ -88,7 +92,12 @@ def profile_call(
                 cumtime=ct,
             )
         )
-    return ProfileReport(result=result, elapsed=elapsed, hotspots=tuple(rows))
+    return ProfileReport(
+        result=result,
+        elapsed=elapsed,
+        hotspots=tuple(rows[:top]),
+        all_calls=tuple(rows),
+    )
 
 
 def time_call(

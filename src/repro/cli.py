@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the device filling ratio",
     )
     p.add_argument(
+        "--backend",
+        choices=["flat", "object"],
+        default=None,
+        help="partition-core substrate: 'flat' (CSR arrays, default) or "
+        "'object' (reference oracle); results are bit-identical "
+        "(fpart only)",
+    )
+    p.add_argument(
         "--output",
         default=None,
         help="write 'cell block' lines to this file",
@@ -464,6 +472,8 @@ def _fpart_config(args: argparse.Namespace):
         overrides["seed"] = args.seed
     if args.builder_jobs != 1:
         overrides["builder_jobs"] = args.builder_jobs
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     if not overrides:
         return DEFAULT_CONFIG
     return dataclasses.replace(DEFAULT_CONFIG, **overrides)
@@ -688,10 +698,11 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     if args.algorithm != "fpart" and (
         args.metrics or args.trace or args.runs_dir or args.progress
         or args.restarts != 1 or args.seed or args.builder_jobs != 1
+        or args.backend is not None
     ):
         raise PartitioningError(
             "--metrics/--trace/--runs-dir/--progress/--restarts/--seed/"
-            "--builder-jobs require --algorithm fpart"
+            "--builder-jobs/--backend require --algorithm fpart"
         )
     if args.restarts < 1:
         raise PartitioningError("--restarts must be at least 1")
@@ -749,6 +760,17 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
     if profile_report is not None:
         print(f"wall time: {profile_report.elapsed:.3f}s")
+        moves = sum(
+            h.calls
+            for h in profile_report.all_calls
+            if "/partition/" in h.function and h.function.endswith("(move)")
+        )
+        if moves:
+            per_move_us = profile_report.elapsed / moves * 1e6
+            print(
+                f"per-move: {per_move_us:.2f} us "
+                f"({moves} applied moves, whole-run wall / moves)"
+            )
         print(profile_report.render())
 
     if args.output and assignment is not None:

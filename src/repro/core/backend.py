@@ -1,0 +1,63 @@
+"""Backend selector: the flat-array vs object partition substrates.
+
+``FpartConfig.backend`` picks which :class:`~repro.partition.PartitionState`
+subclass the FPART driver builds its states from (``flat`` is the fast
+default, ``object`` the reference oracle) and, together with
+``incremental_cost``, which cost evaluator :func:`make_evaluator` hands
+out.  The two substrates are bit-identical in every observable — the
+differential harness in ``repro.testing.differential`` and the property
+suite in ``tests/test_flat_core.py`` enforce it — so checkpoints, traces
+and results are interchangeable between them (``config_digest`` masks the
+field for exactly that reason).
+
+Only the FPART driver routes state construction through this module;
+baselines and analysis code keep building plain ``PartitionState``
+objects directly — they are off the hot path and gain nothing from the
+flat substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Type
+
+from ..hypergraph import Hypergraph
+from ..partition import FlatPartitionState, PartitionState
+
+__all__ = [
+    "BACKENDS",
+    "state_class",
+    "make_state",
+    "single_block_state",
+]
+
+#: backend name -> state class.
+BACKENDS = {
+    "object": PartitionState,
+    "flat": FlatPartitionState,
+}
+
+
+def state_class(backend: str) -> Type[PartitionState]:
+    """State class for one backend name (validated)."""
+    try:
+        return BACKENDS[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; expected one of "
+            f"{sorted(BACKENDS)}"
+        ) from None
+
+
+def make_state(
+    hg: Hypergraph,
+    assignment: Sequence[int],
+    num_blocks: Optional[int] = None,
+    backend: str = "flat",
+) -> PartitionState:
+    """Build a partition state on the selected backend."""
+    return state_class(backend).from_assignment(hg, assignment, num_blocks)
+
+
+def single_block_state(hg: Hypergraph, backend: str = "flat") -> PartitionState:
+    """All cells in block 0 (``R_0 = H_0``) on the selected backend."""
+    return state_class(backend).single_block(hg)

@@ -494,13 +494,22 @@ def make_evaluator(
     lower_bound: int,
     num_terminals: int,
 ) -> CostEvaluator:
-    """Run-wide evaluator honouring ``config.incremental_cost``.
+    """Run-wide evaluator honouring ``config.incremental_cost``/``backend``.
 
     Returns an :class:`IncrementalCostEvaluator` (the engines attach it
     and pay O(1) per move) unless the config disables incremental costs,
     in which case the plain O(k)-per-query :class:`CostEvaluator` — the
     pre-incremental code path measured by the perf-regression bench — is
-    used.
+    used.  On the flat backend the incremental evaluator is the fused
+    :class:`~repro.core.flat_cost.FlatIncrementalCostEvaluator` (same
+    bit-identical costs, single listener call per move).
     """
-    cls = IncrementalCostEvaluator if config.incremental_cost else CostEvaluator
-    return cls(device, config, lower_bound, num_terminals)
+    if not config.incremental_cost:
+        return CostEvaluator(device, config, lower_bound, num_terminals)
+    if config.backend == "flat":
+        from .flat_cost import FlatIncrementalCostEvaluator
+
+        return FlatIncrementalCostEvaluator(
+            device, config, lower_bound, num_terminals
+        )
+    return IncrementalCostEvaluator(device, config, lower_bound, num_terminals)

@@ -1,0 +1,369 @@
+"""Fused flat-path incremental cost evaluator (``backend="flat"``).
+
+:class:`FlatIncrementalCostEvaluator` produces the same bit-identical
+costs as :class:`~repro.core.cost.IncrementalCostEvaluator` but collapses
+the per-move evaluator window — ``on_move(from, to)`` followed by
+``current_key(remainder)`` — into a single fused listener call that also
+refreshes the lexicographic key.  Engines read the fresh key from
+:attr:`last_key_cell` (a one-element list, cheaper to index than an
+attribute) instead of calling ``current_key`` after every move.
+
+Techniques on the hot path, in decreasing order of measured impact:
+
+* **Closure-compiled hot path with scalar aggregates.**  ``attach`` /
+  ``on_rebuild`` / ``add_block`` / ``set_remainder`` re-generate the
+  ``on_move`` listener as a closure whose free variables bind every
+  constant (``S_MAX``, ``T_MAX``, ``T_AVG^E``, the lambda weights) and
+  every mutable structure once.  The seven cost aggregates live as
+  *nonlocal int cells* of that closure — one ``LOAD_DEREF`` per touch
+  instead of a list index — and are written back to ``self._agg`` only
+  when a cold-path query needs them (:meth:`current_cost`, or
+  :meth:`current_key` for a remainder other than the baked one).
+  Installing the closure as an *instance* attribute also skips
+  bound-method creation in the listener dispatch.
+* **Split per-block term lists.**  The per-block contribution terms live
+  in seven parallel int lists (``feas[b]``, ``n_s[b]``, ``sum_s[b]``,
+  ...), so a touched block's refresh is a handful of single-subscript
+  reads/writes instead of tuple allocation (object backend) or
+  ``base + i`` offset arithmetic (a packed ``b * 7 + i`` list).
+* **Distance / penalty / ext-balance caching.**  ``d_k`` depends only on
+  the overflow aggregates and the remainder deviation penalty, and the
+  ext-balance only on the two balance aggregates; each float expression
+  is re-evaluated only when an input actually moved.  The cached value
+  is the exact float produced by the shared ``_float_terms`` expression
+  — caching cannot break bit-identity because it returns the identical
+  object instead of recomputing it.
+
+The arithmetic MUST mirror :meth:`CostEvaluator._float_terms`
+expression-for-expression; ``tests/test_flat_core.py`` asserts bitwise
+key equality against both the object incremental evaluator and the O(k)
+sweep oracle across randomized move sequences.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .config import FpartConfig
+from .cost import IncrementalCostEvaluator, SolutionCost
+from .device import Device
+from .feasibility import size_deviation_penalty
+
+__all__ = ["FlatIncrementalCostEvaluator"]
+
+
+class FlatIncrementalCostEvaluator(IncrementalCostEvaluator):
+    """Incremental evaluator with a fused move-refresh + key hot path.
+
+    Drop-in for :class:`IncrementalCostEvaluator`: the full listener /
+    ``current_key`` / ``cost_of`` surface behaves identically.  Engines
+    that recognise :attr:`fused_keys` may additionally skip their
+    per-move ``current_key`` call and read :attr:`last_key_cell`\\ ``[0]``
+    (kept fresh by every ``on_move``) after calling
+    :meth:`set_remainder` once per pass.
+    """
+
+    #: Engines test this marker (plus ``attached_state is state``) before
+    #: switching to the fused per-move protocol.
+    fused_keys = True
+
+    def __init__(
+        self,
+        device: Device,
+        config: FpartConfig,
+        lower_bound: int,
+        num_terminals: int,
+    ) -> None:
+        super().__init__(device, config, lower_bound, num_terminals)
+        self._nb = 0
+        self._remainder = 0
+        # Writes the closure's nonlocal aggregates back into self._agg;
+        # replaced by every _compile_fast_path.
+        self._sync_agg = lambda: None
+        #: One-element cell holding the key of the attached state for the
+        #: remainder set via :meth:`set_remainder`; refreshed by every
+        #: ``on_move``.  Engines index the cell directly per move.
+        self.last_key_cell: List[Optional[Tuple]] = [None]
+
+    # -- lifecycle -------------------------------------------------------
+
+    def set_remainder(self, remainder: int) -> None:
+        """Bake the remainder block into the fused hot path (per pass)."""
+        if remainder != self._remainder:
+            self._remainder = remainder
+            if self._state is not None:
+                self._sync_agg()
+                self._compile_fast_path()
+
+    def _resync(self) -> None:
+        state = self._state
+        self._sizes, self._pins, self._ext = state.block_arrays()
+        nb = state.num_blocks
+        self._nb = nb
+        agg = [0] * 7
+        for b in range(nb):
+            t = self._block_terms(
+                state.block_size(b), state.block_pins(b), state.block_ext_ios(b)
+            )
+            for i in range(7):
+                agg[i] += t[i]
+        self._agg = agg
+        if self._remainder >= nb:
+            self._remainder = 0
+        self._compile_fast_path()
+
+    def detach(self) -> None:
+        if self._state is not None:
+            self._sync_agg()
+            self._state.remove_listener(self)
+            self._state = None
+            # Drop the compiled closure so the class method (which raises
+            # cleanly on a detached evaluator) is visible again.
+            self.__dict__.pop("on_move", None)
+            self._sync_agg = lambda: None
+            self.last_key_cell[0] = None
+
+    # -- fused hot path --------------------------------------------------
+
+    def _compile_fast_path(self) -> None:
+        """(Re-)generate the fused ``on_move`` closure.
+
+        Called whenever a binding could have changed: attach, rebuild,
+        add_block, set_remainder.  Everything the per-move path touches
+        is a closure free variable — no ``self`` access remains inside.
+        ``self._agg`` must be in sync (fresh from :meth:`_resync`, or
+        written back via ``self._sync_agg()``) when this runs: the new
+        closure seeds its aggregate cells from it.
+        """
+        state = self._state
+        sizes = self._sizes
+        pins_l = self._pins
+        ext_l = self._ext
+        s_max = self._s_max
+        t_max = self._t_max
+        t_avg = self.t_avg_ext
+        lam_s = self._lam_s
+        lam_t = self._lam_t
+        lam_r = self._lam_r
+        use_infeas = self._use_infeas
+        rem = self._remainder
+        pen_cache = self._pen_cache
+        lower_bound = self.lower_bound
+        device = self.device
+        nb = self._nb
+        agg_list = self._agg
+        key_cell = self.last_key_cell
+
+        # Split per-block term lists, seeded from the live block arrays.
+        feas = [0] * nb
+        n_s = [0] * nb
+        sum_s = [0] * nb
+        n_t = [0] * nb
+        sum_t = [0] * nb
+        n_b = [0] * nb
+        sum_e = [0] * nb
+        for b in range(nb):
+            size = sizes[b]
+            pn = pins_l[b]
+            ex = ext_l[b]
+            over_s = size > s_max
+            over_t = pn > t_max
+            feas[b] = 0 if (over_s or over_t) else 1
+            if over_s:
+                n_s[b] = 1
+                sum_s[b] = size
+            if over_t:
+                n_t[b] = 1
+                sum_t[b] = pn
+            if ex < t_avg:
+                n_b[b] = 1
+                sum_e[b] = ex
+
+        # Cross-call mutable scalars live as closure cells (nonlocal),
+        # not instance attributes: LOAD_DEREF beats __dict__ (and even
+        # list-index) lookups on the hottest path in the repo.
+        a0, a1, a2, a3, a4, a5, a6 = agg_list
+        pen_size = -1
+        pen_val = 0.0
+        dist = 0.0
+        dist_valid = False
+        eb = 0.0
+        eb_valid = not (t_avg > 0)  # t_avg == 0 -> eb is constant 0.0
+
+        def sync_agg() -> None:
+            agg_list[0] = a0
+            agg_list[1] = a1
+            agg_list[2] = a2
+            agg_list[3] = a3
+            agg_list[4] = a4
+            agg_list[5] = a5
+            agg_list[6] = a6
+
+        def on_move(from_block: int, to_block: int) -> None:
+            nonlocal a0, a1, a2, a3, a4, a5, a6
+            nonlocal pen_size, pen_val, dist, dist_valid, eb, eb_valid
+            dirty = False
+            # Touch from_block, then to_block when distinct — a manual
+            # two-step ladder instead of ``for b in (f, t)``: no tuple or
+            # iterator is allocated per move.
+            b = from_block
+            while True:
+                size = sizes[b]
+                pn = pins_l[b]
+                ex = ext_l[b]
+                if size > s_max:
+                    if n_s[b]:
+                        d = size - sum_s[b]
+                        if d:
+                            a2 += d
+                            sum_s[b] = size
+                            dirty = True
+                    else:
+                        n_s[b] = 1
+                        sum_s[b] = size
+                        a1 += 1
+                        a2 += size
+                        dirty = True
+                        if feas[b]:
+                            feas[b] = 0
+                            a0 -= 1
+                elif n_s[b]:
+                    a1 -= 1
+                    a2 -= sum_s[b]
+                    n_s[b] = 0
+                    sum_s[b] = 0
+                    dirty = True
+                    if pn <= t_max and not feas[b]:
+                        feas[b] = 1
+                        a0 += 1
+                if pn > t_max:
+                    if n_t[b]:
+                        d = pn - sum_t[b]
+                        if d:
+                            a4 += d
+                            sum_t[b] = pn
+                            dirty = True
+                    else:
+                        n_t[b] = 1
+                        sum_t[b] = pn
+                        a3 += 1
+                        a4 += pn
+                        dirty = True
+                        if feas[b]:
+                            feas[b] = 0
+                            a0 -= 1
+                elif n_t[b]:
+                    a3 -= 1
+                    a4 -= sum_t[b]
+                    n_t[b] = 0
+                    sum_t[b] = 0
+                    dirty = True
+                    if size <= s_max and not feas[b]:
+                        feas[b] = 1
+                        a0 += 1
+                if ex < t_avg:
+                    if n_b[b]:
+                        d = ex - sum_e[b]
+                        if d:
+                            a6 += d
+                            sum_e[b] = ex
+                            eb_valid = False
+                    else:
+                        n_b[b] = 1
+                        sum_e[b] = ex
+                        a5 += 1
+                        a6 += ex
+                        eb_valid = False
+                elif n_b[b]:
+                    a5 -= 1
+                    a6 -= sum_e[b]
+                    n_b[b] = 0
+                    sum_e[b] = 0
+                    eb_valid = False
+                if b == to_block:
+                    break
+                b = to_block
+            if not use_infeas:
+                key_cell[0] = (-a0, state._cut_nets)
+                return
+            r_size = sizes[rem]
+            if r_size != pen_size:
+                pen_size = r_size
+                mkey = (r_size, nb)
+                cached = pen_cache.get(mkey)
+                if cached is None:
+                    cached = size_deviation_penalty(
+                        r_size, lower_bound, nb - 1, device
+                    )
+                    pen_cache[mkey] = cached
+                if cached != pen_val:
+                    pen_val = cached
+                    dirty = True
+            if dirty or not dist_valid:
+                dist = (
+                    lam_s * ((a2 - a1 * s_max) / s_max)
+                    + lam_t * ((a4 - a3 * t_max) / t_max)
+                    + lam_r * pen_val
+                )
+                dist_valid = True
+            if not eb_valid:
+                eb = (a5 * t_avg - a6) / t_avg
+                eb_valid = True
+            key_cell[0] = (-a0, dist, state._total_pins, eb)
+
+        # Install as an instance attribute: listener dispatch then calls
+        # the closure directly, skipping bound-method creation.
+        self.on_move = on_move
+        self._sync_agg = sync_agg
+        # Seed the key cell (and the pen/dist cells) for the current
+        # state without disturbing the terms: a (b, b) "move" touches one
+        # block whose terms are already correct.
+        seed = rem if rem < nb else 0
+        on_move(seed, seed)
+
+    # -- listener cold paths ---------------------------------------------
+
+    def on_add_block(self) -> None:
+        # New empty block: terms (1, 0, 0, 0, 0, below, below*0); only
+        # the feasible and balance aggregates can change.
+        self._sync_agg()
+        t = self._block_terms(0, 0, 0)
+        self._nb += 1
+        agg = self._agg
+        agg[0] += t[0]
+        agg[5] += t[5]
+        agg[6] += t[6]
+        self._compile_fast_path()
+
+    # on_rebuild: inherited (calls the overridden _resync).
+
+    # -- queries ---------------------------------------------------------
+
+    def current_cost(self, remainder: int) -> SolutionCost:
+        """O(1) cost of the attached state (must be attached)."""
+        self._sync_agg()
+        return super().current_cost(remainder)
+
+    def current_key(self, remainder: int) -> Tuple:
+        """O(1) comparison key; any remainder, not just the baked one."""
+        state = self._state
+        if state is None:
+            raise RuntimeError("evaluator is not attached to a state")
+        if remainder == self._remainder:
+            key = self.last_key_cell[0]
+            if key is not None:
+                return key
+        self._sync_agg()
+        agg = self._agg
+        if not self._use_infeas:
+            return (-agg[0], state._cut_nets)
+        s_max = self._s_max
+        t_max = self._t_max
+        distance = (
+            self._lam_s * ((agg[2] - agg[1] * s_max) / s_max)
+            + self._lam_t * ((agg[4] - agg[3] * t_max) / t_max)
+            + self._lam_r * self._deviation_penalty(state, remainder)
+        )
+        t_avg = self.t_avg_ext
+        ext_balance = (agg[5] * t_avg - agg[6]) / t_avg if t_avg > 0 else 0.0
+        return (-agg[0], distance, state._total_pins, ext_balance)

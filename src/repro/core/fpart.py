@@ -50,6 +50,7 @@ from ..obs.metrics import NULL_METRICS, MetricsRegistry
 from ..obs.progress import HeartbeatEmitter
 from ..obs.trace import NULL_TRACE, TraceWriter, cost_fields
 from ..partition import PartitionState
+from .backend import make_state, single_block_state
 from .checkpoint import (
     CheckpointManager,
     RunCheckpoint,
@@ -292,8 +293,8 @@ class FpartPartitioner:
             return state
         renumber = {old: new for new, old in enumerate(nonempty)}
         assignment = [renumber[b] for b in state.assignment()]
-        return PartitionState.from_assignment(
-            self.hg, assignment, len(nonempty)
+        return make_state(
+            self.hg, assignment, len(nonempty), self.config.backend
         )
 
     # -- checkpoint plumbing -------------------------------------------
@@ -335,8 +336,8 @@ class FpartPartitioner:
 
     def _restore_best(self, best: _BestSolution) -> Tuple[PartitionState, int]:
         """Rebuild the best-so-far solution as a fresh consistent state."""
-        state = PartitionState.from_assignment(
-            self.hg, best.assignment, best.num_blocks
+        state = make_state(
+            self.hg, best.assignment, best.num_blocks, self.config.backend
         )
         return state, best.remainder
 
@@ -405,8 +406,8 @@ class FpartPartitioner:
         if resume_from is not None:
             cp = resume_from
             cp.validate_for(circuit, repr(device), config)
-            state = PartitionState.from_assignment(
-                hg, cp.assignment, cp.num_blocks
+            state = make_state(
+                hg, cp.assignment, cp.num_blocks, config.backend
             )
             remainder = cp.remainder
             iteration = cp.iteration
@@ -419,8 +420,8 @@ class FpartPartitioner:
                 # Replay-exact resume for seeded runs: continue the
                 # Mersenne stream where the checkpoint froze it.
                 self._rng.setstate(rng_state_from_json(cp.rng_state))
-            best_state = PartitionState.from_assignment(
-                hg, cp.best_assignment, cp.best_num_blocks
+            best_state = make_state(
+                hg, cp.best_assignment, cp.best_num_blocks, config.backend
             )
             best.offer(
                 evaluator.evaluate(best_state, cp.best_remainder),
@@ -432,7 +433,7 @@ class FpartPartitioner:
                 circuit, device.name, iteration, state.num_blocks,
             )
         else:
-            state = PartitionState.single_block(hg)
+            state = single_block_state(hg, config.backend)
             remainder = 0
             iteration = 0
         guard.start()

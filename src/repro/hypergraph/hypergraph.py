@@ -25,6 +25,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .csr import CsrView
+
 __all__ = ["Hypergraph"]
 
 
@@ -64,6 +66,7 @@ class Hypergraph:
         "_net_drivers",
         "_total_size",
         "_neighbors_cache",
+        "_csr",
         "cell_names",
         "net_names",
     )
@@ -118,7 +121,12 @@ class Hypergraph:
             term_counts[e] += 1
         self._net_terminal_counts: Tuple[int, ...] = tuple(term_counts)
 
-        self._neighbors_cache: List[Optional[List[int]]] = [None] * num_cells
+        self._neighbors_cache: List[Optional[Tuple[int, ...]]] = (
+            [None] * num_cells
+        )
+        # Frozen CSR incidence view (four flat array('i') buffers), built
+        # once here and shared read-only by the flat partition backend.
+        self._csr = CsrView(self._nets, self._cell_nets)
 
         if net_drivers is None:
             self._net_drivers: Tuple[Optional[int], ...] = (None,) * num_nets
@@ -219,6 +227,11 @@ class Hypergraph:
         """Per-net count of attached terminal nodes."""
         return self._net_terminal_counts
 
+    @property
+    def csr(self) -> CsrView:
+        """Frozen CSR incidence view (see :class:`~repro.hypergraph.csr.CsrView`)."""
+        return self._csr
+
     def net_driver(self, net: int) -> Optional[int]:
         """Driver cell of ``net`` (None when unknown/external)."""
         return self._net_drivers[net]
@@ -248,13 +261,13 @@ class Hypergraph:
     # Traversal
     # ------------------------------------------------------------------
 
-    def neighbors(self, cell: int) -> List[int]:
+    def neighbors(self, cell: int) -> Tuple[int, ...]:
         """Distinct cells sharing at least one net with ``cell``.
 
         The cell itself is excluded.  Order is deterministic (first-seen
         along the cell's net list).  Computed lazily once per cell and
-        cached (the graph is immutable); callers must not mutate the
-        returned list.
+        cached as an immutable tuple (the graph is immutable, and the
+        cache entry is shared between callers).
         """
         cached = self._neighbors_cache[cell]
         if cached is not None:
@@ -266,8 +279,9 @@ class Hypergraph:
                 if p not in seen:
                     seen.add(p)
                     result.append(p)
-        self._neighbors_cache[cell] = result
-        return result
+        frozen = tuple(result)
+        self._neighbors_cache[cell] = frozen
+        return frozen
 
     def bfs_distances(self, start: int) -> List[int]:
         """Hop distances from ``start`` to every cell (-1 if unreachable).

@@ -1,0 +1,305 @@
+"""Flat-array partition state: the ``backend="flat"`` substrate.
+
+:class:`FlatPartitionState` keeps the exact public API, journal, listener
+and snapshot semantics of :class:`~repro.partition.PartitionState` but
+replaces the per-net ``{block: count}`` dicts with two flat Python lists::
+
+    flat_counts[net * flat_stride + block]  -> Λ(net, block) pin count
+    flat_spans[net]                         -> number of touched blocks
+
+``flat_stride`` is the current block *capacity* (>= num_blocks); it grows
+by doubling (with one O(nets * k) re-layout) when :meth:`add_block` runs
+out of columns, so the ``net * stride + block`` addressing stays valid
+across every move in between.  Shrinking (``restore_snapshot`` dropping
+blocks) needs no re-layout: rewinding necessarily empties the dropped
+blocks, so their count columns are already zero.
+
+Flat lists (not ``array('i')``) are deliberate for the *mutable* hot
+state: CPython indexes a list ~30% faster than an array because array
+reads box a fresh int object, while list reads hand back the cached
+small-int reference.  The frozen hypergraph incidence does use
+``array('i')`` buffers (:class:`~repro.hypergraph.csr.CsrView`) — those
+are read-only and shared across restart workers where compactness wins.
+
+Bit-identity contract
+---------------------
+Every observable — assignments, block sizes/pins/ext pads, cut count,
+total pins, ``net_span``/``net_block_count``/``net_distribution``, the
+journal and snapshot behaviour — matches the object backend exactly; the
+differential harness (``repro.testing.differential``) replays recorded
+op sequences through both and asserts it.  Algorithms detect the flat
+backend through the ``flat_counts`` attribute (``None`` on the object
+state, the live counts list here) and may then index the flat arrays
+directly instead of going through ``net_distribution`` dicts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..hypergraph import Hypergraph
+from .state import PartitionState
+
+__all__ = ["FlatPartitionState"]
+
+
+class FlatPartitionState(PartitionState):
+    """Partition state over flat ``net * stride + block`` counter arrays.
+
+    Construction mirrors :class:`PartitionState` (``single_block`` /
+    ``from_assignment`` / the positional constructor); see the module
+    docstring for the layout.
+    """
+
+    __slots__ = (
+        "flat_counts",
+        "flat_spans",
+        "flat_stride",
+        "_cell_offsets",
+        "_cell_nets",
+    )
+
+    def __init__(
+        self, hg: Hypergraph, assignment: Sequence[int], num_blocks: int
+    ) -> None:
+        # Capacity for the initial layout; _rebuild reads it.  Parent
+        # __init__ validates and calls _rebuild.
+        self.flat_stride = max(4, num_blocks)
+        # Plain-list incidence mirrors (shared per hypergraph) beat
+        # array('i') indexing in the per-move loop.
+        _, _, self._cell_offsets, self._cell_nets = hg.csr.list_mirrors()
+        super().__init__(hg, assignment, num_blocks)
+
+    # ------------------------------------------------------------------
+    # Rebuild / bookkeeping overrides
+    # ------------------------------------------------------------------
+
+    def _rebuild(self) -> None:
+        hg = self.hg
+        k = self._num_blocks
+        if self.flat_stride < k:
+            self.flat_stride = k
+        stride = self.flat_stride
+        self._block_sizes = [0] * k
+        self._block_cells = [set() for _ in range(k)]
+        block_of = self._block_of
+        for c, b in enumerate(block_of):
+            self._block_sizes[b] += hg.cell_size(c)
+            self._block_cells[b].add(c)
+
+        num_nets = hg.num_nets
+        counts = [0] * (num_nets * stride)
+        spans = [0] * num_nets
+        self.flat_counts = counts
+        self.flat_spans = spans
+        # The object backend's dict-of-dicts is not maintained here;
+        # net_distribution() materializes one on demand.
+        self._net_blocks = None
+        self._block_pins = [0] * k
+        self._block_ext_ios = [0] * k
+        self._cut_nets = 0
+        pins = self._block_pins
+        ext = self._block_ext_ios
+        net_pads = self._net_pads
+        net_offsets, net_pins, _, _ = hg.csr.list_mirrors()
+        total = 0
+        cut = 0
+        for e in range(num_nets):
+            base = e * stride
+            span = 0
+            for p in net_pins[net_offsets[e]:net_offsets[e + 1]]:
+                idx = base + block_of[p]
+                if counts[idx] == 0:
+                    span += 1
+                counts[idx] += 1
+            spans[e] = span
+            pads = net_pads[e]
+            if span > 1:
+                cut += 1
+            if span > 1 or pads > 0:
+                for b in range(k):
+                    if counts[base + b]:
+                        pins[b] += 1
+                        total += 1
+            if pads > 0:
+                for b in range(k):
+                    if counts[base + b]:
+                        ext[b] += pads
+        self._cut_nets = cut
+        self._total_pins = total
+        for listener in self._listeners:
+            listener.on_rebuild()
+
+    def copy(self) -> "FlatPartitionState":
+        return FlatPartitionState(
+            self.hg, list(self._block_of), self._num_blocks
+        )
+
+    def check_consistency(self) -> None:
+        """Flat-state oracle: fresh rebuild plus an object-backend cross
+        check of every derived quantity."""
+        fresh = FlatPartitionState(
+            self.hg, list(self._block_of), self._num_blocks
+        )
+        stride = self.flat_stride
+        fstride = fresh.flat_stride
+        for e in range(self.hg.num_nets):
+            mine = self.flat_counts[e * stride:e * stride + self._num_blocks]
+            theirs = fresh.flat_counts[
+                e * fstride:e * fstride + self._num_blocks
+            ]
+            assert mine == theirs, f"net {e} counts diverged"
+        assert self.flat_spans == fresh.flat_spans, "net spans diverged"
+        assert self._block_sizes == fresh._block_sizes, "block sizes diverged"
+        assert self._block_pins == fresh._block_pins, "block pins diverged"
+        assert (
+            self._block_ext_ios == fresh._block_ext_ios
+        ), "external I/Os diverged"
+        assert self._cut_nets == fresh._cut_nets, "cut-net count diverged"
+        assert self._total_pins == fresh._total_pins, "total pins diverged"
+        assert self._block_cells == fresh._block_cells, "block cells diverged"
+        oracle = PartitionState(
+            self.hg, list(self._block_of), self._num_blocks
+        )
+        assert self._block_pins == oracle._block_pins, (
+            "flat pins diverged from the object backend"
+        )
+        assert self._cut_nets == oracle._cut_nets, (
+            "flat cut count diverged from the object backend"
+        )
+        for e in range(self.hg.num_nets):
+            assert self.net_distribution(e) == oracle.net_distribution(e), (
+                f"net {e} distribution diverged from the object backend"
+            )
+
+    # ------------------------------------------------------------------
+    # Accessor overrides (the dict-of-dicts is gone)
+    # ------------------------------------------------------------------
+
+    def net_span(self, net: int) -> int:
+        return self.flat_spans[net]
+
+    def is_cut(self, net: int) -> bool:
+        return self.flat_spans[net] > 1
+
+    def net_block_count(self, net: int, block: int) -> int:
+        return self.flat_counts[net * self.flat_stride + block]
+
+    def net_distribution(self, net: int) -> Dict[int, int]:
+        """``block -> pin count`` map, materialized on demand.
+
+        Built in ascending block order (the object backend's dicts carry
+        insertion order instead; every consumer is order-insensitive,
+        and dict equality ignores order).
+        """
+        counts = self.flat_counts
+        base = net * self.flat_stride
+        return {
+            b: counts[base + b]
+            for b in range(self._num_blocks)
+            if counts[base + b]
+        }
+
+    # ------------------------------------------------------------------
+    # Mutation overrides
+    # ------------------------------------------------------------------
+
+    def add_block(self) -> int:
+        if self._num_blocks == self.flat_stride:
+            self._grow_stride(self.flat_stride * 2)
+        return super().add_block()
+
+    def _grow_stride(self, new_stride: int) -> None:
+        """Re-layout ``flat_counts`` with a wider block capacity."""
+        old_stride = self.flat_stride
+        counts = self.flat_counts
+        num_nets = self.hg.num_nets
+        grown = [0] * (num_nets * new_stride)
+        k = self._num_blocks
+        for e in range(num_nets):
+            src = e * old_stride
+            dst = e * new_stride
+            grown[dst:dst + k] = counts[src:src + k]
+        self.flat_counts = grown
+        self.flat_stride = new_stride
+
+    def _apply_move(self, cell: int, to_block: int) -> int:
+        """Flat-array core of :meth:`move` — identical case split and
+        update order as the object backend, addressing ``flat_counts``
+        instead of per-net dicts."""
+        block_of = self._block_of
+        from_block = block_of[cell]
+        if to_block == from_block:
+            return from_block
+        if not 0 <= to_block < self._num_blocks:
+            raise ValueError(f"invalid destination block {to_block}")
+        size = self._cell_sizes[cell]
+
+        block_of[cell] = to_block
+        sizes = self._block_sizes
+        sizes[from_block] -= size
+        sizes[to_block] += size
+        self._block_cells[from_block].discard(cell)
+        self._block_cells[to_block].add(cell)
+
+        pins = self._block_pins
+        ext = self._block_ext_ios
+        counts = self.flat_counts
+        spans = self.flat_spans
+        stride = self.flat_stride
+        net_pads = self._net_pads
+        cut_delta = 0
+        pins_delta = 0
+        offsets = self._cell_offsets
+        for e in self._cell_nets[offsets[cell]:offsets[cell + 1]]:
+            base = e * stride
+            if_ = base + from_block
+            it = base + to_block
+            c_from = counts[if_]
+            c_to = counts[it]
+            counts[if_] = c_from - 1
+            counts[it] = c_to + 1
+            pads = net_pads[e]
+            if c_from == 1:
+                if c_to == 0:
+                    # Net slides between the blocks: span unchanged.
+                    if spans[e] > 1 or pads > 0:
+                        pins[from_block] -= 1
+                        pins[to_block] += 1
+                    if pads > 0:
+                        ext[from_block] -= pads
+                        ext[to_block] += pads
+                else:
+                    # Net stops touching from_block; span drops by one.
+                    span_new = spans[e] - 1
+                    spans[e] = span_new
+                    pins[from_block] -= 1
+                    pins_delta -= 1
+                    if pads > 0:
+                        ext[from_block] -= pads
+                    elif span_new == 1:
+                        # Single survivor no longer sees the net.
+                        pins[to_block] -= 1
+                        pins_delta -= 1
+                    if span_new == 1:
+                        cut_delta -= 1
+            elif c_to == 0:
+                # Net starts touching to_block; span grows by one.
+                span_old = spans[e]
+                spans[e] = span_old + 1
+                pins[to_block] += 1
+                pins_delta += 1
+                if pads > 0:
+                    ext[to_block] += pads
+                elif span_old == 1:
+                    # from_block's copy just became visible.
+                    pins[from_block] += 1
+                    pins_delta += 1
+                if span_old == 1:
+                    cut_delta += 1
+            # else: net keeps touching both blocks; nothing changes.
+        self._cut_nets += cut_delta
+        self._total_pins += pins_delta
+        for listener in self._listeners:
+            listener.on_move(from_block, to_block)
+        return from_block

@@ -72,6 +72,13 @@ class PartitionState:
     algorithm-level policy kept in the drivers.
     """
 
+    #: Backend marker read by the hot paths (gains, engines): ``None``
+    #: here, the live flat counter list on
+    #: :class:`~repro.partition.flat_state.FlatPartitionState` (whose
+    #: slot of the same name shadows this class attribute).  Branching on
+    #: ``state.flat_counts is None`` is cheaper than isinstance checks.
+    flat_counts = None
+
     __slots__ = (
         "hg",
         "_block_of",
@@ -128,8 +135,11 @@ class PartitionState:
         return cls(hg, assignment, num_blocks)
 
     def copy(self) -> "PartitionState":
-        """Independent deep copy (shares only the immutable hypergraph)."""
-        return PartitionState(self.hg, list(self._block_of), self._num_blocks)
+        """Independent deep copy (shares only the immutable hypergraph).
+
+        Subclass-polymorphic: copying a flat state yields a flat state.
+        """
+        return self.__class__(self.hg, list(self._block_of), self._num_blocks)
 
     # ------------------------------------------------------------------
     # Full (non-incremental) rebuild — also the consistency oracle

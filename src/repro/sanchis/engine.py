@@ -201,6 +201,19 @@ class SanchisEngine:
         # evaluator is attached); the SolutionCost object is built once
         # at the end of the pass.
         key_of = evaluator.key_of
+        # Fused-key protocol (flat backend): the evaluator refreshes the
+        # key inside its on_move listener, so the per-move read is one
+        # list index instead of a current_key call.  The keys are
+        # bit-identical either way; only the call is elided.
+        fused = (
+            getattr(evaluator, "fused_keys", False)
+            and evaluator.attached_state is state
+        )
+        if fused:
+            evaluator.set_remainder(self.remainder)
+            fused_key_cell = evaluator.last_key_cell
+        else:
+            fused_key_cell = None
 
         # Telemetry contract: nothing below touches the registry or the
         # tracer per move.  Observations accumulate in pass-local
@@ -438,14 +451,26 @@ class SanchisEngine:
                 nets = hg.nets_of(cell)
                 # Pre-move distribution facts deciding which neighbours
                 # are dirty (the predicates below need the *old* counts).
-                pre = [
-                    (
-                        state.net_block_count(e, from_block),
-                        state.net_block_count(e, to_block),
-                        locked_in_block[e].get(to_block, 0),
-                    )
-                    for e in nets
-                ]
+                flat_counts = state.flat_counts
+                if flat_counts is not None:
+                    stride = state.flat_stride
+                    pre = [
+                        (
+                            flat_counts[e * stride + from_block],
+                            flat_counts[e * stride + to_block],
+                            locked_in_block[e].get(to_block, 0),
+                        )
+                        for e in nets
+                    ]
+                else:
+                    pre = [
+                        (
+                            state.net_block_count(e, from_block),
+                            state.net_block_count(e, to_block),
+                            locked_in_block[e].get(to_block, 0),
+                        )
+                        for e in nets
+                    ]
                 state.move(cell, to_block)
                 free.discard(cell)
                 version[cell] += 1  # invalidate the cell's other entries
@@ -495,7 +520,11 @@ class SanchisEngine:
                 for direction in self._dirs_to.get(from_block, ()):
                     revive(direction)
 
-                key = key_of(state, self.remainder)
+                key = (
+                    fused_key_cell[0]
+                    if fused_key_cell is not None
+                    else key_of(state, self.remainder)
+                )
                 applied += 1
                 if trace_every and applied % trace_every == 0:
                     tracer.emit("move_batch", moves=applied, key=list(key))

@@ -1,0 +1,323 @@
+"""Differential testing of the flat vs object partition substrates.
+
+The flat (CSR array) backend promises to be **bit-identical** to the
+object backend in every observable: assignments, cut counts, per-block
+aggregates, FM gains and lexicographic cost keys.  This module makes
+that promise checkable by construction: it generates (or accepts) a
+recorded operation sequence, replays it through both backends and
+compares a dense fingerprint of observables after every operation.
+
+Operation vocabulary (plain tuples, JSON-friendly):
+
+``("move", cell, to_block)``
+    Apply one move (``to_block`` may equal the current block — a no-op
+    move still journals, which both backends must agree on).
+``("add_block",)``
+    Grow the partition by one empty block.
+``("mark",)``
+    Push ``journal_mark()`` onto the replay's mark stack.
+``("rewind", i)``
+    Rewind to the ``i``-th pushed mark and truncate the stack there —
+    exercising the undo journal across both substrates.
+``("restore", assignment, num_blocks)``
+    Full-state restore (the driver's checkpoint/resume path).
+
+The fingerprint taken after each op covers the partition aggregates and
+a deterministic sample of per-net / per-cell queries; optional extras
+compare FM gains (:func:`repro.fm.gains`) and evaluator keys
+(:func:`repro.core.cost.make_evaluator`) move-for-move.
+
+Used by ``tests/test_flat_core.py``; importable from ad-hoc scripts::
+
+    from repro.testing.differential import run_differential
+    report = run_differential(hg, seed=7, length=2000, device=device)
+    assert report.identical, report.first_divergence
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..core.backend import single_block_state
+from ..hypergraph import Hypergraph
+
+__all__ = [
+    "DifferentialReport",
+    "random_ops",
+    "replay",
+    "run_differential",
+]
+
+Op = Tuple[Any, ...]
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one flat-vs-object replay comparison."""
+
+    ops: List[Op]
+    identical: bool
+    first_divergence: Optional[str] = None
+    fingerprints_compared: int = 0
+    extras: List[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # truthy == backends agree
+        return self.identical
+
+
+def random_ops(
+    hg: Hypergraph,
+    seed: int = 0,
+    length: int = 1000,
+    max_blocks: int = 8,
+    rewind_prob: float = 0.05,
+    add_block_prob: float = 0.02,
+    restore_prob: float = 0.01,
+) -> List[Op]:
+    """Deterministic random operation sequence over ``hg``.
+
+    Starts from the single-block state; block targets stay inside the
+    blocks created so far, so every op is applicable.  Rewinds target
+    previously pushed marks (the generator tracks the mark stack the
+    same way :func:`replay` does).
+    """
+    rng = random.Random(seed)
+    ops: List[Op] = []
+    num_blocks = 1
+    marks = 0  # depth of the mark stack at this point of the sequence
+    sizes_known = hg.num_cells > 0
+    for _ in range(length):
+        r = rng.random()
+        if r < rewind_prob and marks > 0:
+            i = rng.randrange(marks)
+            ops.append(("rewind", i))
+            marks = i
+        elif r < rewind_prob + add_block_prob and num_blocks < max_blocks:
+            ops.append(("add_block",))
+            num_blocks += 1
+        elif r < rewind_prob + add_block_prob + restore_prob:
+            nb = rng.randrange(1, num_blocks + 1)
+            assignment = [rng.randrange(nb) for _ in range(hg.num_cells)]
+            ops.append(("restore", assignment, nb))
+            num_blocks = nb
+            marks = 0  # restore resets the journal
+        elif sizes_known:
+            if rng.random() < 0.15:
+                ops.append(("mark",))
+                marks += 1
+            cell = rng.randrange(hg.num_cells)
+            ops.append(("move", cell, rng.randrange(num_blocks)))
+    return ops
+
+
+def _fingerprint(state, probe_nets, probe_cells) -> Tuple:
+    """Dense observable snapshot of ``state`` (hashable tuple)."""
+    return (
+        state.num_blocks,
+        state.cut_nets,
+        state.total_pins,
+        state.block_sizes,
+        state.block_pin_counts,
+        state.block_ext_io_counts,
+        tuple(state.assignment()),
+        tuple(
+            tuple(sorted(state.net_distribution(e).items()))
+            for e in probe_nets
+        ),
+        tuple(state.net_span(e) for e in probe_nets),
+        tuple(state.block_of(c) for c in probe_cells),
+    )
+
+
+def replay(
+    hg: Hypergraph,
+    ops: Sequence[Op],
+    backend: str,
+    probe_nets: Sequence[int] = (),
+    probe_cells: Sequence[int] = (),
+) -> List[Tuple]:
+    """Replay ``ops`` on a fresh single-block state; return fingerprints.
+
+    One fingerprint per op (taken *after* applying it), plus the initial
+    one at index 0.
+    """
+    state = single_block_state(hg, backend)
+    marks: List[int] = []
+    prints = [_fingerprint(state, probe_nets, probe_cells)]
+    for op in ops:
+        kind = op[0]
+        if kind == "move":
+            state.move(op[1], op[2])
+        elif kind == "add_block":
+            state.add_block()
+        elif kind == "mark":
+            marks.append(state.journal_mark())
+        elif kind == "rewind":
+            state.rewind(marks[op[1]])
+            del marks[op[1]:]
+        elif kind == "restore":
+            state.restore(list(op[1]), op[2])
+            marks.clear()
+        else:
+            raise ValueError(f"unknown differential op {op!r}")
+        prints.append(_fingerprint(state, probe_nets, probe_cells))
+    state.check_consistency()
+    return prints
+
+
+def _compare_gains(hg: Hypergraph, ops, seed: int) -> Optional[str]:
+    """Replay with interleaved gain queries on both backends."""
+    from ..fm.gains import move_gain, move_gain_vector, pin_gain
+
+    rng = random.Random(seed ^ 0x5F3759DF)
+    states = {
+        b: single_block_state(hg, b) for b in ("object", "flat")
+    }
+    marks: dict = {b: [] for b in states}
+    for step, op in enumerate(ops):
+        for b, state in states.items():
+            kind = op[0]
+            if kind == "move":
+                state.move(op[1], op[2])
+            elif kind == "add_block":
+                state.add_block()
+            elif kind == "mark":
+                marks[b].append(state.journal_mark())
+            elif kind == "rewind":
+                state.rewind(marks[b][op[1]])
+                del marks[b][op[1]:]
+            elif kind == "restore":
+                state.restore(list(op[1]), op[2])
+                marks[b].clear()
+        if step % 7 == 0 and hg.num_cells:
+            cell = rng.randrange(hg.num_cells)
+            to = rng.randrange(states["flat"].num_blocks)
+            no_locks = [{} for _ in range(hg.num_nets)]
+            queries = []
+            for b, state in sorted(states.items()):
+                queries.append(
+                    (
+                        move_gain(state, cell, to),
+                        pin_gain(state, cell, to),
+                        move_gain_vector(state, cell, to, no_locks),
+                    )
+                )
+            if queries[0] != queries[1]:
+                return (
+                    f"gain divergence at op {step} "
+                    f"(cell={cell}, to={to}): "
+                    f"flat={queries[0]} object={queries[1]}"
+                )
+    return None
+
+
+def _compare_keys(hg: Hypergraph, ops, device, config) -> Optional[str]:
+    """Replay with attached incremental evaluators, comparing keys."""
+    import dataclasses
+
+    from ..core.cost import make_evaluator
+
+    lb = device.lower_bound(hg)
+    pairs = []
+    for backend in ("object", "flat"):
+        cfg = dataclasses.replace(config, backend=backend)
+        state = single_block_state(hg, backend)
+        ev = make_evaluator(device, cfg, lb, hg.num_terminals)
+        ev.attach(state)
+        pairs.append((state, ev, []))
+    for step, op in enumerate(ops):
+        for state, ev, marks in pairs:
+            kind = op[0]
+            if kind == "move":
+                state.move(op[1], op[2])
+            elif kind == "add_block":
+                state.add_block()
+            elif kind == "mark":
+                marks.append(state.journal_mark())
+            elif kind == "rewind":
+                state.rewind(marks[op[1]])
+                del marks[op[1]:]
+            elif kind == "restore":
+                state.restore(list(op[1]), op[2])
+                marks.clear()
+        remainder = pairs[0][0].num_blocks - 1
+        k0 = pairs[0][1].key_of(pairs[0][0], remainder)
+        k1 = pairs[1][1].key_of(pairs[1][0], remainder)
+        if k0 != k1:
+            return (
+                f"key divergence at op {step} (remainder={remainder}): "
+                f"object={k0} flat={k1}"
+            )
+        c0 = pairs[0][1].cost_of(pairs[0][0], remainder)
+        c1 = pairs[1][1].cost_of(pairs[1][0], remainder)
+        if c0.key != c1.key:
+            return (
+                f"cost divergence at op {step}: "
+                f"object={c0.key} flat={c1.key}"
+            )
+    return None
+
+
+def run_differential(
+    hg: Hypergraph,
+    ops: Optional[Sequence[Op]] = None,
+    seed: int = 0,
+    length: int = 1000,
+    device=None,
+    config=None,
+    num_probes: int = 16,
+) -> DifferentialReport:
+    """Replay one op sequence through both backends and compare.
+
+    With ``device`` (and optionally ``config``) given, also attaches an
+    incremental evaluator per backend and compares lexicographic keys
+    and costs after every op.  Returns a report; ``report.identical``
+    is the verdict and ``report.first_divergence`` the evidence.
+    """
+    if ops is None:
+        ops = random_ops(hg, seed=seed, length=length)
+    ops = list(ops)
+    rng = random.Random(seed ^ 0xA5A5A5)
+    probe_nets = sorted(
+        rng.sample(range(hg.num_nets), min(num_probes, hg.num_nets))
+    )
+    probe_cells = sorted(
+        rng.sample(range(hg.num_cells), min(num_probes, hg.num_cells))
+    )
+    report = DifferentialReport(ops=ops, identical=True)
+
+    prints = {}
+    for backend in ("object", "flat"):
+        prints[backend] = replay(hg, ops, backend, probe_nets, probe_cells)
+    report.fingerprints_compared = len(prints["flat"])
+    for i, (a, b) in enumerate(zip(prints["object"], prints["flat"])):
+        if a != b:
+            report.identical = False
+            op = ops[i - 1] if i else "<initial>"
+            report.first_divergence = (
+                f"state divergence after op {i - 1} = {op!r}: "
+                f"object={a!r} flat={b!r}"
+            )
+            return report
+
+    divergence = _compare_gains(hg, ops, seed)
+    if divergence:
+        report.identical = False
+        report.first_divergence = divergence
+        return report
+    report.extras.append("gains")
+
+    if device is not None:
+        if config is None:
+            from ..core.config import DEFAULT_CONFIG
+
+            config = DEFAULT_CONFIG
+        divergence = _compare_keys(hg, ops, device, config)
+        if divergence:
+            report.identical = False
+            report.first_divergence = divergence
+            return report
+        report.extras.append("keys")
+    return report

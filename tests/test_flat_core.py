@@ -1,0 +1,234 @@
+"""Flat (CSR) partition substrate: bit-identity with the object backend.
+
+Three layers of evidence, matching DESIGN.md section 9:
+
+* **property tests** — randomized operation sequences (moves, rewinds,
+  block growth, full restores) replayed through both backends with a
+  dense observable fingerprint compared after every op, plus FM gains
+  and incremental lexicographic cost keys;
+* **structure equivalence** — :class:`FlatGainBuckets` against
+  :class:`GainBuckets` over random op sequences, including iteration
+  (tie-break) order;
+* **whole-run bit-identity** — full ``fpart`` runs on the MCNC stand-in
+  circuits produce identical assignments and costs for
+  ``backend in {"flat", "object"}``, serial and parallel, including the
+  ``--restarts`` portfolio winner.
+"""
+
+import random
+
+import pytest
+
+from repro import XC3042, fpart, mcnc_circuit
+from repro.circuits import generate_circuit
+from repro.core import FpartConfig
+from repro.core.backend import make_state, single_block_state, state_class
+from repro.core.device import device_by_name
+from repro.fm.buckets import FlatGainBuckets, GainBuckets
+from repro.partition import FlatPartitionState, PartitionState
+from repro.testing.differential import random_ops, replay, run_differential
+
+
+class TestBackendDispatch:
+    def test_state_class(self):
+        assert state_class("object") is PartitionState
+        assert state_class("flat") is FlatPartitionState
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            state_class("numpy")
+        with pytest.raises(ValueError):
+            FpartConfig(backend="numpy")
+
+    def test_single_block_state(self, chain4):
+        assert isinstance(
+            single_block_state(chain4, "flat"), FlatPartitionState
+        )
+        flat = make_state(chain4, [0, 1, 0, 1], 2, "flat")
+        obj = make_state(chain4, [0, 1, 0, 1], 2, "object")
+        assert flat.flat_counts is not None
+        assert obj.flat_counts is None
+        assert flat.assignment() == obj.assignment()
+
+    def test_copy_preserves_backend(self, chain4):
+        flat = make_state(chain4, [0, 1, 0, 1], 2, "flat")
+        assert isinstance(flat.copy(), FlatPartitionState)
+
+
+class TestDifferentialProperties:
+    """Randomized replays through both substrates must never diverge."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_random_sequences_small(self, two_clusters, seed):
+        report = run_differential(two_clusters, seed=seed, length=400)
+        assert report.identical, report.first_divergence
+
+    @pytest.mark.parametrize("seed", [7, 11])
+    def test_random_sequences_with_keys(self, seed):
+        hg = generate_circuit(
+            "flatcore", num_cells=300, num_ios=24, seed=seed
+        )
+        device = device_by_name("XC3042")
+        report = run_differential(
+            hg, seed=seed, length=500, device=device
+        )
+        assert report.identical, report.first_divergence
+        assert report.extras == ["gains", "keys"]
+
+    def test_replay_fingerprints_cover_every_op(self, two_clusters):
+        ops = random_ops(two_clusters, seed=5, length=100)
+        prints = replay(two_clusters, ops, "flat")
+        assert len(prints) == len(ops) + 1
+
+    def test_consistency_after_replay(self, medium_circuit):
+        ops = random_ops(medium_circuit, seed=9, length=600)
+        # replay() runs check_consistency() on exit for both backends.
+        replay(medium_circuit, ops, "flat")
+        replay(medium_circuit, ops, "object")
+
+
+class TestFlatGainBuckets:
+    """FlatGainBuckets must be observationally identical to GainBuckets."""
+
+    @staticmethod
+    def _fingerprint(b):
+        return (
+            len(b),
+            b.max_gain_value(),
+            b.peek_max(),
+            tuple(b.iter_from_max()),
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_random_op_equivalence(self, seed):
+        rng = random.Random(seed)
+        max_gain, capacity = 6, 48
+        ref = GainBuckets(max_gain)
+        flat = FlatGainBuckets(max_gain, capacity)
+        members = set()
+        for step in range(2000):
+            r = rng.random()
+            if r < 0.45 or not members:
+                cell = rng.randrange(capacity)
+                gain = rng.randint(-max_gain, max_gain)
+                if cell in members:
+                    with pytest.raises(ValueError):
+                        ref.insert(cell, gain)
+                    with pytest.raises(ValueError):
+                        flat.insert(cell, gain)
+                else:
+                    ref.insert(cell, gain)
+                    flat.insert(cell, gain)
+                    members.add(cell)
+            elif r < 0.60:
+                cell = rng.choice(sorted(members))
+                ref.remove(cell)
+                flat.remove(cell)
+                members.discard(cell)
+            elif r < 0.75:
+                cell = rng.choice(sorted(members))
+                gain = rng.randint(-max_gain, max_gain)
+                ref.update(cell, gain)
+                flat.update(cell, gain)
+            elif r < 0.85:
+                cell = rng.choice(sorted(members))
+                delta = rng.randint(-2, 2)
+                bounded = max(
+                    -max_gain, min(max_gain, ref.gain_of(cell) + delta)
+                )
+                delta = bounded - ref.gain_of(cell)
+                ref.adjust(cell, delta)
+                flat.adjust(cell, delta)
+            else:
+                a = ref.pop_max()
+                b = flat.pop_max()
+                assert a == b
+                members.discard(a)
+            assert self._fingerprint(ref) == self._fingerprint(flat)
+            for cell in members:
+                assert cell in ref and cell in flat
+                assert ref.gain_of(cell) == flat.gain_of(cell)
+
+    def test_errors_match(self):
+        flat = FlatGainBuckets(3, 8)
+        with pytest.raises(KeyError):
+            flat.remove(2)
+        with pytest.raises(KeyError):
+            flat.gain_of(2)
+        flat.insert(2, 1)
+        with pytest.raises(ValueError):
+            flat.insert(2, -1)
+        with pytest.raises(ValueError):
+            flat.insert(3, 4)  # gain out of range
+        assert flat.pop_max() == 2
+        assert flat.pop_max() is None
+        assert flat.peek_max() is None
+        assert flat.max_gain_value() is None
+
+    def test_clear(self):
+        flat = FlatGainBuckets(2, 6)
+        for cell in range(6):
+            flat.insert(cell, cell % 3 - 1)
+        flat.clear()
+        assert len(flat) == 0
+        assert list(flat.iter_from_max()) == []
+        flat.insert(0, 2)  # reusable after clear
+        assert flat.pop_max() == 0
+
+
+def _run_pair(hg, device, **overrides):
+    results = {}
+    for backend in ("flat", "object"):
+        config = FpartConfig(backend=backend, **overrides)
+        results[backend] = fpart(hg, device, config=config)
+    return results["flat"], results["object"]
+
+
+class TestWholeRunBitIdentity:
+    """Full fpart runs: the backend must never change a single bit."""
+
+    @pytest.mark.parametrize("builder_jobs", [1, 4])
+    def test_s9234_xc3042(self, builder_jobs):
+        hg = mcnc_circuit("s9234", "XC3000")
+        flat, obj = _run_pair(hg, XC3042, builder_jobs=builder_jobs)
+        assert flat.assignment == obj.assignment
+        assert flat.num_devices == obj.num_devices
+        assert flat.status == obj.status
+        assert flat.cost.key == obj.cost.key
+
+    def test_c3540_xc3042(self):
+        hg = mcnc_circuit("c3540", "XC3000")
+        flat, obj = _run_pair(hg, XC3042)
+        assert flat.assignment == obj.assignment
+        assert flat.cost.key == obj.cost.key
+
+    def test_portfolio_winner_unchanged(self):
+        from repro.parallel import run_restarts
+
+        hg = mcnc_circuit("c3540", "XC3000")
+        winners = {}
+        for backend in ("flat", "object"):
+            config = FpartConfig(backend=backend, seed=3)
+            portfolio = run_restarts(
+                hg, XC3042, config, restarts=4, jobs=4
+            )
+            assert portfolio.status == "complete"
+            winners[backend] = portfolio
+        assert (
+            winners["flat"].winner_index == winners["object"].winner_index
+        )
+        assert (
+            winners["flat"].winner.assignment
+            == winners["object"].winner.assignment
+        )
+        assert (
+            winners["flat"].winner.cost.key
+            == winners["object"].winner.cost.key
+        )
+
+    def test_checkpoints_interchangeable(self):
+        from repro.core.checkpoint import config_digest
+
+        assert config_digest(FpartConfig(backend="flat")) == config_digest(
+            FpartConfig(backend="object")
+        )

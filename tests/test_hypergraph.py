@@ -80,8 +80,13 @@ class TestAccessors:
 
 class TestTraversal:
     def test_neighbors(self, chain4):
-        assert chain4.neighbors(1) == [0, 2]
-        assert chain4.neighbors(0) == [1]
+        assert chain4.neighbors(1) == (0, 2)
+        assert chain4.neighbors(0) == (1,)
+
+    def test_neighbors_immutable_and_cached(self, chain4):
+        first = chain4.neighbors(1)
+        assert isinstance(first, tuple)
+        assert chain4.neighbors(1) is first  # cached, shared safely
 
     def test_neighbors_dedupe(self, two_clusters):
         # Cell 0 shares nets with 1, 2, 3 — each reported once.
