@@ -13,7 +13,9 @@ Installed as ``fpart`` (also ``python -m repro``).  Subcommands:
 * ``compare`` — judge a recorded run against a baseline run (exit 0 ok,
   3 on a quality/latency regression — CI-gateable);
 * ``export`` — re-render stored telemetry as OpenMetrics text or a
-  Chrome-tracing (catapult) JSON timeline.
+  Chrome-tracing (catapult) JSON timeline;
+* ``serve`` — run the crash-safe HTTP/JSON partitioning job daemon
+  (write-ahead journal, idempotent submission, graceful drain).
 
 Netlist files are autodetected by extension: ``.hgr`` (extended hMETIS),
 ``.nets`` (named netlist) or ``.blif`` (structural BLIF).
@@ -23,6 +25,8 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -454,6 +458,65 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's trace stream as Chrome-tracing (catapult) "
         "JSON for chrome://tracing / Perfetto",
     )
+
+    d = sub.add_parser(
+        "serve",
+        help="run the partitioning HTTP/JSON job daemon",
+    )
+    d.add_argument(
+        "--state-dir",
+        required=True,
+        metavar="DIR",
+        help="durable state root (journal, per-job dirs, run store); "
+        "restarting with the same dir recovers in-flight jobs",
+    )
+    d.add_argument("--host", default="127.0.0.1")
+    d.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 picks a free port; the bound port is "
+        "printed and written to <state-dir>/serve.json)",
+    )
+    d.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="worker processes = concurrently running jobs (default 2)",
+    )
+    d.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=32,
+        help="bounded admission queue size; beyond it submissions get "
+        "429 + Retry-After (default 32)",
+    )
+    d.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts per job before degrading to checkpoint "
+        "best-so-far (default 3)",
+    )
+    d.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="hard per-attempt wall-clock cap enforced by the pool",
+    )
+    d.add_argument(
+        "--drain-seconds",
+        type=float,
+        default=10.0,
+        help="grace period for running jobs on SIGTERM before they are "
+        "checkpointed and re-queued (default 10)",
+    )
+    d.add_argument(
+        "--test-hooks",
+        action="store_true",
+        help=argparse.SUPPRESS,  # fault-injection seam for tests/CI only
+    )
     return parser
 
 
@@ -555,6 +618,8 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
     end-to-end: a resumed run reuses the checkpoint's id, and the same
     id stamps trace events, the metrics dump and the result.
     """
+    from .core import GracefulInterrupt
+    from .core.runguard import RunBudget, RunGuard
     from .logging import new_run_id
     from .obs import (
         NULL_METRICS,
@@ -617,10 +682,18 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         if args.progress or tracer.enabled
         else None
     )
+    # Foreground runs own the guard so SIGTERM/SIGINT can be routed into
+    # a cooperative stop: the run degrades to best-so-far (exit 3), the
+    # last iteration-boundary checkpoint stays valid, and a later
+    # --resume continues the exact trajectory.
+    guard = RunGuard(
+        RunBudget.from_config(config, device.lower_bound(hg))
+    )
     partitioner = FpartPartitioner(
         hg,
         device,
         config,
+        guard=guard,
         checkpoint=manager,
         run_id=run_id,
         metrics=metrics,
@@ -628,7 +701,9 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         heartbeat=heartbeat,
     )
     profile_report = None
+    interrupt = GracefulInterrupt(guard)
     try:
+        interrupt.install()
         if args.profile:
             from .analysis.profiling import profile_call
 
@@ -639,7 +714,19 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         else:
             result = partitioner.run(resume_from=resume_cp)
     finally:
+        interrupt.restore()
         tracer.close()
+    if interrupt.signaled:
+        print(
+            f"fpart: interrupted by {interrupt.signaled}; "
+            + (
+                f"checkpoint kept at {args.checkpoint} (resume with "
+                f"--resume)"
+                if args.checkpoint
+                else "returning best solution so far"
+            ),
+            file=sys.stderr,
+        )
     if args.metrics:
         metrics.dump_json(args.metrics, run_id=partitioner.run_id)
         print(f"metrics written to {args.metrics}")
@@ -1056,6 +1143,75 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the partitioning daemon until SIGTERM/SIGINT, then drain."""
+    import signal
+    import threading
+
+    from .serve import (
+        PartitionService,
+        ServiceConfig,
+        make_server,
+        serve_forever_in_thread,
+    )
+
+    service = PartitionService(
+        ServiceConfig(
+            state_dir=args.state_dir,
+            jobs=args.jobs,
+            queue_capacity=args.queue_capacity,
+            max_attempts=args.max_attempts,
+            job_timeout_seconds=args.job_timeout,
+            drain_seconds=args.drain_seconds,
+            allow_test_hooks=args.test_hooks,
+        )
+    ).start()
+    server = make_server(args.host, args.port, service)
+    host, port = server.server_address[0], server.server_address[1]
+
+    # Discovery file: tests and scripts find the bound port here even
+    # when --port 0 asked the OS to pick one.
+    state_dir = Path(args.state_dir)
+    endpoint = {"host": host, "port": port, "pid": os.getpid()}
+    tmp = state_dir / "serve.json.tmp"
+    tmp.write_text(json.dumps(endpoint, sort_keys=True), encoding="utf-8")
+    os.replace(tmp, state_dir / "serve.json")
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        stop.set()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(signum, _on_signal)
+
+    recovered = service.stats()["recovered"]
+    print(
+        f"fpart: serve listening on http://{host}:{port} "
+        f"(state {state_dir}, {args.jobs} workers"
+        + (f", {recovered} jobs recovered)" if recovered else ")"),
+        file=sys.stderr,
+    )
+    http_thread = serve_forever_in_thread(server)
+    try:
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    print("fpart: serve draining...", file=sys.stderr)
+    summary = service.drain()
+    server.shutdown()
+    http_thread.join(timeout=5.0)
+    requeued = len(summary["requeued"])
+    print(
+        "fpart: serve stopped"
+        + (f" ({requeued} jobs re-queued for next start)" if requeued else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -1075,6 +1231,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "history": _cmd_history,
         "compare": _cmd_compare,
         "export": _cmd_export,
+        "serve": _cmd_serve,
     }
     try:
         return handlers[args.command](args)

@@ -53,6 +53,7 @@ from .heterogeneous import (
     partition_heterogeneous,
 )
 from .improve import improve
+from .interrupt import GracefulInterrupt
 from .move_region import MoveRegion
 from .runguard import (
     NULL_GUARD,
@@ -93,6 +94,7 @@ __all__ = [
     "CostEvaluator",
     "IncrementalCostEvaluator",
     "make_evaluator",
+    "GracefulInterrupt",
     "MoveRegion",
     "SolutionStack",
     "DualSolutionStacks",

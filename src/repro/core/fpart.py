@@ -481,6 +481,10 @@ class FpartPartitioner:
             # Strict-mode propagation still closes the event stream, so
             # every trace that saw run_start also carries a terminal
             # run_end with the failure status.
+            if heartbeat is not None:
+                # Terminal beat: streaming clients must never be left
+                # waiting for a next tick that cannot come.
+                heartbeat.finish(guard, end_status)
             if tracer.enabled:
                 tracer.emit(
                     "run_end",
@@ -648,6 +652,10 @@ class FpartPartitioner:
             )
         except Exception:  # the evaluator may be the faulted part
             final_cost = None
+        if heartbeat is not None:
+            # Terminal heartbeat on every completion path — feasible or
+            # degraded — so progress streams always observe a final beat.
+            heartbeat.finish(guard, status)
         if tracer.enabled:
             tracer.emit(
                 "run_end",

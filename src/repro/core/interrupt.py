@@ -1,0 +1,99 @@
+"""Graceful SIGTERM/SIGINT handling for foreground partitioning runs.
+
+A CLI run that dies on the default signal disposition loses everything
+past its last checkpoint and can leave a half-written ``--output`` file
+behind.  :class:`GracefulInterrupt` converts the *first* SIGTERM or
+SIGINT into a cooperative stop request on the run's
+:class:`~repro.core.runguard.RunGuard` — the run then degrades exactly
+as on budget exhaustion: the engines unwind at the next consistent
+boundary, the partitioner rewinds to the best lexicographic solution
+observed, the last iteration-boundary checkpoint stays valid on disk,
+and the CLI exits with the degraded code (3).  A *second* signal
+restores the previous disposition and re-raises it, so a wedged run can
+still be killed the classic way.
+
+The handler body only stores a string (``RunGuard.request_stop``), the
+entire extent of what is safe from a signal context.  Installation is a
+no-op off the main thread (``signal.signal`` raises there), which lets
+library callers — the serve daemon runs partitions in worker processes
+whose main thread *is* the run — use the same wrapper everywhere.
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import Dict, Optional
+
+from .runguard import RunGuard
+
+__all__ = ["GracefulInterrupt"]
+
+#: Signals converted into a cooperative stop.
+_SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+
+class GracefulInterrupt:
+    """Context manager routing SIGTERM/SIGINT into a guard stop request.
+
+    Usage::
+
+        guard = RunGuard(RunBudget.from_config(config, m))
+        with GracefulInterrupt(guard):
+            result = FpartPartitioner(hg, device, config, guard=guard).run()
+
+    ``result.status`` is ``"budget_exhausted"`` (error mentioning the
+    signal) when a signal arrived, ``"feasible"`` when the run won the
+    race.  Previous handlers are restored on exit.
+    """
+
+    def __init__(self, guard: RunGuard) -> None:
+        self.guard = guard
+        self.signaled: Optional[str] = None
+        self._previous: Dict[int, object] = {}
+        self._installed = False
+
+    # -- handler ---------------------------------------------------------
+
+    def _handle(self, signum, frame) -> None:
+        name = signal.Signals(signum).name
+        if self.signaled is not None:
+            # Second signal: the user means it.  Restore the previous
+            # disposition and re-deliver so the default behaviour
+            # (KeyboardInterrupt / termination) takes over.
+            self.restore()
+            signal.raise_signal(signum)
+            return
+        self.signaled = name
+        self.guard.request_stop(
+            f"interrupted by {name}; returning best solution so far"
+        )
+
+    # -- lifecycle -------------------------------------------------------
+
+    def install(self) -> "GracefulInterrupt":
+        try:
+            for sig in _SIGNALS:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            self._installed = True
+        except ValueError:
+            # Not the main thread: signals cannot be routed from here;
+            # the caller keeps whatever process-level handling exists.
+            self._previous.clear()
+        return self
+
+    def restore(self) -> None:
+        if not self._installed:
+            return
+        for sig, previous in self._previous.items():
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, TypeError):
+                pass
+        self._previous.clear()
+        self._installed = False
+
+    def __enter__(self) -> "GracefulInterrupt":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.restore()

@@ -123,7 +123,8 @@ class RunGuard:
     """
 
     __slots__ = ("budget", "on_tick", "_t0", "_iterations", "_moves",
-                 "_outstanding", "_elapsed_offset", "_tripped")
+                 "_outstanding", "_elapsed_offset", "_tripped",
+                 "_stop_requested")
 
     def __init__(self, budget: Optional[RunBudget] = None) -> None:
         self.budget = budget if budget is not None else RunBudget()
@@ -139,6 +140,7 @@ class RunGuard:
         self._outstanding = 0
         self._elapsed_offset = 0.0
         self._tripped: Optional[str] = None
+        self._stop_requested: Optional[str] = None
 
     # -- lifecycle -------------------------------------------------------
 
@@ -209,10 +211,32 @@ class RunGuard:
             raise IterationLimitError(message)
         raise BudgetExhaustedError(message, reason)
 
+    def request_stop(self, reason: str = "stop requested") -> None:
+        """Ask the run to stop at its next budget check.
+
+        The cooperative analogue of a deadline firing *now*: the next
+        :meth:`check` (a move-lease boundary or an Algorithm 1
+        iteration tick — points where the partition state is
+        consistent) raises :class:`BudgetExhaustedError` with reason
+        ``"interrupted"``, so a non-strict run degrades to its best
+        solution exactly as it would on budget exhaustion.  Async-signal
+        safe: it only stores a string, which is why the SIGTERM/SIGINT
+        handlers of ``fpart partition`` and the serve drain path can
+        call it from a signal context.
+        """
+        self._stop_requested = reason
+
+    @property
+    def stop_requested(self) -> Optional[str]:
+        """Reason of a pending :meth:`request_stop`, or None."""
+        return self._stop_requested
+
     def check(self) -> None:
         """Raise if the wall-clock deadline has passed (cheap elsewhere)."""
         if self.on_tick is not None:
             self.on_tick(self)
+        if self._stop_requested is not None:
+            self._trip("interrupted", self._stop_requested)
         deadline = self.budget.deadline_seconds
         if deadline is not None:
             if self._t0 is None:

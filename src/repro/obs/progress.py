@@ -43,7 +43,7 @@ class HeartbeatEmitter:
     """
 
     __slots__ = ("tracer", "stream", "interval_seconds", "_clock",
-                 "_last_emit", "_best_cost", "emitted")
+                 "_last_emit", "_best_cost", "emitted", "finished")
 
     def __init__(
         self,
@@ -61,6 +61,7 @@ class HeartbeatEmitter:
         self._last_emit: Optional[float] = None
         self._best_cost = None
         self.emitted = 0
+        self.finished = False
 
     # -- driver hooks ----------------------------------------------------
 
@@ -91,14 +92,22 @@ class HeartbeatEmitter:
         self._last_emit = now
         self.emit(guard)
 
-    def emit(self, guard) -> None:
-        """Emit one progress beat from the guard's counters."""
+    def emit(self, guard, final_status: Optional[str] = None) -> None:
+        """Emit one progress beat from the guard's counters.
+
+        ``final_status`` marks the beat as the run's *terminal* one
+        (``final: true`` plus the run status in the trace event) — see
+        :meth:`finish`.
+        """
         elapsed = guard.elapsed()
         fields = {
             "iteration": guard.iterations,
             "moves": guard.moves,
             "elapsed_seconds": round(elapsed, 3),
         }
+        if final_status is not None:
+            fields["final"] = True
+            fields["status"] = final_status
         best = self._best_cost
         if best is not None:
             fields["cost"] = cost_fields(best)
@@ -115,6 +124,24 @@ class HeartbeatEmitter:
                     f" d_k={best.distance:.3f}"
                     f" T_SUM={best.total_pins}"
                 )
+            if final_status is not None:
+                line += f" done status={final_status}"
             self.stream.write(line + "\n")
             self.stream.flush()
         self.emitted += 1
+
+    def finish(self, guard, status: str) -> None:
+        """Emit the terminal heartbeat exactly once, whatever the path.
+
+        Streaming consumers (the serve daemon's chunked-JSONL job
+        stream) block on the *next* progress event; a run that degrades
+        or fails between ticks would otherwise leave them hanging until
+        their own timeout.  The driver calls this on every exit path —
+        feasible return, graceful degradation, strict raise — and the
+        once-latch makes multiple exit paths safe to wire independently.
+        Rate limiting is bypassed: the terminal beat always lands.
+        """
+        if self.finished:
+            return
+        self.finished = True
+        self.emit(guard, final_status=status)

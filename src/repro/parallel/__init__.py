@@ -17,6 +17,7 @@ The same reduction also powers the constructive builder portfolio in
 :mod:`repro.analysis.experiments`.
 """
 
+from .backoff import DEFAULT_RESPAWN_BACKOFF, BackoffPolicy
 from .pool import (
     TASK_STATUSES,
     ParallelTask,
@@ -40,6 +41,8 @@ from .restarts import (
 )
 
 __all__ = [
+    "BackoffPolicy",
+    "DEFAULT_RESPAWN_BACKOFF",
     "TASK_STATUSES",
     "ParallelTask",
     "TaskOutcome",

@@ -1,0 +1,81 @@
+"""Exponential backoff with deterministic jitter.
+
+One small policy object shared by every layer that retries something
+fallible: the :class:`~repro.parallel.pool.WorkerPool` uses it to pace
+worker *respawns* (a worker that dies deterministically on startup must
+not be relaunched in a tight loop), and the ``fpart serve`` daemon uses
+it to pace per-job *retries* after ``crashed``/``timeout`` outcomes.
+
+The jitter is deterministic: it is derived from a stable hash of
+``(key, attempt)``, not from process-global randomness, so two replays
+of the same failure history schedule the same delays.  That keeps the
+retry layer inside the repo's reproducibility contract (nothing in the
+solve path ever consults a wall clock or an unseeded rng) and makes the
+fault-injection tests exact instead of statistical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = ["BackoffPolicy", "DEFAULT_RESPAWN_BACKOFF"]
+
+
+def _unit_interval(key: str, attempt: int) -> float:
+    """Deterministic pseudo-uniform draw in ``[0, 1)`` for (key, attempt)."""
+    digest = hashlib.sha256(f"{key}#{attempt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Delay schedule ``base * multiplier**attempt``, capped and jittered.
+
+    ``attempt`` is zero-based: the first retry after the first failure
+    waits about ``base_seconds``.  ``jitter_ratio`` widens each delay to
+    the window ``[d * (1 - j), d * (1 + j)]`` with a deterministic draw
+    keyed on ``(key, attempt)`` so distinct jobs (or worker slots)
+    desynchronise instead of stampeding in lockstep.
+    """
+
+    base_seconds: float = 0.05
+    multiplier: float = 2.0
+    max_seconds: float = 2.0
+    jitter_ratio: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_seconds < 0:
+            raise ValueError("base_seconds must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1")
+        if self.max_seconds < self.base_seconds:
+            raise ValueError("max_seconds must be at least base_seconds")
+        if not 0.0 <= self.jitter_ratio < 1.0:
+            raise ValueError("jitter_ratio must be within [0, 1)")
+
+    def raw_delay(self, attempt: int) -> float:
+        """The capped exponential delay before jitter is applied."""
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        return min(
+            self.base_seconds * (self.multiplier ** attempt),
+            self.max_seconds,
+        )
+
+    def delay(self, attempt: int, key: str = "") -> float:
+        """Seconds to wait before retry number ``attempt`` (zero-based)."""
+        raw = self.raw_delay(attempt)
+        if self.jitter_ratio == 0.0 or raw == 0.0:
+            return raw
+        spread = 2.0 * self.jitter_ratio * raw
+        low = raw - self.jitter_ratio * raw
+        return low + _unit_interval(key, attempt) * spread
+
+
+#: Pool respawn pacing: fast first retry, bounded worst case.  The cap
+#: is deliberately small — a pool exists to make progress, and the
+#: respawn budget (not the delay) is the real runaway backstop.
+DEFAULT_RESPAWN_BACKOFF = BackoffPolicy(
+    base_seconds=0.05, multiplier=2.0, max_seconds=2.0, jitter_ratio=0.25
+)

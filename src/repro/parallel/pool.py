@@ -15,6 +15,17 @@ thread — corrupts the stream for every survivor.  With one pipe per
 worker a dying worker can only tear its *own* channel, which the
 parent observes as ``EOFError`` and converts into a casualty outcome.
 
+Two driving modes share one scheduler:
+
+* **batch** — :meth:`WorkerPool.run` executes a fixed task list and
+  returns every outcome in *task order* (the historical API; the
+  restart portfolios and sharded sweeps use it);
+* **persistent** — :meth:`WorkerPool.submit` / :meth:`WorkerPool.poll`
+  keep the same worker processes alive across submissions, delivering
+  outcomes in *completion order* as they happen.  This is the substrate
+  of the ``fpart serve`` daemon, where jobs arrive over HTTP for days
+  and re-forking a pool per job would dominate small-job latency.
+
 Degradation contract
 --------------------
 The pool never lets one bad task sink the batch:
@@ -31,16 +42,24 @@ The pool never lets one bad task sink the batch:
   tasks enforce on themselves (see DESIGN.md §8 for how the two
   compose).
 
-Every outcome — survivor or casualty — comes back in **task order**,
-not completion order, so reducers downstream never observe scheduling
-nondeterminism (:mod:`repro.parallel.reduce` relies on this).
+Respawn pacing
+--------------
+Replacement workers are *not* spawned immediately: consecutive
+casualties grow an exponential-backoff delay with deterministic jitter
+(:class:`~repro.parallel.backoff.BackoffPolicy`), so a workload that
+kills its worker deterministically on startup burns its respawn budget
+over seconds instead of forking a storm of doomed processes in a tight
+loop.  The first message any worker delivers resets the streak — a
+healthy pool pays zero delay.  ``max_respawns`` remains the hard
+budget; the backoff only paces how fast it is spent.
 
-``jobs=1`` runs every task inline in the calling process: no fork, no
-pickling, bit-identical to what the same tasks produce under any
-``jobs=N`` (the determinism tests in ``tests/test_parallel.py`` pin
+``jobs=1`` runs every batch task inline in the calling process: no
+fork, no pickling, bit-identical to what the same tasks produce under
+any ``jobs=N`` (the determinism tests in ``tests/test_parallel.py`` pin
 this).  Inline mode cannot pre-empt a hung task; it relies on the
 task's own run guard, which is exactly the composition the restart
-driver sets up.
+driver sets up.  Persistent mode always uses worker processes — a
+daemon cannot afford to run jobs on its scheduler thread.
 """
 
 from __future__ import annotations
@@ -51,6 +70,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .backoff import DEFAULT_RESPAWN_BACKOFF, BackoffPolicy
 
 __all__ = [
     "TASK_STATUSES",
@@ -187,15 +208,24 @@ class WorkerPool:
     Parameters
     ----------
     jobs:
-        Worker process count.  ``1`` runs inline (no subprocesses).
+        Worker process count.  ``1`` runs :meth:`run` batches inline
+        (no subprocesses); persistent mode forks even for ``jobs=1``.
     timeout_seconds:
         Default per-task hard timeout (:attr:`ParallelTask.timeout_seconds`
         overrides it per task); ``None`` disables the backstop.
     max_respawns:
-        Replacement workers allowed across the batch before the pool
-        stops replacing casualties and drains still-unassigned tasks as
-        ``"not_run"`` — a backstop against a poisoned workload killing
-        workers forever.  Defaults to twice the task count.
+        Replacement workers allowed before the pool stops replacing
+        casualties and drains still-unassigned tasks as ``"not_run"`` —
+        a backstop against a poisoned workload killing workers forever.
+        Defaults to twice the task count for :meth:`run` batches and to
+        unlimited for persistent pools (whose pacing comes from
+        ``respawn_backoff`` instead).
+    respawn_backoff:
+        :class:`BackoffPolicy` pacing replacement spawns after
+        consecutive casualties (``None`` restores the historical
+        immediate respawn).  Applied delays are logged on
+        :attr:`respawn_delays` so fault-injection tests can assert the
+        schedule exactly.
     """
 
     def __init__(
@@ -203,6 +233,7 @@ class WorkerPool:
         jobs: int,
         timeout_seconds: Optional[float] = None,
         max_respawns: Optional[int] = None,
+        respawn_backoff: Optional[BackoffPolicy] = DEFAULT_RESPAWN_BACKOFF,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -211,6 +242,18 @@ class WorkerPool:
         self.jobs = jobs
         self.timeout_seconds = timeout_seconds
         self.max_respawns = max_respawns
+        self.respawn_backoff = respawn_backoff
+        #: Applied respawn delays in casualty order (observability/tests).
+        self.respawn_delays: List[float] = []
+        self._ctx = None
+        self._slots: List[_WorkerSlot] = []
+        self._pending: deque = deque()
+        self._completed: deque = deque()
+        self._total_spawns = 0
+        self._respawns_used = 0
+        self._respawn_streak = 0
+        self._next_spawn_at = 0.0
+        self._respawn_budget: Optional[int] = max_respawns
 
     # -- public API ------------------------------------------------------
 
@@ -224,7 +267,167 @@ class WorkerPool:
             return []
         if self.jobs == 1 or len(tasks) == 1:
             return [self._run_inline(task) for task in tasks]
-        return self._run_pool(tasks)
+        self._respawn_budget = (
+            self.max_respawns
+            if self.max_respawns is not None
+            else 2 * len(tasks)
+        )
+        outcomes: Dict[int, TaskOutcome] = {}
+        try:
+            for task in tasks:
+                self.submit(task)
+            while len(outcomes) < len(tasks):
+                for outcome in self.poll(_POLL_SECONDS):
+                    outcomes[outcome.index] = outcome
+        finally:
+            self.close()
+        return [outcomes[task.index] for task in tasks]
+
+    # -- persistent API --------------------------------------------------
+
+    def submit(self, task: ParallelTask) -> None:
+        """Enqueue one task; it starts as soon as a worker frees up.
+
+        Task indexes must be unique among tasks the pool still holds
+        (queued or running) — completed indexes may be reused, which is
+        how a daemon resubmits a retried job under a fresh attempt.
+        """
+        live = {t.index for t in self._pending}
+        live.update(
+            slot.task.index for slot in self._slots if slot.task is not None
+        )
+        if task.index in live:
+            raise ValueError(f"task index {task.index} is already queued")
+        self._pending.append(task)
+
+    def poll(self, timeout: float = 0.0) -> List[TaskOutcome]:
+        """One scheduler sweep; returns outcomes in completion order.
+
+        Feeds idle workers, (re)spawns paced by the backoff policy,
+        waits up to ``timeout`` seconds for worker messages, converts
+        broken pipes and expired per-task timeouts into casualty
+        outcomes, and drains unassigned tasks as ``"not_run"`` once the
+        respawn budget is spent with no live worker left.
+        """
+        self._feed()
+        if self._slots:
+            ready = mp_connection.wait(
+                [slot.conn for slot in self._slots], timeout=timeout
+            )
+            conn_to_slot = {slot.conn: slot for slot in self._slots}
+            for conn in ready:
+                slot = conn_to_slot[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    if slot.task is not None:
+                        self._casualty(slot, "crashed")
+                    else:
+                        self._slots.remove(slot)
+                        slot.reap(kill=True)
+                        self._note_casualty_backoff()
+                    continue
+                self._respawn_streak = 0
+                index, status, value, error, wall = message
+                task = slot.task
+                slot.task = None
+                self._completed.append(
+                    TaskOutcome(
+                        index=index,
+                        status=status,
+                        value=value,
+                        error=error,
+                        wall_seconds=wall,
+                        label=task.label if task is not None else "",
+                    )
+                )
+            now = time.perf_counter()
+            for slot in list(self._slots):
+                if slot.task is None:
+                    continue
+                cap = self._timeout_of(slot.task)
+                if cap is not None and now - slot.started_at > cap:
+                    self._casualty(slot, "timeout")
+            self._feed()
+        elif self._pending:
+            if not self._spawn_allowed():
+                # Every worker is gone and the respawn budget is spent:
+                # drain what never ran.
+                for task in self._pending:
+                    self._completed.append(
+                        TaskOutcome(
+                            index=task.index,
+                            status="not_run",
+                            error="no live workers remain",
+                            label=task.label,
+                        )
+                    )
+                self._pending.clear()
+            elif timeout > 0:
+                # Waiting out the respawn backoff window.
+                wait = self._next_spawn_at - time.perf_counter()
+                if wait > 0:
+                    time.sleep(min(timeout, wait))
+                self._feed()
+        drained = list(self._completed)
+        self._completed.clear()
+        return drained
+
+    @property
+    def pending_count(self) -> int:
+        """Tasks queued but not yet handed to a worker."""
+        return len(self._pending)
+
+    @property
+    def running_count(self) -> int:
+        """Tasks currently executing in a worker process."""
+        return sum(1 for slot in self._slots if slot.task is not None)
+
+    @property
+    def respawns_used(self) -> int:
+        """Replacement workers spawned so far (casualty recoveries)."""
+        return self._respawns_used
+
+    def cancel_pending(self, index: int) -> bool:
+        """Drop a queued task before it runs; False if already handed out."""
+        for task in list(self._pending):
+            if task.index == index:
+                self._pending.remove(task)
+                return True
+        return False
+
+    def kill(self, index: int) -> bool:
+        """Terminate the worker running ``index`` (cooperating caller).
+
+        The task surfaces as a ``"crashed"`` outcome; the kill does not
+        count toward the respawn backoff streak — the pool was asked to
+        do this, the workload did not misbehave.
+        """
+        for slot in self._slots:
+            if slot.task is not None and slot.task.index == index:
+                self._casualty(slot, "crashed", count_failure=False)
+                return True
+        return False
+
+    def close(self) -> None:
+        """Shut every worker down and reset the scheduler state."""
+        for slot in self._slots:
+            slot.shutdown()
+        for slot in self._slots:
+            slot.reap(kill=True)
+        self._slots = []
+        self._pending.clear()
+        self._total_spawns = 0
+        self._respawn_streak = 0
+        self._next_spawn_at = 0.0
+        self._respawns_used = 0
+        self._respawn_budget = self.max_respawns
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- inline path -----------------------------------------------------
 
@@ -248,126 +451,90 @@ class WorkerPool:
             label=task.label,
         )
 
-    # -- process-pool path -----------------------------------------------
+    # -- scheduler internals ---------------------------------------------
 
     def _timeout_of(self, task: ParallelTask) -> Optional[float]:
         if task.timeout_seconds is not None:
             return task.timeout_seconds
         return self.timeout_seconds
 
-    def _run_pool(self, tasks: Sequence[ParallelTask]) -> List[TaskOutcome]:
-        ctx = multiprocessing.get_context()
-        pending = deque(tasks)
-        outcomes: Dict[int, TaskOutcome] = {}
-        slots: List[_WorkerSlot] = []
-        respawn_budget = (
-            self.max_respawns
-            if self.max_respawns is not None
-            else 2 * len(tasks)
+    def _spawn(self) -> None:
+        if self._ctx is None:
+            self._ctx = multiprocessing.get_context()
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        self._slots.append(_WorkerSlot(process, parent_conn))
+        self._total_spawns += 1
+
+    def _spawn_allowed(self) -> bool:
+        """May a *replacement* worker still be spawned?"""
+        if self._total_spawns < self.jobs:
+            return True
+        return self._respawn_budget is None or self._respawn_budget > 0
+
+    def _feed(self) -> None:
+        """Bring capacity up for pending work, then hand tasks out."""
+        while self._pending and len(self._slots) < self.jobs:
+            if self._total_spawns < self.jobs:
+                self._spawn()  # initial capacity: free and immediate
+                continue
+            # Replacement: bounded by the budget, paced by the backoff.
+            if self._respawn_budget is not None and self._respawn_budget <= 0:
+                break
+            if time.perf_counter() < self._next_spawn_at:
+                break
+            if self._respawn_budget is not None:
+                self._respawn_budget -= 1
+            self._respawns_used += 1
+            self._spawn()
+        for slot in self._slots:
+            if slot.idle and self._pending:
+                task = self._pending.popleft()
+                try:
+                    slot.assign(task)
+                except (BrokenPipeError, OSError):
+                    # Worker died between tasks; retry the task on
+                    # another worker via the casualty path's respawn,
+                    # but record no outcome for it.
+                    self._pending.appendleft(task)
+                    slot.task = None
+
+    def _note_casualty_backoff(self) -> None:
+        """Grow the respawn delay after one more consecutive casualty."""
+        if self.respawn_backoff is None:
+            return
+        delay = self.respawn_backoff.delay(
+            self._respawn_streak, key=f"respawn{self._respawns_used}"
+        )
+        self._respawn_streak += 1
+        self.respawn_delays.append(delay)
+        self._next_spawn_at = max(
+            self._next_spawn_at, time.perf_counter() + delay
         )
 
-        def spawn() -> None:
-            parent_conn, child_conn = ctx.Pipe(duplex=True)
-            process = ctx.Process(
-                target=_worker_main, args=(child_conn,), daemon=True
-            )
-            process.start()
-            child_conn.close()
-            slots.append(_WorkerSlot(process, parent_conn))
-
-        def casualty(slot: _WorkerSlot, status: str) -> None:
-            nonlocal respawn_budget
-            task = slot.task
-            assert task is not None
-            outcomes[task.index] = TaskOutcome(
+    def _casualty(
+        self, slot: _WorkerSlot, status: str, count_failure: bool = True
+    ) -> None:
+        task = slot.task
+        assert task is not None
+        self._completed.append(
+            TaskOutcome(
                 index=task.index,
                 status=status,
                 error=f"worker pid={slot.process.pid} {status}",
                 wall_seconds=time.perf_counter() - slot.started_at,
                 label=task.label,
             )
-            slot.task = None
-            slots.remove(slot)
-            slot.reap(kill=True)
-            if pending and respawn_budget > 0:
-                respawn_budget -= 1
-                spawn()
-
-        for _ in range(min(self.jobs, len(tasks))):
-            spawn()
-
-        try:
-            while len(outcomes) < len(tasks):
-                # Feed idle workers from the front of the queue.
-                for slot in slots:
-                    if slot.idle and pending:
-                        task = pending.popleft()
-                        try:
-                            slot.assign(task)
-                        except (BrokenPipeError, OSError):
-                            # Worker died between tasks; retry the task
-                            # on another worker via the casualty path's
-                            # respawn, but record no outcome for it.
-                            pending.appendleft(task)
-                            slot.task = None
-
-                if not slots:
-                    # Every worker is gone and the respawn budget is
-                    # spent: drain what never ran.
-                    for task in pending:
-                        outcomes[task.index] = TaskOutcome(
-                            index=task.index,
-                            status="not_run",
-                            error="no live workers remain",
-                            label=task.label,
-                        )
-                    pending.clear()
-                    break
-
-                ready = mp_connection.wait(
-                    [slot.conn for slot in slots], timeout=_POLL_SECONDS
-                )
-                conn_to_slot = {slot.conn: slot for slot in slots}
-                for conn in ready:
-                    slot = conn_to_slot[conn]
-                    try:
-                        message = conn.recv()
-                    except (EOFError, OSError):
-                        if slot.task is not None:
-                            casualty(slot, "crashed")
-                        else:
-                            slots.remove(slot)
-                            slot.reap(kill=True)
-                            if pending and respawn_budget > 0:
-                                respawn_budget -= 1
-                                spawn()
-                        continue
-                    index, status, value, error, wall = message
-                    task = slot.task
-                    slot.task = None
-                    outcomes[index] = TaskOutcome(
-                        index=index,
-                        status=status,
-                        value=value,
-                        error=error,
-                        wall_seconds=wall,
-                        label=task.label if task is not None else "",
-                    )
-
-                now = time.perf_counter()
-                for slot in list(slots):
-                    if slot.task is None:
-                        continue
-                    cap = self._timeout_of(slot.task)
-                    if cap is not None and now - slot.started_at > cap:
-                        casualty(slot, "timeout")
-        finally:
-            for slot in slots:
-                slot.shutdown()
-            for slot in slots:
-                slot.reap(kill=True)
-
-        return [outcomes[task.index] for task in tasks]
+        )
+        slot.task = None
+        self._slots.remove(slot)
+        slot.reap(kill=True)
+        if count_failure:
+            self._note_casualty_backoff()
 
 
 def run_tasks(

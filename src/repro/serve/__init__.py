@@ -1,0 +1,64 @@
+"""Partitioning-as-a-service: the ``fpart serve`` daemon.
+
+A zero-dependency (stdlib ``http.server`` + ``threading`` +
+``multiprocessing``) HTTP/JSON job service over the FPART solve path:
+
+* ``journal``  — append-only write-ahead journal (SIGKILL-safe state);
+* ``jobs``     — job specs, the lifecycle state machine, the job table;
+* ``queue``    — admission control (bounded queue, per-tenant quotas);
+* ``worker``   — the in-worker job runner (checkpoint every iteration);
+* ``daemon``   — :class:`PartitionService`: scheduler, retries, recovery;
+* ``server``   — the HTTP routes, including chunked-JSONL job streaming;
+* ``client``   — stdlib client used by the CLI, tests and CI.
+
+See DESIGN.md §10 for the architecture and the recovery proof sketch.
+"""
+
+from .client import ServeClient, ServeClientError
+from .daemon import (
+    DEFAULT_RETRY_BACKOFF,
+    PartitionService,
+    ServiceConfig,
+    submission_digest,
+)
+from .jobs import (
+    JOB_STATES,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    Job,
+    JobError,
+    JobSpec,
+    JobTable,
+)
+from .journal import JOURNAL_SCHEMA, Journal, JournalError
+from .queue import AdmissionController, AdmissionDecision, TenantPolicy
+from .server import ServeHTTPServer, make_server, serve_forever_in_thread
+from .worker import job_config, load_netlist, run_partition_job
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "Journal",
+    "JournalError",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+    "Job",
+    "JobError",
+    "JobSpec",
+    "JobTable",
+    "TenantPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
+    "job_config",
+    "load_netlist",
+    "run_partition_job",
+    "ServiceConfig",
+    "PartitionService",
+    "DEFAULT_RETRY_BACKOFF",
+    "submission_digest",
+    "ServeClient",
+    "ServeClientError",
+    "ServeHTTPServer",
+    "make_server",
+    "serve_forever_in_thread",
+]

@@ -1,0 +1,615 @@
+"""The partitioning service: job table + scheduler over a WorkerPool.
+
+:class:`PartitionService` is the daemon's brain, deliberately separate
+from its HTTP skin (``server.py``) so the whole lifecycle — submit,
+schedule, retry, crash, recover, drain — is testable in-process without
+a socket.
+
+Durability contract
+-------------------
+Every externally visible decision is journalled *before* the in-memory
+state changes (write-ahead, see ``journal.py``).  On construction the
+service replays the journal into the job table, then *recovers*: any
+job last journalled as ``admitted`` or ``running`` provably did not
+finish (its terminal event would have been journalled first), so it is
+folded back to ``queued``.  Because every job attempt checkpoints every
+iteration and checkpoint resume is bit-identical (DESIGN.md §5), a
+recovered job finishes with exactly the assignment an uninterrupted run
+would have produced — the property the kill/restart CI job asserts.
+
+Idempotency
+-----------
+Submissions are keyed by a digest over (netlist content, device, delta,
+budget-masked config digest).  A duplicate of an in-flight job attaches
+to it; a duplicate of a finished job is served from the table without
+touching the pool.  ``stats()["tasks_submitted"]`` counts actual pool
+submissions, which is how the tests *prove* zero recomputation.
+
+Threading
+---------
+Three kinds of threads touch the service: HTTP handler threads
+(submit/cancel/inspect), the single scheduler thread, and the signal
+path (drain request).  All shared state — job table, journal, counters
+— is mutated under one re-entrant lock.  The :class:`WorkerPool` is
+**not** thread-safe, so pool calls happen exclusively on the scheduler
+thread; HTTP-side cancel only flips table state, and the scheduler
+reconciles (kills the worker, ignores the stale outcome) on its next
+sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..core.checkpoint import CheckpointManager, config_digest
+from ..core.exceptions import CheckpointError
+from ..parallel.backoff import BackoffPolicy
+from ..parallel.pool import ParallelTask, TaskOutcome, WorkerPool
+from .jobs import Job, JobError, JobSpec, JobTable, TERMINAL_STATES
+from .journal import Journal
+from .queue import AdmissionController, AdmissionDecision, TenantPolicy
+from .worker import job_config, run_partition_job
+
+__all__ = ["ServiceConfig", "PartitionService", "submission_digest"]
+
+#: Retry pacing for crashed/timed-out job attempts.  Seconds-scale (not
+#: the pool's millisecond respawn scale): a crashing job should not hog
+#: a worker slot back-to-back.
+DEFAULT_RETRY_BACKOFF = BackoffPolicy(
+    base_seconds=0.5, multiplier=2.0, max_seconds=30.0, jitter_ratio=0.25
+)
+
+
+def submission_digest(
+    netlist: str, device: str, delta: float, config_overrides: Dict
+) -> str:
+    """Idempotency key of one submission.
+
+    Hashes the netlist *content* (two paths to the same file dedupe;
+    an edited netlist does not), the device/delta pair, and the
+    budget-masked config digest — so two submissions differing only in
+    budget knobs still dedupe onto one computation, matching the
+    checkpoint compatibility rule.
+    """
+    file_sha = hashlib.sha256(Path(netlist).read_bytes()).hexdigest()
+    # ``test_*`` keys are fault-injection hooks, not search parameters —
+    # they are stripped here exactly like budget knobs are masked by
+    # ``config_digest``.
+    overrides = {
+        k: v for k, v in config_overrides.items() if not k.startswith("test_")
+    }
+    cfg_sha = config_digest(job_config(overrides))
+    blob = f"{file_sha}|{device.upper()}|{delta}|{cfg_sha}"
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    state_dir: str
+    jobs: int = 2
+    """Worker processes (concurrent running jobs)."""
+    queue_capacity: int = 32
+    max_attempts: int = 3
+    job_timeout_seconds: Optional[float] = None
+    """Hard per-attempt wall-clock cap enforced by the pool."""
+    drain_seconds: float = 10.0
+    """Grace period for running jobs when draining."""
+    retry_backoff: BackoffPolicy = DEFAULT_RETRY_BACKOFF
+    tenant_policies: Dict[str, TenantPolicy] = field(default_factory=dict)
+    default_tenant_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    allow_test_hooks: bool = False
+    """Honor the hidden ``test_sleep_seconds`` spec field (tests/CI)."""
+
+
+class PartitionService:
+    """Crash-safe partitioning job service (no HTTP — see server.py)."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.state_dir = Path(config.state_dir)
+        self.jobs_dir = self.state_dir / "jobs"
+        self.runs_dir = self.state_dir / "runs"
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+
+        self._lock = threading.RLock()
+        self._journal = Journal(self.state_dir / "journal.jsonl")
+        self._table = JobTable()
+        self._draining = False
+        self._closed = False
+        self._wake = threading.Event()
+        self._scheduler: Optional[threading.Thread] = None
+        #: Test seam: when set, the scheduler parks without admitting —
+        #: used to hold the queue saturated deterministically.
+        self._paused = False
+        self._admission = AdmissionController(
+            capacity=config.queue_capacity,
+            default_policy=config.default_tenant_policy,
+            policies=dict(config.tenant_policies),
+        )
+        self._pool: Optional[WorkerPool] = None
+        self._index_to_job: Dict[int, str] = {}
+        self._next_index = 0
+        self._stats = {
+            "submissions": 0,
+            "deduped": 0,
+            "rejected": 0,
+            "tasks_submitted": 0,
+            "retries": 0,
+            "recovered": 0,
+            "completed": 0,
+        }
+        self._recover()
+
+    # -- recovery --------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal, then re-queue everything non-terminal."""
+        for record in self._journal.replay():
+            event = record["event"]
+            if event in ("submitted", "snapshot"):
+                job = Job.from_dict(record["job"])
+                if job.job_id not in self._table:
+                    self._table.add(job)
+                else:
+                    self._table.apply_raw(
+                        job.job_id,
+                        job.state,
+                        attempts=job.attempts,
+                        next_attempt_at=job.next_attempt_at,
+                        result=job.result,
+                        error=job.error,
+                    )
+            elif event == "state":
+                job_id = record["job_id"]
+                if job_id in self._table:
+                    self._table.apply_raw(
+                        job_id,
+                        record["state"],
+                        **{
+                            k: record[k]
+                            for k in (
+                                "attempts",
+                                "next_attempt_at",
+                                "result",
+                                "error",
+                            )
+                            if k in record
+                        },
+                    )
+            # Other events ("drain", "recovered", ...) are audit-only.
+        requeued = 0
+        for job in self._table.by_state("admitted", "running"):
+            # Journalled as started but no terminal event: the previous
+            # process died with it in flight.  Its checkpoint (if any)
+            # carries the completed iterations; re-queue to resume.
+            self._table.apply_raw(job.job_id, "queued")
+            self._journal.append(
+                "recovered", job_id=job.job_id, state="queued"
+            )
+            requeued += 1
+        self._stats["recovered"] = requeued
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "PartitionService":
+        """Spin up the pool and the scheduler thread."""
+        with self._lock:
+            if self._scheduler is not None:
+                raise RuntimeError("service already started")
+            self._pool = WorkerPool(
+                self.config.jobs,
+                timeout_seconds=self.config.job_timeout_seconds,
+                max_respawns=None,
+            )
+            self._scheduler = threading.Thread(
+                target=self._scheduler_loop,
+                name="fpart-serve-scheduler",
+                daemon=True,
+            )
+            self._scheduler.start()
+        return self
+
+    def close(self) -> None:
+        """Immediate shutdown (no grace); prefer :meth:`drain`."""
+        with self._lock:
+            self._closed = True
+        self._wake.set()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=10.0)
+            self._scheduler = None
+        self._journal.close()
+
+    def drain(self, timeout: Optional[float] = None) -> Dict:
+        """Graceful shutdown: stop admitting, give runners a grace
+        period, re-queue the rest (journalled), compact the journal.
+
+        Returns a summary dict for logging.  Safe to call from a signal
+        handler path (sets flags; the blocking wait happens here, not in
+        the handler).
+        """
+        grace = self.config.drain_seconds if timeout is None else timeout
+        with self._lock:
+            self._draining = True
+            self._journal.append("drain", grace_seconds=grace)
+        self._wake.set()
+        deadline = time.monotonic() + grace
+        while time.monotonic() < deadline:
+            with self._lock:
+                if not self._table.by_state("running", "admitted"):
+                    break
+            time.sleep(0.05)
+        with self._lock:
+            self._closed = True
+        self._wake.set()
+        if self._scheduler is not None:
+            self._scheduler.join(timeout=max(grace, 5.0))
+            self._scheduler = None
+        with self._lock:
+            # Anything still non-terminal goes back to queued for the
+            # next daemon generation; checkpoints make the handoff
+            # lossless.
+            requeued = []
+            for job in self._table.by_state("running", "admitted"):
+                self._table.set_state(job.job_id, "queued")
+                self._journal.append(
+                    "state", job_id=job.job_id, state="queued"
+                )
+                requeued.append(job.job_id)
+            self._compact_locked()
+            self._journal.close()
+        counts = self.counts()
+        return {"requeued": requeued, "counts": counts}
+
+    def _compact_locked(self) -> None:
+        self._journal.compact(
+            {"job": job.to_dict()} for job in self._table.jobs()
+        )
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, payload: Dict, force: bool = False) -> Dict:
+        """Handle one submission; returns an HTTP-shaped response dict.
+
+        Response keys: ``status`` (HTTP code), plus either a job view
+        (201 created / 200 attached-or-cached, with ``dedup`` saying
+        which) or an error (+ ``retry_after`` on 429).
+        """
+        try:
+            spec = JobSpec.from_dict(payload)
+            digest = submission_digest(
+                spec.netlist, spec.device, spec.delta, spec.config
+            )
+        except (JobError, ValueError, KeyError, TypeError) as error:
+            return {"status": 400, "error": str(error)}
+        except FileNotFoundError as error:
+            return {"status": 404, "error": str(error)}
+
+        with self._lock:
+            self._stats["submissions"] += 1
+            if not force:
+                twin = self._table.find_digest(digest)
+                if twin is not None and twin.state != "failed":
+                    # Attach to the in-flight twin or serve the cached
+                    # terminal result; either way the pool sees nothing.
+                    self._stats["deduped"] += 1
+                    return {
+                        "status": 200,
+                        "dedup": (
+                            "cached" if twin.terminal else "in_flight"
+                        ),
+                        "job": twin.to_dict(),
+                    }
+            decision = self._admission.decide(
+                spec.tenant,
+                queue_depth=len(self._table.by_state("queued", "admitted")),
+                active_by_tenant=self._table.active_by_tenant(),
+                draining=self._draining,
+            )
+            if not decision.accepted:
+                self._stats["rejected"] += 1
+                response = {
+                    "status": decision.http_status,
+                    "error": decision.reason,
+                }
+                if decision.retry_after is not None:
+                    response["retry_after"] = decision.retry_after
+                return response
+            clamped = self._admission.clamp_config(spec.tenant, spec.config)
+            if clamped != spec.config:
+                spec = JobSpec.from_dict({**spec.to_dict(), "config": clamped})
+            job = Job(
+                job_id=uuid.uuid4().hex[:12],
+                spec=spec,
+                digest=digest,
+                max_attempts=self.config.max_attempts,
+            )
+            # Write-ahead: journal first, then mutate the table.
+            self._journal.append("submitted", job=job.to_dict())
+            self._table.add(job)
+        self._wake.set()
+        return {"status": 201, "dedup": None, "job": job.to_dict()}
+
+    def cancel(self, job_id: str) -> Dict:
+        with self._lock:
+            try:
+                job = self._table.get(job_id)
+            except JobError as error:
+                return {"status": 404, "error": str(error)}
+            if job.terminal:
+                return {"status": 409, "error": f"job is {job.state}"}
+            self._journal.append("state", job_id=job_id, state="cancelled")
+            self._table.set_state(job_id, "cancelled")
+        self._wake.set()
+        return {"status": 200, "job": job.to_dict()}
+
+    # -- inspection ------------------------------------------------------
+
+    def job(self, job_id: str) -> Dict:
+        with self._lock:
+            try:
+                return {"status": 200, "job": self._table.get(job_id).to_dict()}
+            except JobError as error:
+                return {"status": 404, "error": str(error)}
+
+    def jobs(self) -> List[Dict]:
+        with self._lock:
+            return [job.to_dict() for job in self._table.jobs()]
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def result(self, job_id: str) -> Dict:
+        """Full result payload (assignment included) from result.json."""
+        with self._lock:
+            try:
+                job = self._table.get(job_id)
+            except JobError as error:
+                return {"status": 404, "error": str(error)}
+            state = job.state
+        path = self.job_dir(job_id) / "result.json"
+        if not path.exists():
+            return {
+                "status": 409,
+                "error": f"job is {state}; no result on disk yet",
+            }
+        with open(path, "r", encoding="utf-8") as stream:
+            return {"status": 200, "result": json.load(stream)}
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return self._table.counts()
+
+    def stats(self) -> Dict:
+        with self._lock:
+            stats = dict(self._stats)
+            stats["counts"] = self._table.counts()
+            stats["draining"] = self._draining
+            return stats
+
+    def healthz(self) -> Dict:
+        """Liveness: the process is up and its lock is not wedged."""
+        with self._lock:
+            return {"status": 200, "ok": True, "draining": self._draining}
+
+    def readyz(self) -> Dict:
+        """Readiness: accepting work (not draining, scheduler alive)."""
+        with self._lock:
+            scheduler_alive = (
+                self._scheduler is not None and self._scheduler.is_alive()
+            )
+            ready = scheduler_alive and not self._draining and not self._closed
+            return {
+                "status": 200 if ready else 503,
+                "ready": ready,
+                "draining": self._draining,
+            }
+
+    # -- test seams ------------------------------------------------------
+
+    def pause_scheduler(self) -> None:
+        """Stop admitting queued jobs (jobs pile up; HTTP stays live)."""
+        with self._lock:
+            self._paused = True
+
+    def resume_scheduler(self) -> None:
+        with self._lock:
+            self._paused = False
+        self._wake.set()
+
+    # -- scheduler (single thread owns the pool) -------------------------
+
+    def _scheduler_loop(self) -> None:
+        pool = self._pool
+        assert pool is not None
+        try:
+            while True:
+                with self._lock:
+                    if self._closed:
+                        break
+                    self._admit_due_locked(pool)
+                    running_ids = set(self._index_to_job.values())
+                outcomes = pool.poll(timeout=0.1)
+                for outcome in outcomes:
+                    self._handle_outcome(outcome)
+                self._reconcile_cancellations(pool)
+                if not outcomes:
+                    # Nothing completed: sleep until woken or the next
+                    # retry becomes due.
+                    if not running_ids and not self._wake.is_set():
+                        self._wake.wait(timeout=0.2)
+                    self._wake.clear()
+        finally:
+            pool.close()
+
+    def _admit_due_locked(self, pool: WorkerPool) -> None:
+        """Move due queued jobs into the pool (lock held)."""
+        if self._paused or self._draining:
+            return
+        now = time.time()
+        free = self.config.jobs - len(self._index_to_job)
+        if free <= 0:
+            return
+        for job in self._table.by_state("queued"):
+            if free <= 0:
+                break
+            if job.next_attempt_at > now:
+                continue
+            index = self._next_index
+            self._next_index += 1
+            attempt = job.attempts + 1
+            spec = job.spec
+            sleep = 0.0
+            crashes = 0
+            if self.config.allow_test_hooks:
+                sleep = float(spec.config.get("test_sleep_seconds", 0.0))
+                crashes = int(spec.config.get("test_crash_attempts", 0))
+            overrides = {
+                k: v
+                for k, v in spec.config.items()
+                if k not in ("test_sleep_seconds", "test_crash_attempts")
+            }
+            task = ParallelTask(
+                index=index,
+                fn=run_partition_job,
+                kwargs={
+                    "job_id": job.job_id,
+                    "attempt": attempt,
+                    "netlist": spec.netlist,
+                    "device_name": spec.device,
+                    "delta": spec.delta,
+                    "config_overrides": overrides,
+                    "job_dir": str(self.job_dir(job.job_id)),
+                    "runs_dir": str(self.runs_dir),
+                    "tenant": spec.tenant,
+                    "test_sleep_seconds": sleep,
+                    "test_crash_attempts": crashes,
+                },
+                label=f"job {job.job_id} attempt {attempt}",
+            )
+            # Write-ahead, then table, then pool.  ``admitted`` marks
+            # the job as owned by the scheduler; ``running`` that the
+            # pool holds it (the distinction matters only to observers
+            # — recovery folds both back to ``queued``).
+            self._journal.append(
+                "state", job_id=job.job_id, state="admitted", attempts=attempt
+            )
+            self._table.set_state(job.job_id, "admitted", attempts=attempt)
+            pool.submit(task)
+            self._journal.append("state", job_id=job.job_id, state="running")
+            self._table.set_state(job.job_id, "running")
+            self._index_to_job[index] = job.job_id
+            self._stats["tasks_submitted"] += 1
+            free -= 1
+
+    def _reconcile_cancellations(self, pool: WorkerPool) -> None:
+        """Kill workers whose jobs were cancelled HTTP-side."""
+        with self._lock:
+            doomed = [
+                index
+                for index, job_id in self._index_to_job.items()
+                if job_id in self._table
+                and self._table.get(job_id).state == "cancelled"
+            ]
+        for index in doomed:
+            pool.kill(index)
+
+    def _handle_outcome(self, outcome: TaskOutcome) -> None:
+        with self._lock:
+            job_id = self._index_to_job.pop(outcome.index, None)
+            if job_id is None:
+                return
+            job = self._table.get(job_id)
+            if job.state == "cancelled":
+                # The kill we requested (or a stale completion racing a
+                # cancel): the terminal state already stands.
+                return
+            if outcome.status == "ok":
+                summary = outcome.value
+                state = (
+                    "done" if summary.get("status") == "feasible" else "degraded"
+                )
+                self._journal.append(
+                    "state", job_id=job_id, state=state, result=summary
+                )
+                self._table.set_state(job_id, state, result=summary)
+                self._stats["completed"] += 1
+                return
+            if outcome.status == "error":
+                # The job itself raised: deterministic, retry would fail
+                # the same way.
+                self._journal.append(
+                    "state", job_id=job_id, state="failed", error=outcome.error
+                )
+                self._table.set_state(job_id, "failed", error=outcome.error)
+                return
+            # crashed / timeout / not_run: the environment failed, not
+            # the job.  Retry with backoff until attempts run out, then
+            # degrade to the checkpoint's best-so-far if one exists.
+            if job.attempts < job.max_attempts:
+                delay = self.config.retry_backoff.delay(
+                    job.attempts - 1, key=job_id
+                )
+                next_at = time.time() + delay
+                self._journal.append(
+                    "state",
+                    job_id=job_id,
+                    state="queued",
+                    next_attempt_at=next_at,
+                    error=outcome.error,
+                )
+                self._table.set_state(
+                    job_id, "queued", next_attempt_at=next_at,
+                    error=outcome.error,
+                )
+                self._stats["retries"] += 1
+            else:
+                summary = self._best_so_far(job_id)
+                if summary is not None:
+                    state = "degraded"
+                    error = (
+                        f"{outcome.status} after {job.attempts} attempts; "
+                        f"serving checkpoint best-so-far"
+                    )
+                else:
+                    state = "failed"
+                    error = (
+                        f"{outcome.status} after {job.attempts} attempts "
+                        f"with no checkpoint to degrade to"
+                    )
+                self._journal.append(
+                    "state", job_id=job_id, state=state,
+                    result=summary, error=error,
+                )
+                self._table.set_state(
+                    job_id, state, result=summary, error=error
+                )
+        self._wake.set()
+
+    def _best_so_far(self, job_id: str) -> Optional[Dict]:
+        """Best-so-far summary from the job's checkpoint, if loadable."""
+        path = self.job_dir(job_id) / "checkpoint.json"
+        manager = CheckpointManager(path, every=1)
+        if not manager.exists():
+            return None
+        try:
+            state = manager.load()
+        except CheckpointError:
+            return None
+        if not state.best_assignment:
+            return None
+        return {
+            "status": "budget_exhausted",
+            "num_devices": state.best_num_blocks,
+            "iterations": state.iteration,
+            "from_checkpoint": True,
+        }

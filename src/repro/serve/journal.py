@@ -1,0 +1,160 @@
+"""Write-ahead journal: the daemon's crash-survivable memory.
+
+Every job-visible decision the ``fpart serve`` daemon makes — a
+submission accepted, a state transition, a retry scheduled — is
+appended to one JSONL journal *before* the in-memory tables change and
+fsync'd before the HTTP response leaves the process.  A daemon that is
+SIGKILL'd therefore loses at most the response of the request it was
+processing, never a job: on restart :func:`Journal.replay` folds the
+event stream back into the job table and the scheduler re-queues or
+re-attaches everything that was in flight.
+
+Durability model
+----------------
+* appends are ``write + flush + fsync`` — a power cut can tear only the
+  final line;
+* a torn *trailing* line is expected damage and silently dropped at
+  replay (the event it described never acknowledged);
+* a malformed line *followed by valid lines* is real corruption (the
+  file was edited or the disk lied) and raises :class:`JournalError`
+  rather than guessing;
+* :meth:`Journal.compact` rewrites the journal atomically from a
+  snapshot of live state (one ``snapshot`` event per job) so a
+  long-running daemon's journal is bounded by its job table, not its
+  uptime.  Compaction uses the same temp-file + ``os.replace`` pattern
+  as every other durable artifact in the repo.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+__all__ = ["JOURNAL_SCHEMA", "Journal", "JournalError"]
+
+#: Version of the journal line layout.
+JOURNAL_SCHEMA = 1
+
+
+class JournalError(ValueError):
+    """A corrupt journal (non-trailing damage) or invalid operation."""
+
+
+class Journal:
+    """Append-only JSONL event log with fsync durability.
+
+    Not thread-safe by itself: the service serialises appends under its
+    own lock (they must be ordered against job-table mutations anyway).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._stream = None
+        self._seq = 0
+
+    # -- writing ---------------------------------------------------------
+
+    def _handle(self):
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = open(self.path, "a", encoding="utf-8")
+        return self._stream
+
+    def append(self, event: str, **fields) -> Dict:
+        """Durably append one event; returns the full record written."""
+        if not event:
+            raise JournalError("journal event type must be non-empty")
+        self._seq += 1
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "seq": self._seq,
+            "ts": time.time(),
+            "event": event,
+        }
+        record.update(fields)
+        stream = self._handle()
+        stream.write(json.dumps(record, sort_keys=True) + "\n")
+        stream.flush()
+        os.fsync(stream.fileno())
+        return record
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    # -- recovery --------------------------------------------------------
+
+    def replay(self) -> List[Dict]:
+        """Parse the journal back into its event records, oldest first.
+
+        Also primes the append sequence counter past the highest seq
+        seen, so post-recovery events keep a strictly increasing order.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        events: List[Dict] = []
+        lines = text.split("\n")
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                if lineno >= len(lines) - 1:
+                    # Torn trailing line: the append it belonged to was
+                    # never acknowledged — expected SIGKILL damage.
+                    break
+                raise JournalError(
+                    f"{self.path}:{lineno}: corrupt journal line "
+                    f"(not trailing): {error}"
+                ) from error
+            if not isinstance(record, dict) or "event" not in record:
+                raise JournalError(
+                    f"{self.path}:{lineno}: journal line is not an event"
+                )
+            if record.get("schema") != JOURNAL_SCHEMA:
+                raise JournalError(
+                    f"{self.path}:{lineno}: unsupported journal schema "
+                    f"{record.get('schema')!r}"
+                )
+            events.append(record)
+        if events:
+            self._seq = max(
+                self._seq, max(int(e.get("seq", 0)) for e in events)
+            )
+        return events
+
+    def compact(self, snapshot_events: Iterable[Dict]) -> None:
+        """Atomically rewrite the journal from a state snapshot.
+
+        ``snapshot_events`` are ``(event, fields)``-shaped dicts (the
+        service passes one ``snapshot`` event per job).  The rewrite
+        goes through a temp file + ``os.replace`` so a kill mid-compact
+        leaves the previous journal fully intact.
+        """
+        self.close()
+        lines = []
+        for fields in snapshot_events:
+            self._seq += 1
+            record = {
+                "schema": JOURNAL_SCHEMA,
+                "seq": self._seq,
+                "ts": time.time(),
+                "event": "snapshot",
+            }
+            record.update(fields)
+            lines.append(json.dumps(record, sort_keys=True))
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "w", encoding="utf-8") as stream:
+            stream.write("".join(line + "\n" for line in lines))
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, self.path)

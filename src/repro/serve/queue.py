@@ -1,0 +1,148 @@
+"""Admission control for the partitioning service.
+
+A daemon that accepts every request eventually accepts one it cannot
+serve.  The :class:`AdmissionController` decides *at submission time*
+whether a job enters the queue, with three rejection modes, each mapped
+to the HTTP status the server returns:
+
+* **draining** (503) — the daemon received SIGTERM and is winding down;
+  clients should resubmit to a healthy replica.
+* **queue saturation** (429 + ``Retry-After``) — the bounded priority
+  queue is full across all tenants.  The hint is derived from the
+  typical job service time so honest clients back off usefully.
+* **tenant quota** (429 + ``Retry-After``) — this tenant already has
+  its ``max_active`` jobs in flight; other tenants are unaffected
+  (per-tenant isolation, not global fairness).
+
+Tenant policies can also carry a :class:`~repro.core.runguard.RunBudget`
+cap: :meth:`AdmissionController.clamp_config` folds it into the job's
+config overrides so no tenant can submit an unbounded run, reusing the
+exact budget vocabulary the solver core already enforces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..core.runguard import RunBudget
+
+__all__ = ["TenantPolicy", "AdmissionDecision", "AdmissionController"]
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Per-tenant admission limits."""
+
+    max_active: int = 8
+    """Maximum non-terminal jobs this tenant may have at once."""
+    budget: Optional[RunBudget] = None
+    """Optional per-job budget ceiling applied to every submission."""
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ValueError("max_active must be positive")
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check, ready for the HTTP layer."""
+
+    accepted: bool
+    http_status: int = 201
+    reason: str = ""
+    retry_after: Optional[int] = None
+
+    @classmethod
+    def accept(cls) -> "AdmissionDecision":
+        return cls(accepted=True)
+
+    @classmethod
+    def reject(
+        cls, status: int, reason: str, retry_after: Optional[int] = None
+    ) -> "AdmissionDecision":
+        return cls(
+            accepted=False,
+            http_status=status,
+            reason=reason,
+            retry_after=retry_after,
+        )
+
+
+@dataclass
+class AdmissionController:
+    """Bounded-queue + per-tenant-quota admission policy.
+
+    Stateless over the job table: callers pass the current queue depth
+    and per-tenant active counts, so the controller needs no locking of
+    its own and is trivially testable.
+    """
+
+    capacity: int = 32
+    """Maximum queued + admitted (not yet running) jobs, all tenants."""
+    default_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    policies: Dict[str, TenantPolicy] = field(default_factory=dict)
+    retry_after_seconds: int = 5
+    """Baseline ``Retry-After`` hint on saturation rejections."""
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        if self.retry_after_seconds < 1:
+            raise ValueError("retry_after_seconds must be positive")
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    def decide(
+        self,
+        tenant: str,
+        queue_depth: int,
+        active_by_tenant: Dict[str, int],
+        draining: bool = False,
+    ) -> AdmissionDecision:
+        """Admit or reject one submission given current occupancy."""
+        if draining:
+            return AdmissionDecision.reject(
+                503, "service is draining; resubmit elsewhere"
+            )
+        if queue_depth >= self.capacity:
+            return AdmissionDecision.reject(
+                429,
+                f"queue is full ({queue_depth}/{self.capacity} jobs)",
+                retry_after=self.retry_after_seconds,
+            )
+        policy = self.policy_for(tenant)
+        active = active_by_tenant.get(tenant, 0)
+        if active >= policy.max_active:
+            return AdmissionDecision.reject(
+                429,
+                f"tenant {tenant!r} at quota "
+                f"({active}/{policy.max_active} active jobs)",
+                # Quota rejections clear when one of the tenant's own
+                # jobs finishes; hint a longer wait than queue churn.
+                retry_after=2 * self.retry_after_seconds,
+            )
+        return AdmissionDecision.accept()
+
+    def clamp_config(self, tenant: str, config: Dict) -> Dict:
+        """Fold the tenant's budget ceiling into config overrides.
+
+        Tightens (never loosens): a client deadline above the ceiling is
+        cut to it; an absent one gets the ceiling.  Returns a new dict.
+        """
+        policy = self.policy_for(tenant)
+        cap = policy.budget
+        if cap is None:
+            return dict(config)
+        clamped = dict(config)
+        for key, limit in (
+            ("deadline_seconds", cap.deadline_seconds),
+            ("max_iterations", cap.max_iterations),
+            ("max_moves", cap.max_moves),
+        ):
+            if limit is None:
+                continue
+            asked = clamped.get(key)
+            clamped[key] = limit if asked is None else min(asked, limit)
+        return clamped

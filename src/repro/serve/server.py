@@ -1,0 +1,212 @@
+"""HTTP/JSON skin over :class:`~repro.serve.daemon.PartitionService`.
+
+Pure stdlib (``http.server``): a :class:`ThreadingHTTPServer` whose
+handler threads call into the service under its lock.  The API is the
+smallest surface that covers the service contract:
+
+====== ============================== ===================================
+Method Path                           Meaning
+====== ============================== ===================================
+GET    /healthz                       liveness (200 while the process is
+                                      up, even when draining)
+GET    /readyz                        readiness (503 when draining)
+GET    /jobs                          list all jobs (compact views)
+POST   /jobs                          submit; 201 created, 200 deduped,
+                                      400/404 bad spec, 429 saturated
+                                      (+ ``Retry-After``), 503 draining
+GET    /jobs/<id>                     one job's current record
+GET    /jobs/<id>/result              full result incl. assignment
+GET    /jobs/<id>/stream              chunked JSONL progress stream
+POST   /jobs/<id>/cancel              cancel (409 when already terminal)
+GET    /stats                         service counters (tests/ops)
+====== ============================== ===================================
+
+Streaming uses real HTTP/1.1 chunked transfer encoding, hand-framed
+(hex length, CRLF, payload, CRLF): the handler tails the job's
+``trace.jsonl`` — the same file the in-worker
+:class:`~repro.obs.progress.HeartbeatEmitter` appends to — forwarding
+each complete line as one chunk, and finishes with a synthetic
+``job_end`` line once the job reaches a terminal state.  The terminal
+heartbeat guarantee (``HeartbeatEmitter.finish``) is what lets the
+stream end promptly on degraded/failed runs instead of timing out.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from .daemon import PartitionService
+
+__all__ = ["ServeHTTPServer", "make_server"]
+
+#: Hard cap on how long one stream request will follow a job (seconds).
+STREAM_MAX_SECONDS = 600.0
+
+
+class ServeHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the service instance."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: PartitionService):
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServeHTTPServer
+
+    # -- plumbing --------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # request logging is the service's business, not stderr's
+
+    @property
+    def service(self) -> PartitionService:
+        return self.server.service
+
+    def _send_json(self, payload: dict, status: Optional[int] = None) -> None:
+        status = status if status is not None else payload.get("status", 200)
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if payload.get("retry_after") is not None:
+            self.send_header("Retry-After", str(payload["retry_after"]))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Optional[dict]:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+            raw = self.rfile.read(length) if length else b"{}"
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except (ValueError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    # -- routes ----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(self.service.healthz())
+        elif path == "/readyz":
+            self._send_json(self.service.readyz())
+        elif path == "/stats":
+            self._send_json({"status": 200, "stats": self.service.stats()})
+        elif path == "/jobs":
+            self._send_json({"status": 200, "jobs": self.service.jobs()})
+        elif path.startswith("/jobs/"):
+            parts = path.split("/")[2:]
+            if len(parts) == 1:
+                self._send_json(self.service.job(parts[0]))
+            elif len(parts) == 2 and parts[1] == "result":
+                self._send_json(self.service.result(parts[0]))
+            elif len(parts) == 2 and parts[1] == "stream":
+                self._stream_job(parts[0])
+            else:
+                self._send_json({"status": 404, "error": "no such route"})
+        else:
+            self._send_json({"status": 404, "error": "no such route"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path == "/jobs":
+            payload = self._read_body()
+            if payload is None:
+                self._send_json(
+                    {"status": 400, "error": "body must be a JSON object"}
+                )
+                return
+            force = bool(payload.pop("force", False))
+            self._send_json(self.service.submit(payload, force=force))
+        elif path.startswith("/jobs/") and path.endswith("/cancel"):
+            job_id = path.split("/")[2]
+            self._send_json(self.service.cancel(job_id))
+        else:
+            self._send_json({"status": 404, "error": "no such route"})
+
+    # -- streaming -------------------------------------------------------
+
+    def _chunk(self, data: bytes) -> None:
+        self.wfile.write(f"{len(data):x}\r\n".encode("ascii"))
+        self.wfile.write(data)
+        self.wfile.write(b"\r\n")
+
+    def _stream_job(self, job_id: str) -> None:
+        view = self.service.job(job_id)
+        if view["status"] != 200:
+            self._send_json(view)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/jsonl")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+
+        trace_path = self.service.job_dir(job_id) / "trace.jsonl"
+        deadline = time.monotonic() + STREAM_MAX_SECONDS
+        offset = 0
+        try:
+            while time.monotonic() < deadline:
+                if trace_path.exists():
+                    with open(trace_path, "r", encoding="utf-8") as stream:
+                        stream.seek(offset)
+                        tail = stream.read()
+                    if tail:
+                        # Forward only complete lines; a partially
+                        # written trailing line waits for the next poll.
+                        complete, sep, _rest = tail.rpartition("\n")
+                        if sep:
+                            block = complete + "\n"
+                            offset += len(block.encode("utf-8"))
+                            self._chunk(block.encode("utf-8"))
+                view = self.service.job(job_id)
+                job = view.get("job")
+                if job is None or job["state"] in (
+                    "done", "degraded", "failed", "cancelled",
+                ):
+                    end = {
+                        "event": "job_end",
+                        "job_id": job_id,
+                        "state": job["state"] if job else "unknown",
+                        "result": job.get("result") if job else None,
+                    }
+                    self._chunk(
+                        (json.dumps(end, sort_keys=True) + "\n").encode(
+                            "utf-8"
+                        )
+                    )
+                    break
+                time.sleep(0.1)
+            self._chunk(b"")  # terminating zero-length chunk
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; nothing to clean up
+
+
+def make_server(
+    host: str, port: int, service: PartitionService
+) -> ServeHTTPServer:
+    """Bind the HTTP server (port 0 picks a free port) — not serving yet."""
+    return ServeHTTPServer((host, port), service)
+
+
+def serve_forever_in_thread(server: ServeHTTPServer) -> threading.Thread:
+    """Run the server loop on a daemon thread; returns the thread."""
+    thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="fpart-serve-http",
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+__all__.append("serve_forever_in_thread")

@@ -1,0 +1,215 @@
+"""The in-worker job runner for the partitioning service.
+
+:func:`run_partition_job` is the module-level, picklable function the
+daemon submits to its persistent :class:`~repro.parallel.pool.WorkerPool`.
+It owns everything that must happen *inside* the worker process for one
+attempt of one job:
+
+* load the netlist (same extension autodetection as the CLI);
+* materialise the config from the job's overrides over
+  ``DEFAULT_CONFIG``;
+* **always checkpoint, every iteration** — the service's recovery story
+  is the repo's existing bit-identical checkpoint/resume contract, so a
+  job whose worker (or whole daemon) is SIGKILL'd resumes from its last
+  completed iteration and still produces the exact assignment a clean
+  run would;
+* resume from an existing checkpoint when one is present (a corrupt
+  checkpoint falls back to a fresh run — availability over history);
+* stream ``progress`` heartbeats into the job's ``trace.jsonl``, which
+  the HTTP layer tails for chunked-JSONL job streaming;
+* record the finished attempt into the shared
+  :class:`~repro.obs.runstore.RunStore` (the concurrent-writer pattern
+  the store's index lock exists for), and write the full assignment to
+  ``result.json`` atomically.
+
+The return value is a compact JSON-safe summary — the daemon keeps it
+in the job table and journals it; the heavyweight assignment stays on
+disk next to the job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..core.checkpoint import CheckpointManager, config_digest
+from ..core.config import DEFAULT_CONFIG, FpartConfig
+from ..core.device import device_by_name
+from ..core.exceptions import CheckpointError
+from ..core.fpart import FpartPartitioner
+from ..obs.progress import HeartbeatEmitter
+from ..obs.trace import TraceWriter, cost_fields
+
+__all__ = ["run_partition_job", "load_netlist", "job_config"]
+
+
+def load_netlist(path: str):
+    """Load a netlist by extension, mirroring the CLI's autodetection."""
+    from ..hypergraph.io import read_hgr, read_netlist
+
+    file = Path(path)
+    if not file.exists():
+        raise FileNotFoundError(f"no such netlist file: {path}")
+    if file.suffix == ".nets":
+        return read_netlist(file)
+    if file.suffix == ".blif":
+        from ..hypergraph.blif import read_blif
+
+        return read_blif(file)
+    return read_hgr(file)
+
+
+def job_config(overrides: Dict[str, Any]) -> FpartConfig:
+    """Config for one job: client overrides applied over the default."""
+    if not overrides:
+        return DEFAULT_CONFIG
+    known = {f.name for f in dataclasses.fields(FpartConfig)}
+    unknown = sorted(set(overrides) - known)
+    if unknown:
+        raise ValueError(f"unknown config fields: {', '.join(unknown)}")
+    return dataclasses.replace(DEFAULT_CONFIG, **overrides)
+
+
+def _write_result_json(job_dir: Path, payload: Dict) -> None:
+    tmp = job_dir / "result.json.tmp"
+    with open(tmp, "w", encoding="utf-8") as stream:
+        json.dump(payload, stream, sort_keys=True)
+        stream.flush()
+        os.fsync(stream.fileno())
+    os.replace(tmp, job_dir / "result.json")
+
+
+def run_partition_job(
+    job_id: str,
+    attempt: int,
+    netlist: str,
+    device_name: str,
+    delta: float,
+    config_overrides: Dict[str, Any],
+    job_dir: str,
+    runs_dir: Optional[str] = None,
+    tenant: str = "default",
+    test_sleep_seconds: float = 0.0,
+    test_crash_attempts: int = 0,
+) -> Dict[str, Any]:
+    """Run one attempt of one job; returns a JSON-safe summary.
+
+    The two ``test_*`` parameters are fault-injection seams, forwarded
+    by the service only when it runs with test hooks enabled:
+    ``test_sleep_seconds`` holds a job in ``running`` long enough for
+    the kill/restart tests to SIGKILL the daemon deterministically;
+    ``test_crash_attempts`` makes the worker die (``os._exit``) on the
+    first N attempts, exercising the retry-with-backoff path.
+    """
+    if attempt <= test_crash_attempts:
+        os._exit(17)
+    if test_sleep_seconds > 0:
+        time.sleep(test_sleep_seconds)
+
+    directory = Path(job_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    hg = load_netlist(netlist)
+    device = device_by_name(device_name).with_delta(delta)
+    config = job_config(config_overrides)
+
+    # Every serve job checkpoints every iteration: the checkpoint IS the
+    # recovery mechanism, and its resume path is bit-identical (PR 2).
+    checkpoint = CheckpointManager(directory / "checkpoint.json", every=1)
+    resumed = False
+    if checkpoint.exists():
+        try:
+            checkpoint.load()
+            resumed = True
+        except CheckpointError:
+            # Unreadable checkpoint: start over rather than fail the job.
+            resumed = False
+
+    run_id = f"{job_id[:8]}a{attempt}"
+    tracer = TraceWriter(directory / "trace.jsonl", run_id=run_id)
+    heartbeat = HeartbeatEmitter(tracer=tracer, interval_seconds=0.5)
+    started = time.monotonic()
+    try:
+        result = FpartPartitioner(
+            hg,
+            device,
+            config,
+            keep_trace=False,
+            checkpoint=checkpoint,
+            run_id=run_id,
+            tracer=tracer,
+            heartbeat=heartbeat,
+        ).run()
+    finally:
+        tracer.close()
+    wall = time.monotonic() - started
+
+    cost = cost_fields(result.cost) if result.cost is not None else None
+    if runs_dir is not None:
+        from ..obs.runstore import RunRecord, RunStore, RunStoreError
+
+        try:
+            RunStore(runs_dir).record_run(
+                RunRecord(
+                    run_id=run_id,
+                    circuit=result.circuit,
+                    device=result.device,
+                    method="FPART",
+                    status=result.status,
+                    num_devices=result.num_devices,
+                    lower_bound=result.lower_bound,
+                    feasible=result.feasible,
+                    cost=cost,
+                    wall_seconds=result.runtime_seconds,
+                    iterations=result.iterations,
+                    config_digest=config_digest(config),
+                    seed=config.seed,
+                    labels={
+                        "job": job_id,
+                        "attempt": str(attempt),
+                        "tenant": tenant,
+                    },
+                )
+            )
+        except RunStoreError:
+            # The run store is observability, not correctness: a
+            # recording failure must not fail a finished job.
+            pass
+
+    _write_result_json(
+        directory,
+        {
+            "job_id": job_id,
+            "attempt": attempt,
+            "run_id": run_id,
+            "status": result.status,
+            "circuit": result.circuit,
+            "device": result.device,
+            "num_devices": result.num_devices,
+            "lower_bound": result.lower_bound,
+            "feasible": result.feasible,
+            "cost": cost,
+            "iterations": result.iterations,
+            "wall_seconds": result.runtime_seconds,
+            "assignment": list(result.assignment)
+            if result.assignment is not None
+            else None,
+            "error": result.error,
+            "resumed": resumed,
+        },
+    )
+    return {
+        "run_id": run_id,
+        "status": result.status,
+        "num_devices": result.num_devices,
+        "lower_bound": result.lower_bound,
+        "feasible": result.feasible,
+        "cost": cost,
+        "iterations": result.iterations,
+        "wall_seconds": round(wall, 3),
+        "resumed": resumed,
+        "attempt": attempt,
+    }

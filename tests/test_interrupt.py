@@ -1,0 +1,255 @@
+"""Cooperative interruption: ``RunGuard.request_stop`` + SIGTERM/SIGINT.
+
+The contract under test: an interrupted run is just a budget-exhausted
+run with reason ``"interrupted"`` — same degradation machinery, same
+best-so-far answer, same checkpoint validity.  The subprocess tests
+drive the real CLI: SIGTERM mid-``fpart partition`` must exit with the
+degraded sysexits code (3), keep a loadable checkpoint, and a
+``--resume`` run must finish bit-identically to a never-interrupted
+run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.circuits import generate_circuit
+from repro.core import (
+    DEFAULT_CONFIG,
+    BudgetExhaustedError,
+    CheckpointManager,
+    FpartPartitioner,
+    GracefulInterrupt,
+    RunGuard,
+    device_by_name,
+)
+from repro.hypergraph.io import write_hgr
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+# ---------------------------------------------------------------------------
+# guard-level unit tests
+
+
+class TestRequestStop:
+    def test_check_raises_interrupted_after_request(self):
+        guard = RunGuard()
+        guard.start()
+        guard.check()  # fine before the request
+        guard.request_stop("operator asked")
+        with pytest.raises(BudgetExhaustedError) as excinfo:
+            guard.check()
+        assert excinfo.value.reason == "interrupted"
+        assert "operator asked" in str(excinfo.value)
+
+    def test_stop_requested_property(self):
+        guard = RunGuard()
+        assert guard.stop_requested is None
+        guard.request_stop("why")
+        assert guard.stop_requested == "why"
+
+    def test_lease_boundary_also_trips(self):
+        guard = RunGuard()
+        guard.start()
+        guard.lease()
+        guard.request_stop()
+        with pytest.raises(BudgetExhaustedError):
+            guard.lease()
+
+    def test_interrupted_run_degrades_to_best_so_far(self):
+        # A real partitioner run with a pre-requested stop: the very
+        # first guard check trips, and the non-strict driver returns
+        # its best snapshot instead of raising.  (The snapshot may
+        # itself classify as feasible, in which case the driver rightly
+        # reports ``feasible`` — the guard's trip reason and the early
+        # iteration count are what prove the interruption.)
+        # This circuit needs several Algorithm 1 iterations (the
+        # constructive phase alone is infeasible), so the guard is
+        # genuinely consulted.
+        hg = generate_circuit("intr", num_cells=100, num_ios=20, seed=5)
+        guard = RunGuard()
+        guard.request_stop("test stop")
+        result = FpartPartitioner(
+            hg,
+            device_by_name("XC3042").with_delta(0.1),
+            DEFAULT_CONFIG,
+            keep_trace=False,
+            guard=guard,
+        ).run()
+        assert guard.tripped == "interrupted"
+        assert result.iterations <= 1
+        assert result.assignment  # best-so-far, not nothing
+        assert result.status in ("feasible", "budget_exhausted")
+
+
+class TestGracefulInterrupt:
+    def test_first_signal_requests_stop(self):
+        guard = RunGuard()
+        interrupt = GracefulInterrupt(guard)
+        interrupt.install()
+        try:
+            signal.raise_signal(signal.SIGINT)
+            assert interrupt.signaled == "SIGINT"
+            assert guard.stop_requested is not None
+            assert "SIGINT" in guard.stop_requested
+        finally:
+            interrupt.restore()
+
+    def test_second_signal_escalates(self):
+        guard = RunGuard()
+        interrupt = GracefulInterrupt(guard)
+        interrupt.install()
+        try:
+            signal.raise_signal(signal.SIGINT)
+            with pytest.raises(KeyboardInterrupt):
+                signal.raise_signal(signal.SIGINT)
+        finally:
+            interrupt.restore()
+
+    def test_install_on_worker_thread_is_noop(self):
+        # Signal handlers are main-thread-only; library callers on other
+        # threads must degrade to a no-op rather than crash.
+        guard = RunGuard()
+        outcome = {}
+
+        def body():
+            interrupt = GracefulInterrupt(guard)
+            try:
+                interrupt.install()
+                outcome["ok"] = True
+            except Exception as error:  # pragma: no cover - the bug
+                outcome["error"] = error
+            finally:
+                interrupt.restore()
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert outcome.get("ok") is True
+
+
+# ---------------------------------------------------------------------------
+# CLI subprocess tests (real signals against the real entry point)
+
+
+@pytest.fixture(scope="module")
+def big_netlist(tmp_path_factory):
+    # Large enough that the solve takes seconds — the signal provably
+    # lands mid-run (the test still waits for the checkpoint file, so
+    # this is belt and braces, not a timing bet).
+    tmp = tmp_path_factory.mktemp("interrupt")
+    hg = generate_circuit("slow", num_cells=3000, num_ios=200, seed=1)
+    path = tmp / "slow.hgr"
+    write_hgr(hg, path)
+    return path
+
+
+def run_cli(*argv, **popen_kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *argv],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        **popen_kwargs,
+    )
+
+
+class TestPartitionSigterm:
+    def test_sigterm_exits_degraded_with_valid_checkpoint(
+        self, big_netlist, tmp_path
+    ):
+        checkpoint = tmp_path / "run.ckpt"
+        process = run_cli(
+            "partition",
+            str(big_netlist),
+            "--device",
+            "XC3042",
+            "--checkpoint",
+            str(checkpoint),
+            "--checkpoint-every",
+            "1",
+        )
+        # Wait until at least one iteration checkpointed, then SIGTERM.
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline and not checkpoint.exists():
+            if process.poll() is not None:
+                raise AssertionError(
+                    "run finished before the signal could be sent:\n"
+                    + process.stderr.read().decode(errors="replace")
+                )
+            time.sleep(0.02)
+        assert checkpoint.exists(), "no checkpoint appeared in time"
+        process.send_signal(signal.SIGTERM)
+        _stdout, stderr = process.communicate(timeout=60)
+        text = stderr.decode(errors="replace")
+        assert process.returncode == 3, text
+        assert "interrupted by SIGTERM" in text
+        assert "resume with --resume" in text
+        # The checkpoint survived the interruption intact and loadable.
+        state = CheckpointManager(checkpoint).load()
+        assert state.iteration >= 1
+        assert state.best_assignment
+
+        # And a --resume run completes bit-identically to a clean run.
+        resumed = run_cli(
+            "partition",
+            str(big_netlist),
+            "--device",
+            "XC3042",
+            "--checkpoint",
+            str(checkpoint),
+            "--resume",
+            "--output",
+            str(tmp_path / "resumed.txt"),
+        )
+        _stdout, stderr = resumed.communicate(timeout=300)
+        assert resumed.returncode == 0, stderr.decode(errors="replace")
+
+        clean = run_cli(
+            "partition",
+            str(big_netlist),
+            "--device",
+            "XC3042",
+            "--output",
+            str(tmp_path / "clean.txt"),
+        )
+        _stdout, stderr = clean.communicate(timeout=300)
+        assert clean.returncode == 0, stderr.decode(errors="replace")
+        assert (
+            (tmp_path / "resumed.txt").read_text()
+            == (tmp_path / "clean.txt").read_text()
+        )
+
+    def test_sigint_without_checkpoint_returns_best_so_far(
+        self, big_netlist, tmp_path
+    ):
+        process = run_cli(
+            "partition",
+            str(big_netlist),
+            "--device",
+            "XC3042",
+            "--output",
+            str(tmp_path / "best.txt"),
+        )
+        time.sleep(1.0)  # well inside the multi-second solve
+        if process.poll() is not None:
+            raise AssertionError("run finished before the signal")
+        process.send_signal(signal.SIGINT)
+        _stdout, stderr = process.communicate(timeout=60)
+        text = stderr.decode(errors="replace")
+        assert process.returncode == 3, text
+        assert "interrupted by SIGINT" in text
+        assert "best solution so far" in text
+        # The degraded assignment was still written out.
+        assert (tmp_path / "best.txt").exists()

@@ -224,3 +224,121 @@ class TestRunEndOnAllPaths:
             )
             ends = [e for e in events if e["event"] == "run_end"]
             assert len(ends) == 1
+
+
+class TestTerminalHeartbeat:
+    """Satellite: the final heartbeat carries the run's terminal status.
+
+    Streaming consumers block on the next progress event; a run that
+    degrades or fails between beats must still emit one last marked
+    beat (``final: true`` + status) so the stream ends promptly instead
+    of timing out.
+    """
+
+    def test_finish_emits_final_fields(self):
+        buf = io.StringIO()
+        tracer = TraceWriter(buf, run_id="cafe0005", sample_moves=0)
+        tracer.emit("run_start", circuit="x", device="XC3020",
+                    lower_bound=1, budget={}, strict=False)
+        hb = HeartbeatEmitter(tracer=tracer, interval_seconds=1000.0)
+        guard = make_guard()
+        hb.attach(guard)
+        hb.finish(guard, "budget_exhausted")
+        events = [json.loads(l) for l in buf.getvalue().splitlines()]
+        beat = events[-1]
+        assert beat["event"] == "progress"
+        assert beat["final"] is True
+        assert beat["status"] == "budget_exhausted"
+
+    def test_finish_bypasses_rate_limit(self):
+        clock = FakeClock()
+        hb = HeartbeatEmitter(interval_seconds=1000.0, _clock=clock)
+        guard = make_guard()
+        hb.attach(guard)
+        guard.check()
+        assert hb.emitted == 0  # normal beats rate-limited out
+        hb.finish(guard, "failed")
+        assert hb.emitted == 1  # the terminal beat always lands
+
+    def test_finish_is_once_latched(self):
+        hb = HeartbeatEmitter(interval_seconds=0.0)
+        guard = make_guard()
+        hb.finish(guard, "feasible")
+        hb.finish(guard, "failed")  # second exit path: ignored
+        assert hb.emitted == 1
+        assert hb.finished is True
+
+    def test_stderr_line_marks_completion(self):
+        stream = io.StringIO()
+        hb = HeartbeatEmitter(stream=stream, interval_seconds=0.0)
+        hb.finish(make_guard(), "budget_exhausted")
+        assert "done status=budget_exhausted" in stream.getvalue()
+
+    def _traced_run_with_heartbeat(self, strict, plan, **config_kwargs):
+        hg = generate_circuit("fault", num_cells=150, num_ios=20, seed=11)
+        config = FpartConfig(strict=strict, **config_kwargs)
+        device = XC3020
+        evaluator = None
+        if plan is not None:
+            base = make_evaluator(
+                device, config, device.lower_bound(hg), hg.num_terminals
+            )
+            evaluator = FaultyEvaluator(base, plan)
+        buf = io.StringIO()
+        tracer = TraceWriter(buf, run_id="cafe0006", sample_moves=0)
+        heartbeat = HeartbeatEmitter(tracer=tracer, interval_seconds=0.0)
+        partitioner = FpartPartitioner(
+            hg, device, config,
+            evaluator=evaluator, tracer=tracer, heartbeat=heartbeat,
+        )
+        try:
+            outcome = partitioner.run()
+        except Exception as error:
+            outcome = error
+        events = [json.loads(l) for l in buf.getvalue().splitlines()]
+        return outcome, events
+
+    def _final_beats(self, events):
+        return [
+            e for e in events
+            if e["event"] == "progress" and e.get("final")
+        ]
+
+    def test_feasible_run_final_beat(self):
+        outcome, events = self._traced_run_with_heartbeat(
+            strict=False, plan=None
+        )
+        beats = self._final_beats(events)
+        assert len(beats) == 1
+        assert beats[0]["status"] == outcome.status == "feasible"
+        assert validate_trace(events) == []
+
+    def test_degraded_run_final_beat(self):
+        outcome, events = self._traced_run_with_heartbeat(
+            strict=False, plan=FaultPlan(fail_on_call=20)
+        )
+        beats = self._final_beats(events)
+        assert len(beats) == 1
+        assert beats[0]["status"] == outcome.status
+        assert outcome.status in ("semi_feasible", "failed")
+
+    def test_strict_raise_still_emits_final_beat(self):
+        outcome, events = self._traced_run_with_heartbeat(
+            strict=True, plan=FaultPlan(fail_on_call=20)
+        )
+        assert isinstance(outcome, Exception)
+        beats = self._final_beats(events)
+        assert len(beats) == 1
+        assert beats[0]["status"] == "failed"
+
+    def test_budget_exhausted_final_beat(self):
+        outcome, events = self._traced_run_with_heartbeat(
+            strict=False, plan=None, max_iterations=1
+        )
+        beats = self._final_beats(events)
+        assert len(beats) == 1
+        assert beats[0]["status"] == outcome.status
+        # The terminal beat lands before run_end closes the trace.
+        kinds = [e["event"] for e in events]
+        assert kinds[-1] == "run_end"
+        assert kinds[-2] == "progress"

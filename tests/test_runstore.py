@@ -240,3 +240,64 @@ class TestConcurrentWriters:
         store.record_run(make_record("aaaa0001"))
         assert (tmp_path / LOCK_NAME).exists()
         assert len(store.records()) == 1
+
+
+class TestCrashMidWriteRecovery:
+    """A writer killed between the run-dir write and the index append.
+
+    ``record_run`` deliberately orders its writes so the index line
+    lands last: a crash in the window leaves a complete run directory
+    on disk but no index entry — an *orphan*, invisible to readers.
+    These tests simulate the kill at that exact point (the index-append
+    seam raises, exactly what the process dying there looks like to the
+    filesystem) and assert the store stays fully usable.
+    """
+
+    def _crash_one_record(self, tmp_path, monkeypatch, run_id="dead0001"):
+        store = RunStore(tmp_path)
+
+        def killed(self, line):
+            raise SystemExit("simulated kill between artifact and index")
+
+        monkeypatch.setattr(RunStore, "_append_index", killed)
+        with pytest.raises(SystemExit):
+            store.record_run(make_record(run_id))
+        monkeypatch.undo()
+        # The orphan run directory exists; the index never saw it.
+        assert (tmp_path / run_id / "run.json").exists()
+
+    def test_store_reopens_cleanly_and_skips_orphan(
+        self, tmp_path, monkeypatch
+    ):
+        store = RunStore(tmp_path)
+        store.record_run(make_record("live0001"))
+        self._crash_one_record(tmp_path, monkeypatch)
+        reopened = RunStore(tmp_path)
+        ids = [r.run_id for r in reopened.records()]
+        assert ids == ["live0001"]  # orphan invisible, survivor intact
+
+    def test_new_writes_succeed_after_crash(self, tmp_path, monkeypatch):
+        self._crash_one_record(tmp_path, monkeypatch)
+        store = RunStore(tmp_path)
+        store.record_run(make_record("live0002"))
+        assert [r.run_id for r in store.records()] == ["live0002"]
+
+    def test_same_run_id_can_be_recorded_again(self, tmp_path, monkeypatch):
+        # The crashed attempt never made the index, so a retry of the
+        # same run id must not hit the duplicate guard; its re-recorded
+        # run.json overwrites the orphan directory's.
+        self._crash_one_record(tmp_path, monkeypatch, run_id="retry001")
+        store = RunStore(tmp_path)
+        store.record_run(make_record("retry001"))
+        assert [r.run_id for r in store.records()] == ["retry001"]
+
+    def test_fpart_history_skips_orphan(self, tmp_path, monkeypatch, capsys):
+        from repro.cli import main
+
+        store = RunStore(tmp_path)
+        store.record_run(make_record("live0001"))
+        self._crash_one_record(tmp_path, monkeypatch)
+        assert main(["history", "--runs-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "live0001" in out
+        assert "dead0001" not in out
