@@ -298,7 +298,11 @@ class PartitionService:
             self._stats["submissions"] += 1
             if not force:
                 twin = self._table.find_digest(digest)
-                if twin is not None and twin.state != "failed":
+                # A failed or cancelled twin has no result to serve and
+                # no work to attach to — resubmission starts fresh.
+                if twin is not None and twin.state not in (
+                    "failed", "cancelled",
+                ):
                     # Attach to the in-flight twin or serve the cached
                     # terminal result; either way the pool sees nothing.
                     self._stats["deduped"] += 1

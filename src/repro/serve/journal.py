@@ -13,11 +13,14 @@ Durability model
 ----------------
 * appends are ``write + flush + fsync`` — a power cut can tear only the
   final line;
-* a torn *trailing* line is expected damage and silently dropped at
-  replay (the event it described never acknowledged);
-* a malformed line *followed by valid lines* is real corruption (the
-  file was edited or the disk lied) and raises :class:`JournalError`
-  rather than guessing;
+* an *unterminated* trailing fragment (no final newline) is expected
+  damage: the append it belonged to was never acknowledged, so replay
+  silently drops it and truncates the file back to the last newline,
+  guaranteeing a post-recovery append can never merge with the torn
+  bytes;
+* any malformed *newline-terminated* line is real corruption (the file
+  was edited or the disk lied) and raises :class:`JournalError` rather
+  than guessing;
 * :meth:`Journal.compact` rewrites the journal atomically from a
   snapshot of live state (one ``snapshot`` event per job) so a
   long-running daemon's journal is bounded by its job table, not its
@@ -91,15 +94,25 @@ class Journal:
     def replay(self) -> List[Dict]:
         """Parse the journal back into its event records, oldest first.
 
-        Also primes the append sequence counter past the highest seq
-        seen, so post-recovery events keep a strictly increasing order.
+        A torn tail (bytes after the last newline, left by a crash
+        mid-append) is dropped *and truncated from disk* so the next
+        append starts at a line boundary instead of merging with the
+        fragment.  Also primes the append sequence counter past the
+        highest seq seen, so post-recovery events keep a strictly
+        increasing order.
         """
         try:
-            text = self.path.read_text(encoding="utf-8")
+            data = self.path.read_bytes()
         except FileNotFoundError:
             return []
+        self.close()
+        # Only bytes through the last newline are acknowledged appends
+        # (the fsync covers line + newline together); anything after it
+        # is an unterminated fragment torn by a crash, never a valid
+        # event — even if it happens to parse.
+        cut = data.rfind(b"\n") + 1
         events: List[Dict] = []
-        lines = text.split("\n")
+        lines = data[:cut].decode("utf-8").split("\n")
         for lineno, line in enumerate(lines, 1):
             line = line.strip()
             if not line:
@@ -107,13 +120,9 @@ class Journal:
             try:
                 record = json.loads(line)
             except ValueError as error:
-                if lineno >= len(lines) - 1:
-                    # Torn trailing line: the append it belonged to was
-                    # never acknowledged — expected SIGKILL damage.
-                    break
                 raise JournalError(
                     f"{self.path}:{lineno}: corrupt journal line "
-                    f"(not trailing): {error}"
+                    f"(not a torn tail): {error}"
                 ) from error
             if not isinstance(record, dict) or "event" not in record:
                 raise JournalError(
@@ -125,6 +134,13 @@ class Journal:
                     f"{record.get('schema')!r}"
                 )
             events.append(record)
+        if cut < len(data):
+            # Truncate the torn tail so append() can never concatenate
+            # onto it and corrupt the first post-recovery event.
+            with open(self.path, "r+b") as stream:
+                stream.truncate(cut)
+                stream.flush()
+                os.fsync(stream.fileno())
         if events:
             self._seq = max(
                 self._seq, max(int(e.get("seq", 0)) for e in events)

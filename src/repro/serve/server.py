@@ -153,25 +153,36 @@ class _Handler(BaseHTTPRequestHandler):
         trace_path = self.service.job_dir(job_id) / "trace.jsonl"
         deadline = time.monotonic() + STREAM_MAX_SECONDS
         offset = 0
+
+        def pump_trace() -> None:
+            # Forward only complete lines; a partially written trailing
+            # line waits for the next poll.
+            nonlocal offset
+            if not trace_path.exists():
+                return
+            with open(trace_path, "r", encoding="utf-8") as stream:
+                stream.seek(offset)
+                tail = stream.read()
+            if tail:
+                complete, sep, _rest = tail.rpartition("\n")
+                if sep:
+                    block = complete + "\n"
+                    offset += len(block.encode("utf-8"))
+                    self._chunk(block.encode("utf-8"))
+
         try:
             while time.monotonic() < deadline:
-                if trace_path.exists():
-                    with open(trace_path, "r", encoding="utf-8") as stream:
-                        stream.seek(offset)
-                        tail = stream.read()
-                    if tail:
-                        # Forward only complete lines; a partially
-                        # written trailing line waits for the next poll.
-                        complete, sep, _rest = tail.rpartition("\n")
-                        if sep:
-                            block = complete + "\n"
-                            offset += len(block.encode("utf-8"))
-                            self._chunk(block.encode("utf-8"))
+                pump_trace()
                 view = self.service.job(job_id)
                 job = view.get("job")
                 if job is None or job["state"] in (
                     "done", "degraded", "failed", "cancelled",
                 ):
+                    # Lines written between the pump above and the state
+                    # flipping terminal (e.g. the final heartbeat) must
+                    # still reach the client: the job is terminal, so no
+                    # further writes can race this last drain.
+                    pump_trace()
                     end = {
                         "event": "job_end",
                         "job_id": job_id,

@@ -72,6 +72,49 @@ class TestJournal:
         events = Journal(path).replay()
         assert [e["event"] for e in events] == ["a", "b"]
 
+    def test_append_after_torn_tail_does_not_corrupt(self, tmp_path):
+        # Replay must truncate the torn fragment so the first
+        # post-recovery append starts at a line boundary; otherwise the
+        # *next* restart finds a merged, non-trailing corrupt line.
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append("a")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"schema": 1, "seq": 2, "event": "tor')
+        recovered = Journal(path)
+        assert [e["event"] for e in recovered.replay()] == ["a"]
+        recovered.append("recovered")
+        recovered.close()
+        events = Journal(path).replay()
+        assert [e["event"] for e in events] == ["a", "recovered"]
+
+    def test_unterminated_parseable_tail_is_dropped(self, tmp_path):
+        # Even a fragment that happens to parse is unacknowledged if the
+        # newline never hit the disk.
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append("a")
+        journal.close()
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"schema": 1, "seq": 2, "event": "unacked"}')
+        events = Journal(path).replay()
+        assert [e["event"] for e in events] == ["a"]
+
+    def test_corrupt_final_terminated_line_raises(self, tmp_path):
+        # A newline-terminated line was acknowledged; damage to it is
+        # real corruption, not a torn tail, and must not be dropped.
+        path = tmp_path / "j.jsonl"
+        journal = Journal(path)
+        journal.append("a")
+        journal.append("b")
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[-1] = "garbage {{{"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalError, match="corrupt"):
+            Journal(path).replay()
+
     def test_corrupt_middle_line_raises(self, tmp_path):
         path = tmp_path / "j.jsonl"
         journal = Journal(path)
@@ -397,6 +440,23 @@ class TestServiceLifecycle:
         # Cancelling again is a 409, and nothing ever ran.
         assert service.cancel(job_id)["status"] == 409
         assert service.stats()["tasks_submitted"] == 0
+
+    def test_resubmit_after_cancel_starts_fresh_job(
+        self, service, netlist_file
+    ):
+        # A cancelled twin is terminal but has no result; dedup against
+        # it would pin the digest to result=None forever.
+        service.pause_scheduler()
+        first = service.submit({"netlist": str(netlist_file)})
+        job_id = first["job"]["job_id"]
+        assert service.cancel(job_id)["status"] == 200
+        service.resume_scheduler()
+        again = service.submit({"netlist": str(netlist_file)})
+        assert again["status"] == 201
+        assert again["job"]["job_id"] != job_id
+        job = wait_terminal(service, again["job"]["job_id"])
+        assert job["state"] == "done"
+        assert job["result"]["status"] == "feasible"
 
     def test_unknown_job_404(self, service):
         assert service.job("nope")["status"] == 404
