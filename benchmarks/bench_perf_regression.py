@@ -28,6 +28,10 @@ Measures two things and writes ``BENCH_perf.json`` at the repo root
    window against both the object incremental path and the pre-change
    full sweep (keys verified bitwise equal move-for-move first).
 
+4. **Serve-obs case** (schema 6) — the wall-clock overhead of service
+   observability (span tracing, /metrics, journalled span ids) on
+   sleep-dominated serve jobs, obs on vs ``obs_enabled=False``.
+
 Cross-PR trajectory: commit the refreshed ``BENCH_perf.json`` whenever
 the numbers move materially; ``git log -p BENCH_perf.json`` then shows
 the perf history of the repo.
@@ -103,6 +107,15 @@ SMOKE_FLAT_SPEEDUP_FLOOR = 1.15
 #: Minimum acceptable flat fused-evaluator speedup over the pre-change
 #: full O(k) sweep (the ``evaluator_path`` baseline).
 FLAT_VS_FULL_SWEEP_FLOOR = 3.0
+
+#: Maximum acceptable wall-clock overhead of service observability
+#: (spans + metrics + journalled span ids) on the serve path, in
+#: percent.  Measured on sleep-dominated jobs so the number isolates
+#: the daemon-side bookkeeping from partitioning compute; the smoke
+#: ceiling is looser because short CI runs amplify scheduler-poll
+#: quantisation noise.
+SERVE_OBS_OVERHEAD_CEILING_PCT = 2.0
+SMOKE_SERVE_OBS_OVERHEAD_CEILING_PCT = 10.0
 
 #: Minimum acceptable restart-portfolio wall-clock speedup at
 #: ``jobs=4`` vs ``jobs=1`` on the latency-dominated scaling workload
@@ -662,6 +675,101 @@ def bench_parallel_scaling(
     return row
 
 
+def bench_serve_obs_overhead(
+    jobs_count: int = 6,
+    sleep_s: float = 0.2,
+    workers: int = 2,
+    repeats: int = 2,
+    ceiling_pct: float = SERVE_OBS_OVERHEAD_CEILING_PCT,
+) -> Dict:
+    """Wall-clock cost of serve-side observability: obs on vs obs off.
+
+    Runs the same batch of sleep-dominated jobs (the fault-injection
+    ``test_sleep_seconds`` seam, so no partitioning compute muddies the
+    measurement) through two in-process :class:`PartitionService`
+    instances — one with spans/metrics enabled, one with
+    ``obs_enabled=False`` — and reports the relative overhead of the
+    instrumented arm.  Each arm takes the best of ``repeats`` runs to
+    shave scheduler-poll jitter.  Jobs are submitted with ``force=True``
+    so dedup never short-circuits the later arm.
+    """
+    import shutil
+    import tempfile
+
+    from repro.circuits import generate_circuit
+    from repro.hypergraph.io import write_hgr
+    from repro.serve import PartitionService, ServiceConfig
+
+    def run_arm(obs_enabled: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            root = Path(tempfile.mkdtemp(prefix="fpart-obs-bench-"))
+            try:
+                netlist = root / "bench.hgr"
+                write_hgr(
+                    generate_circuit(
+                        "obsbench", num_cells=60, num_ios=10, seed=3
+                    ),
+                    netlist,
+                )
+                service = PartitionService(
+                    ServiceConfig(
+                        state_dir=str(root / "state"),
+                        jobs=workers,
+                        allow_test_hooks=True,
+                        obs_enabled=obs_enabled,
+                    )
+                ).start()
+                try:
+                    start = time.perf_counter()
+                    ids = []
+                    for i in range(jobs_count):
+                        response = service.submit(
+                            {
+                                "netlist": str(netlist),
+                                "config": {
+                                    "test_sleep_seconds": sleep_s,
+                                    "seed": i + 1,
+                                },
+                            },
+                            force=True,
+                        )
+                        assert response["status"] == 201, response
+                        ids.append(response["job"]["job_id"])
+                    terminal = {"done", "degraded", "failed", "cancelled"}
+                    while any(
+                        service.job(job_id)["job"]["state"] not in terminal
+                        for job_id in ids
+                    ):
+                        time.sleep(0.01)
+                    best = min(best, time.perf_counter() - start)
+                finally:
+                    service.close()
+            finally:
+                shutil.rmtree(root, ignore_errors=True)
+        return best
+
+    wall_off = run_arm(obs_enabled=False)
+    wall_on = run_arm(obs_enabled=True)
+    overhead_pct = (wall_on - wall_off) / wall_off * 100.0
+    row = {
+        "jobs": jobs_count,
+        "sleep_s": sleep_s,
+        "workers": workers,
+        "repeats": repeats,
+        "wall_s_obs_off": round(wall_off, 3),
+        "wall_s_obs_on": round(wall_on, 3),
+        "overhead_pct": round(overhead_pct, 2),
+        "ceiling_pct": ceiling_pct,
+    }
+    print(
+        f"serve obs overhead ({jobs_count} jobs x {sleep_s * 1e3:.0f}ms, "
+        f"{workers} workers): off {wall_off:.3f}s on {wall_on:.3f}s "
+        f"overhead={overhead_pct:+.2f}% (ceiling {ceiling_pct}%)"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -718,9 +826,19 @@ def main(argv=None) -> int:
         delay_s=0.025 if args.smoke else 0.06,
         floor=parallel_floor,
     )
+    serve_obs_ceiling = (
+        SMOKE_SERVE_OBS_OVERHEAD_CEILING_PCT
+        if args.smoke
+        else SERVE_OBS_OVERHEAD_CEILING_PCT
+    )
+    serve_obs_row = bench_serve_obs_overhead(
+        jobs_count=4 if args.smoke else 6,
+        sleep_s=0.15 if args.smoke else 0.2,
+        ceiling_pct=serve_obs_ceiling,
+    )
 
     report = {
-        "schema": 5,
+        "schema": 6,
         "generated_utc": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
         ),
@@ -733,6 +851,7 @@ def main(argv=None) -> int:
         "guard_overhead": guard,
         "metrics_overhead": metrics_row,
         "parallel_scaling": parallel_row,
+        "serve_obs_overhead": serve_obs_row,
     }
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -786,6 +905,12 @@ def main(argv=None) -> int:
         print(
             f"FAIL: parallel-restart speedup {parallel_row['speedup']}x "
             f"is below the {parallel_floor}x floor"
+        )
+        failed = True
+    if serve_obs_row["overhead_pct"] > serve_obs_ceiling:
+        print(
+            f"FAIL: serve obs overhead {serve_obs_row['overhead_pct']}% "
+            f"exceeds the {serve_obs_ceiling}% ceiling"
         )
         failed = True
     return 1 if failed else 0

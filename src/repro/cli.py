@@ -346,6 +346,13 @@ def build_parser() -> argparse.ArgumentParser:
         "plot",
     )
     r.add_argument(
+        "--spans",
+        action="store_true",
+        help="render the span tree (service correlation spans) from "
+        "the given event log (positional or --trace) instead of the "
+        "convergence table",
+    )
+    r.add_argument(
         "--from-runs",
         nargs=2,
         default=None,
@@ -513,9 +520,47 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpointed and re-queued (default 10)",
     )
     d.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable span tracing, /metrics and the JSON access log "
+        "(observability is on by default)",
+    )
+    d.add_argument(
         "--test-hooks",
         action="store_true",
         help=argparse.SUPPRESS,  # fault-injection seam for tests/CI only
+    )
+
+    w = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running serve daemon",
+    )
+    w.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help="discover the endpoint from <state-dir>/serve.json",
+    )
+    w.add_argument("--host", default=None, help="explicit daemon host")
+    w.add_argument(
+        "--port", type=int, default=None, help="explicit daemon port"
+    )
+    w.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    w.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="render this many frames then exit (default: until Ctrl-C)",
+    )
+    w.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (same as --iterations 1)",
     )
     return parser
 
@@ -934,6 +979,10 @@ def _cmd_split(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     if args.from_runs:
         return _cmd_report_from_runs(args)
+    if args.spans and args.trace is None and args.netlist is not None:
+        # `fpart report --spans spans.jsonl`: the positional file is
+        # the event log, not a netlist.
+        args.trace = args.netlist
     if args.trace:
         return _cmd_report_trace(args)
     if args.netlist is None:
@@ -958,7 +1007,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_report_trace(args: argparse.Namespace) -> int:
-    """Convergence report from a JSONL trace stream."""
+    """Convergence report (or span tree) from a JSONL trace stream."""
     from .analysis.convergence import (
         render_convergence_svg,
         render_pass_table,
@@ -968,6 +1017,20 @@ def _cmd_report_trace(args: argparse.Namespace) -> int:
     if not Path(args.trace).exists():
         raise FileNotFoundError(f"no such trace file: {args.trace}")
     events = read_trace(args.trace)
+    if getattr(args, "spans", False):
+        # Span view: tolerant by design — a trace with no span events
+        # (a plain CLI run) renders the degenerate placeholder, and
+        # schema validation is skipped because service-side span logs
+        # are not run traces.
+        from .obs import render_span_tree
+
+        text = render_span_tree(events)
+        if args.output:
+            Path(args.output).write_text(text + "\n", encoding="utf-8")
+            print(f"report written to {args.output}")
+        else:
+            print(text)
+        return 0
     problems = validate_trace(events)
     if problems:
         for problem in problems:
@@ -1155,6 +1218,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serve_forever_in_thread,
     )
 
+    obs_enabled = not getattr(args, "no_obs", False)
     service = PartitionService(
         ServiceConfig(
             state_dir=args.state_dir,
@@ -1164,8 +1228,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             job_timeout_seconds=args.job_timeout,
             drain_seconds=args.drain_seconds,
             allow_test_hooks=args.test_hooks,
+            obs_enabled=obs_enabled,
         )
     ).start()
+    if obs_enabled:
+        from .serve.server import attach_access_log
+
+        attach_access_log(Path(args.state_dir) / "access.jsonl")
     server = make_server(args.host, args.port, service)
     host, port = server.server_address[0], server.server_address[1]
 
@@ -1212,6 +1281,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal dashboard over a running serve daemon."""
+    from .serve import ServeClient, ServeClientError
+    from .serve.top import discover_endpoint, run_top
+
+    if args.host is not None and args.port is not None:
+        host, port = args.host, args.port
+    elif args.state_dir is not None:
+        host, port = discover_endpoint(args.state_dir)
+    else:
+        raise PartitioningError(
+            "top needs --state-dir DIR or both --host and --port"
+        )
+    iterations = 1 if args.once else args.iterations
+    client = ServeClient(host, port)
+    try:
+        return run_top(client, interval=args.interval, iterations=iterations)
+    except ServeClientError as error:
+        raise PartitioningError(f"top: {error}") from error
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
@@ -1232,6 +1322,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "export": _cmd_export,
         "serve": _cmd_serve,
+        "top": _cmd_top,
     }
     try:
         return handlers[args.command](args)

@@ -80,18 +80,28 @@ class JsonFormatter(logging.Formatter):
     Fields: ``t`` (ISO-ish timestamp from the stdlib formatter),
     ``level``, ``logger`` and ``msg`` (the fully formatted message,
     including the run-id prefix added by :class:`RunLoggerAdapter`).
+
+    A ``fields`` mapping passed via ``extra`` is merged into the
+    payload — the access log uses this to emit structured request
+    records (method, status, trace id) without string formatting.
+    The base keys win on collision so a field can never masquerade
+    as the record's own level or logger.
     """
 
     def format(self, record: logging.LogRecord) -> str:
-        return json.dumps(
+        payload = {}
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        payload.update(
             {
                 "t": self.formatTime(record),
                 "level": record.levelname,
                 "logger": record.name,
                 "msg": record.getMessage(),
-            },
-            sort_keys=True,
+            }
         )
+        return json.dumps(payload, sort_keys=True)
 
 
 def configure_logging(

@@ -35,6 +35,7 @@ from .compare import (
     render_history,
 )
 from .export import (
+    parse_openmetrics,
     to_openmetrics,
     trace_to_chrome,
     validate_openmetrics,
@@ -50,9 +51,21 @@ from .metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     Timer,
+    labelled_key,
     merge_snapshots,
 )
 from .progress import HeartbeatEmitter
+from .spans import (
+    NULL_SPANS,
+    NullSpanLog,
+    SpanLog,
+    SpanNode,
+    build_span_tree,
+    new_span_id,
+    new_trace_id,
+    read_span_log,
+    render_span_tree,
+)
 from .runstore import (
     RUNSTORE_SCHEMA,
     RunRecord,
@@ -103,8 +116,19 @@ __all__ = [
     "render_history",
     "to_openmetrics",
     "validate_openmetrics",
+    "parse_openmetrics",
     "write_openmetrics",
     "trace_to_chrome",
     "write_chrome_trace",
     "HeartbeatEmitter",
+    "labelled_key",
+    "SpanLog",
+    "NullSpanLog",
+    "NULL_SPANS",
+    "SpanNode",
+    "build_span_tree",
+    "render_span_tree",
+    "read_span_log",
+    "new_trace_id",
+    "new_span_id",
 ]

@@ -28,7 +28,7 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from .runstore import atomic_write_text
 
@@ -36,6 +36,7 @@ __all__ = [
     "to_openmetrics",
     "write_openmetrics",
     "validate_openmetrics",
+    "parse_openmetrics",
     "trace_to_chrome",
     "write_chrome_trace",
 ]
@@ -96,6 +97,43 @@ def _fmt(value: float) -> str:
     return repr(number)
 
 
+#: One ``name="escaped value"`` pair inside a label string.
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\.)*)"')
+
+
+def _split_key(key: str) -> "Tuple[str, str]":
+    """Split a registry key into (family name, raw label inner string).
+
+    Registry keys produced by :func:`repro.obs.metrics.labelled_key`
+    carry their label set in OpenMetrics syntax after the first ``{``;
+    plain dotted names have no labels.
+    """
+    brace = key.find("{")
+    if brace < 0 or not key.endswith("}"):
+        return key, ""
+    return key[:brace], key[brace + 1 : -1]
+
+
+def _merge_label_inner(base: Dict[str, str], key_inner: str) -> str:
+    """Combine base labels with a key's own labels (sorted by name).
+
+    Key-side values are already escaped (they came from
+    ``labelled_key``); base values are escaped here.  A name collision
+    resolves in favour of the instrument's own label — the per-sample
+    fact beats the document-wide default.
+    """
+    pairs = {
+        _metric_name(k): _escape_label(v) for k, v in base.items()
+    }
+    for match in _LABEL_PAIR.finditer(key_inner):
+        pairs[match.group(1)] = match.group(2)
+    if not pairs:
+        return ""
+    return "{" + ",".join(
+        f'{name}="{value}"' for name, value in sorted(pairs.items())
+    ) + "}"
+
+
 def to_openmetrics(
     snapshot: Dict[str, Dict],
     labels: Optional[Dict[str, str]] = None,
@@ -103,50 +141,80 @@ def to_openmetrics(
     """Render a metrics snapshot as an OpenMetrics text document.
 
     ``labels`` (e.g. ``{"run_id": ..., "circuit": ...}``) are attached
-    to every sample.  Families are emitted in sorted-name order so the
-    same snapshot always renders byte-identically.
+    to every sample.  Registry keys may carry their own label sets
+    (``serve.active{tenant="acme"}`` — see
+    :func:`repro.obs.metrics.labelled_key`); per-key labels are merged
+    over the document labels and the ``# TYPE`` line is emitted once
+    per family, with every labelled sample of the family grouped under
+    it.  Families are emitted in sorted-name order so the same snapshot
+    always renders byte-identically.
     """
     labels = labels or {}
-    base_labels = _label_str(labels)
     lines: List[str] = []
 
-    for dotted in sorted(snapshot.get("counters", {})):
-        name = _metric_name(dotted)
-        lines.append(f"# TYPE {name} counter")
-        value = snapshot["counters"][dotted]
-        lines.append(f"{name}_total{base_labels} {_fmt(value)}")
+    def grouped(section: str) -> List[Tuple[str, str, str, str]]:
+        """(family, sample labels, key labels, key) rows, family-grouped."""
+        out = []
+        for key in snapshot.get(section, {}):
+            family_dotted, inner = _split_key(key)
+            out.append(
+                (
+                    _metric_name(family_dotted),
+                    _merge_label_inner(labels, inner),
+                    inner,
+                    key,
+                )
+            )
+        out.sort()
+        return out
 
-    for dotted in sorted(snapshot.get("gauges", {})):
-        name = _metric_name(dotted)
-        lines.append(f"# TYPE {name} gauge")
-        value = snapshot["gauges"][dotted]
-        lines.append(f"{name}{base_labels} {_fmt(value)}")
+    seen_counters: set = set()
+    for family, sample_labels, _inner, key in grouped("counters"):
+        if family not in seen_counters:
+            seen_counters.add(family)
+            lines.append(f"# TYPE {family} counter")
+        value = snapshot["counters"][key]
+        lines.append(f"{family}_total{sample_labels} {_fmt(value)}")
 
-    for dotted in sorted(snapshot.get("timers", {})):
-        name = _metric_name(dotted)
-        timer = snapshot["timers"][dotted]
-        lines.append(f"# TYPE {name} summary")
-        lines.append(f"{name}_count{base_labels} {_fmt(timer['count'])}")
+    seen_gauges: set = set()
+    for family, sample_labels, _inner, key in grouped("gauges"):
+        if family not in seen_gauges:
+            seen_gauges.add(family)
+            lines.append(f"# TYPE {family} gauge")
+        value = snapshot["gauges"][key]
+        lines.append(f"{family}{sample_labels} {_fmt(value)}")
+
+    seen_summaries: set = set()
+    for family, sample_labels, _inner, key in grouped("timers"):
+        timer = snapshot["timers"][key]
+        if family not in seen_summaries:
+            seen_summaries.add(family)
+            lines.append(f"# TYPE {family} summary")
+        lines.append(f"{family}_count{sample_labels} {_fmt(timer['count'])}")
         lines.append(
-            f"{name}_sum{base_labels} {_fmt(timer['total_seconds'])}"
+            f"{family}_sum{sample_labels} {_fmt(timer['total_seconds'])}"
         )
 
-    for dotted in sorted(snapshot.get("histograms", {})):
-        name = _metric_name(dotted)
-        hist = snapshot["histograms"][dotted]
-        lines.append(f"# TYPE {name} histogram")
+    seen_histograms: set = set()
+    for family, sample_labels, inner, key in grouped("histograms"):
+        hist = snapshot["histograms"][key]
+        if family not in seen_histograms:
+            seen_histograms.add(family)
+            lines.append(f"# TYPE {family} histogram")
         cumulative = int(hist.get("underflow", 0))
         lo = int(hist["lo"])
         width = int(hist.get("width", 1))
         for i, count in enumerate(hist["counts"]):
             cumulative += int(count)
             upper = lo + (i + 1) * width
-            bucket_labels = _label_str({**labels, "le": str(float(upper))})
-            lines.append(f"{name}_bucket{bucket_labels} {cumulative}")
-        inf_labels = _label_str({**labels, "le": "+Inf"})
-        lines.append(f"{name}_bucket{inf_labels} {_fmt(hist['total'])}")
-        lines.append(f"{name}_count{base_labels} {_fmt(hist['total'])}")
-        lines.append(f"{name}_sum{base_labels} {_fmt(hist['sum'])}")
+            bucket_labels = _merge_label_inner(
+                {**labels, "le": str(float(upper))}, inner
+            )
+            lines.append(f"{family}_bucket{bucket_labels} {cumulative}")
+        inf_labels = _merge_label_inner({**labels, "le": "+Inf"}, inner)
+        lines.append(f"{family}_bucket{inf_labels} {_fmt(hist['total'])}")
+        lines.append(f"{family}_count{sample_labels} {_fmt(hist['total'])}")
+        lines.append(f"{family}_sum{sample_labels} {_fmt(hist['sum'])}")
 
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
@@ -192,6 +260,51 @@ def validate_openmetrics(text: str) -> List[str]:
         if not _SAMPLE_LINE.match(line):
             errors.append(f"line {lineno}: malformed sample: {line!r}")
     return errors
+
+
+_UNESCAPE = re.compile(r"\\(.)")
+
+
+def _unescape_label(value: str) -> str:
+    return _UNESCAPE.sub(
+        lambda m: {"n": "\n"}.get(m.group(1), m.group(1)), value
+    )
+
+
+def parse_openmetrics(
+    text: str,
+) -> List[Tuple[str, Dict[str, str], float]]:
+    """Parse an exposition document into (name, labels, value) samples.
+
+    The consumer side of :func:`to_openmetrics` — enough of a parser
+    for ``fpart top`` to scrape the daemon's ``/metrics`` endpoint and
+    for tests to assert on rendered values without string matching.
+    Comment lines (``# TYPE``/``# HELP``/``# EOF``) are skipped; a line
+    that fails the sample grammar raises ``ValueError`` with its line
+    number.  Label values are unescaped; sample order is preserved.
+    """
+    samples: List[Tuple[str, Dict[str, str], float]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line or line.startswith("#"):
+            continue
+        if not _SAMPLE_LINE.match(line):
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        brace = line.find("{")
+        if brace >= 0:
+            name = line[:brace]
+            close = line.rfind("}")
+            inner = line[brace + 1 : close]
+            rest = line[close + 1 :].strip()
+            labels = {
+                match.group(1): _unescape_label(match.group(2))
+                for match in _LABEL_PAIR.finditer(inner)
+            }
+        else:
+            name, rest = line.split(" ", 1)
+            labels = {}
+        value_text = rest.split(" ")[0]
+        samples.append((name, labels, float(value_text)))
+    return samples
 
 
 # ---------------------------------------------------------------------------
@@ -333,3 +446,41 @@ def write_chrome_trace(
     return atomic_write_text(
         path, json.dumps(trace_to_chrome(events), indent=1) + "\n"
     )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.obs.export FILE`` — validate an OpenMetrics doc.
+
+    The CI serve job pipes a live ``GET /metrics`` scrape through this
+    to fail the build on any exposition-format regression.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="validate an OpenMetrics text exposition document",
+    )
+    parser.add_argument("document", help="OpenMetrics text file")
+    args = parser.parse_args(argv)
+    try:
+        text = Path(args.document).read_text(encoding="utf-8")
+    except OSError as error:
+        print(f"openmetrics: error: {error}")
+        return 1
+    problems = validate_openmetrics(text)
+    if problems:
+        for problem in problems:
+            print(f"openmetrics: {problem}")
+        print(f"{args.document}: {len(problems)} format error(s)")
+        return 1
+    samples = parse_openmetrics(text)
+    families = sorted({name for name, _labels, _value in samples})
+    print(
+        f"{args.document}: {len(samples)} samples OK "
+        f"({len(families)} metric names)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ __all__ = [
     "NullMetricsRegistry",
     "NULL_METRICS",
     "merge_snapshots",
+    "labelled_key",
 ]
 
 #: Version of the JSON dump layout written by :meth:`MetricsRegistry.dump_json`.
@@ -52,6 +53,31 @@ METRICS_SCHEMA = 1
 #: it in once at the pass boundary via :meth:`Histogram.add_buckets`).
 GAIN_HIST_LO = -8
 GAIN_HIST_HI = 9
+
+
+def labelled_key(name: str, labels: Optional[Dict[str, str]] = None) -> str:
+    """Registry key of a (possibly labelled) instrument.
+
+    Labels are rendered in OpenMetrics label syntax, sorted by label
+    name and value-escaped, e.g. ``serve.active{tenant="acme"}`` — so
+    the exporter (``repro.obs.export``) can split the key on the first
+    ``{`` and reuse the label string verbatim.  Unlabelled instruments
+    keep their plain dotted name, which is why this is fully backward
+    compatible with every existing snapshot consumer.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        "{}=\"{}\"".format(
+            key,
+            str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"),
+        )
+        for key, value in sorted(labels.items())
+    )
+    return name + "{" + inner + "}"
 
 
 class Counter:
@@ -213,27 +239,42 @@ class MetricsRegistry:
         self._timers: Dict[str, Timer] = {}
         self._histograms: Dict[str, Histogram] = {}
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
+        name = labelled_key(name, labels)
         instrument = self._counters.get(name)
         if instrument is None:
             instrument = self._counters[name] = Counter(name)
         return instrument
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
+        name = labelled_key(name, labels)
         instrument = self._gauges.get(name)
         if instrument is None:
             instrument = self._gauges[name] = Gauge(name)
         return instrument
 
-    def timer(self, name: str) -> Timer:
+    def timer(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Timer:
+        name = labelled_key(name, labels)
         instrument = self._timers.get(name)
         if instrument is None:
             instrument = self._timers[name] = Timer(name)
         return instrument
 
     def histogram(
-        self, name: str, lo: int = 0, hi: int = 16, width: int = 1
+        self,
+        name: str,
+        lo: int = 0,
+        hi: int = 16,
+        width: int = 1,
+        labels: Optional[Dict[str, str]] = None,
     ) -> Histogram:
+        name = labelled_key(name, labels)
         instrument = self._histograms.get(name)
         if instrument is None:
             instrument = self._histograms[name] = Histogram(
@@ -400,17 +441,28 @@ class NullMetricsRegistry(MetricsRegistry):
         self._null_timer = _NullTimer("null")
         self._null_hist = _NullHistogram("null")
 
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Counter:
         return self._null_counter
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Gauge:
         return self._null_gauge
 
-    def timer(self, name: str) -> Timer:
+    def timer(
+        self, name: str, labels: Optional[Dict[str, str]] = None
+    ) -> Timer:
         return self._null_timer
 
     def histogram(
-        self, name: str, lo: int = 0, hi: int = 16, width: int = 1
+        self,
+        name: str,
+        lo: int = 0,
+        hi: int = 16,
+        width: int = 1,
+        labels: Optional[Dict[str, str]] = None,
     ) -> Histogram:
         return self._null_hist
 

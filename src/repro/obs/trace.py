@@ -67,6 +67,8 @@ EVENT_TYPES = (
     "checkpoint",
     "progress",
     "run_end",
+    "span_start",
+    "span_end",
 )
 
 #: Event-specific required fields (common fields are checked separately).
@@ -79,6 +81,8 @@ REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "checkpoint": ("iteration", "guard"),
     "progress": ("iteration", "moves", "elapsed_seconds"),
     "run_end": ("status", "iterations", "guard"),
+    "span_start": ("span_id", "name"),
+    "span_end": ("span_id", "status"),
 }
 
 #: Keys of the cost payload emitted by :func:`cost_fields`.
@@ -268,23 +272,29 @@ def validate_trace(events: Iterable[dict]) -> List[str]:
     """Schema errors of a whole stream (per-event + stream invariants).
 
     Stream invariants: sequence numbers strictly increase, every event
-    carries the same run id, and the first event is ``run_start``.  A
+    carries the same run id, and the first *non-span* event is
+    ``run_start`` (service-side wrappers open a ``span_start`` before
+    the partitioner runs, so span events may legally precede it).  A
     missing ``run_end`` is *not* an error — interrupted runs are exactly
     when a trace is most useful.
     """
     errors: List[str] = []
     last_seq: Optional[int] = None
     run_id: Optional[str] = None
+    seen_non_span = False
     for index, event in enumerate(events):
         for problem in validate_event(event):
             errors.append(f"event {index}: {problem}")
         if not isinstance(event, dict):
             continue
-        if index == 0 and event.get("event") != "run_start":
-            errors.append(
-                f"event 0: stream starts with {event.get('event')!r}, "
-                "expected 'run_start'"
-            )
+        kind = event.get("event")
+        if kind not in ("span_start", "span_end") and not seen_non_span:
+            seen_non_span = True
+            if kind != "run_start":
+                errors.append(
+                    f"event {index}: stream starts with {kind!r}, "
+                    "expected 'run_start'"
+                )
         seq = event.get("seq")
         if isinstance(seq, int):
             if last_seq is not None and seq <= last_seq:

@@ -71,6 +71,7 @@ from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.metrics import NULL_METRICS
 from .backoff import DEFAULT_RESPAWN_BACKOFF, BackoffPolicy
 
 __all__ = [
@@ -226,6 +227,13 @@ class WorkerPool:
         immediate respawn).  Applied delays are logged on
         :attr:`respawn_delays` so fault-injection tests can assert the
         schedule exactly.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`.  The pool
+        records each respawn (``parallel.respawns`` counter), the
+        computed backoff delay (``parallel.respawn_delay_ms``
+        histogram) and the worst consecutive-casualty streak
+        (``parallel.respawn_streak`` gauge).  Defaults to the null
+        registry — uninstrumented pools pay nothing.
     """
 
     def __init__(
@@ -234,6 +242,7 @@ class WorkerPool:
         timeout_seconds: Optional[float] = None,
         max_respawns: Optional[int] = None,
         respawn_backoff: Optional[BackoffPolicy] = DEFAULT_RESPAWN_BACKOFF,
+        metrics=NULL_METRICS,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -243,6 +252,7 @@ class WorkerPool:
         self.timeout_seconds = timeout_seconds
         self.max_respawns = max_respawns
         self.respawn_backoff = respawn_backoff
+        self.metrics = metrics
         #: Applied respawn delays in casualty order (observability/tests).
         self.respawn_delays: List[float] = []
         self._ctx = None
@@ -490,6 +500,7 @@ class WorkerPool:
             if self._respawn_budget is not None:
                 self._respawn_budget -= 1
             self._respawns_used += 1
+            self.metrics.counter("parallel.respawns").inc()
             self._spawn()
         for slot in self._slots:
             if slot.idle and self._pending:
@@ -512,6 +523,12 @@ class WorkerPool:
         )
         self._respawn_streak += 1
         self.respawn_delays.append(delay)
+        self.metrics.histogram(
+            "parallel.respawn_delay_ms", lo=0, hi=4000, width=125
+        ).record(int(delay * 1000))
+        self.metrics.gauge("parallel.respawn_streak").set_max(
+            self._respawn_streak
+        )
         self._next_spawn_at = max(
             self._next_spawn_at, time.perf_counter() + delay
         )

@@ -8,15 +8,19 @@ A zero-dependency (stdlib ``http.server`` + ``threading`` +
 * ``queue``    — admission control (bounded queue, per-tenant quotas);
 * ``worker``   — the in-worker job runner (checkpoint every iteration);
 * ``daemon``   — :class:`PartitionService`: scheduler, retries, recovery;
-* ``server``   — the HTTP routes, including chunked-JSONL job streaming;
-* ``client``   — stdlib client used by the CLI, tests and CI.
+* ``server``   — the HTTP routes, including chunked-JSONL job streaming,
+  ``GET /metrics`` (OpenMetrics) and the JSON access log;
+* ``client``   — stdlib client used by the CLI, tests and CI;
+* ``top``      — the ``fpart top`` terminal dashboard over /metrics.
 
-See DESIGN.md §10 for the architecture and the recovery proof sketch.
+See DESIGN.md §10 for the architecture and the recovery proof sketch,
+§11 for the span/correlation-id model and the /metrics schema.
 """
 
 from .client import ServeClient, ServeClientError
 from .daemon import (
     DEFAULT_RETRY_BACKOFF,
+    SERVE_HISTOGRAMS,
     PartitionService,
     ServiceConfig,
     submission_digest,
@@ -32,7 +36,13 @@ from .jobs import (
 )
 from .journal import JOURNAL_SCHEMA, Journal, JournalError
 from .queue import AdmissionController, AdmissionDecision, TenantPolicy
-from .server import ServeHTTPServer, make_server, serve_forever_in_thread
+from .server import (
+    ServeHTTPServer,
+    attach_access_log,
+    make_server,
+    serve_forever_in_thread,
+)
+from .top import discover_endpoint, histogram_quantile, render_top, run_top
 from .worker import job_config, load_netlist, run_partition_job
 
 __all__ = [
@@ -61,4 +71,10 @@ __all__ = [
     "ServeHTTPServer",
     "make_server",
     "serve_forever_in_thread",
+    "attach_access_log",
+    "SERVE_HISTOGRAMS",
+    "discover_endpoint",
+    "histogram_quantile",
+    "render_top",
+    "run_top",
 ]

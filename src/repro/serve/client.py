@@ -32,7 +32,11 @@ class ServeClient:
     # -- plumbing --------------------------------------------------------
 
     def _request(
-        self, method: str, path: str, body: Optional[Dict] = None
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict] = None,
+        trace_id: Optional[str] = None,
     ) -> Dict:
         conn = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
@@ -43,6 +47,8 @@ class ServeClient:
             if body is not None:
                 payload = json.dumps(body).encode("utf-8")
                 headers["Content-Type"] = "application/json"
+            if trace_id:
+                headers["X-Trace-Id"] = trace_id
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
@@ -76,11 +82,31 @@ class ServeClient:
     def stats(self) -> Dict:
         return self._request("GET", "/stats")
 
-    def submit(self, spec: Dict, force: bool = False) -> Dict:
+    def submit(
+        self, spec: Dict, force: bool = False, trace_id: Optional[str] = None
+    ) -> Dict:
+        """Submit a job; ``trace_id`` seeds the service correlation id."""
         body = dict(spec)
         if force:
             body["force"] = True
-        return self._request("POST", "/jobs", body)
+        return self._request("POST", "/jobs", body, trace_id=trace_id)
+
+    def metrics_text(self) -> str:
+        """Raw OpenMetrics exposition from ``GET /metrics``."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            raw = response.read()
+            if response.status != 200:
+                raise ServeClientError(f"/metrics: HTTP {response.status}")
+        except (OSError, http.client.HTTPException) as error:
+            raise ServeClientError(f"GET /metrics failed: {error}") from error
+        finally:
+            conn.close()
+        return raw.decode("utf-8")
 
     def job(self, job_id: str) -> Dict:
         return self._request("GET", f"/jobs/{job_id}")

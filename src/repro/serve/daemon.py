@@ -50,6 +50,9 @@ from typing import Dict, List, Optional
 
 from ..core.checkpoint import CheckpointManager, config_digest
 from ..core.exceptions import CheckpointError
+from ..obs.export import to_openmetrics
+from ..obs.metrics import MetricsRegistry, NULL_METRICS
+from ..obs.spans import NULL_SPANS, SpanLog, new_trace_id
 from ..parallel.backoff import BackoffPolicy
 from ..parallel.pool import ParallelTask, TaskOutcome, WorkerPool
 from .jobs import Job, JobError, JobSpec, JobTable, TERMINAL_STATES
@@ -58,6 +61,19 @@ from .queue import AdmissionController, AdmissionDecision, TenantPolicy
 from .worker import job_config, run_partition_job
 
 __all__ = ["ServiceConfig", "PartitionService", "submission_digest"]
+
+#: Fixed bucket layouts (milliseconds) of the service latency
+#: histograms exposed on ``GET /metrics``.  Millisecond integers keep
+#: the O(1) :class:`~repro.obs.metrics.Histogram` record path; the
+#: ranges are sized for interactive service traffic — anything slower
+#: lands in the overflow bucket, which the cumulative ``+Inf`` bucket
+#: still counts.
+SERVE_HISTOGRAMS = {
+    "serve.queue_wait_ms": (0, 8000, 250),
+    "serve.attempt_wall_ms": (0, 32000, 1000),
+    "serve.submit_to_terminal_ms": (0, 64000, 2000),
+    "serve.retry_delay_ms": (0, 8000, 250),
+}
 
 #: Retry pacing for crashed/timed-out job attempts.  Seconds-scale (not
 #: the pool's millisecond respawn scale): a crashing job should not hog
@@ -108,6 +124,13 @@ class ServiceConfig:
     default_tenant_policy: TenantPolicy = field(default_factory=TenantPolicy)
     allow_test_hooks: bool = False
     """Honor the hidden ``test_sleep_seconds`` spec field (tests/CI)."""
+    obs_enabled: bool = True
+    """Service-level observability: span log + live metrics registry.
+
+    Off swaps in :data:`~repro.obs.metrics.NULL_METRICS` and
+    :data:`~repro.obs.spans.NULL_SPANS` (``/metrics`` then serves an
+    empty-but-valid document) — the knob the ``serve_obs_overhead``
+    bench compares against."""
 
 
 class PartitionService:
@@ -148,12 +171,34 @@ class PartitionService:
             "recovered": 0,
             "completed": 0,
         }
+        if config.obs_enabled:
+            self.metrics: MetricsRegistry = MetricsRegistry()
+            self.spans: SpanLog = SpanLog(self.state_dir / "spans.jsonl")
+        else:
+            self.metrics = NULL_METRICS
+            self.spans = NULL_SPANS
         self._recover()
+
+    def _observe_ms(self, name: str, seconds: float) -> None:
+        """Record a latency into its fixed-bucket service histogram."""
+        lo, hi, width = SERVE_HISTOGRAMS[name]
+        self.metrics.histogram(name, lo=lo, hi=hi, width=width).record(
+            int(seconds * 1000)
+        )
 
     # -- recovery --------------------------------------------------------
 
     def _recover(self) -> None:
-        """Replay the journal, then re-queue everything non-terminal."""
+        """Replay the journal, then re-queue everything non-terminal.
+
+        Replay also rebuilds the service counters that describe the
+        journal's own history — every replayed retry re-queue bumps
+        ``serve.retries`` and every recovery/drain re-queue bumps
+        ``serve.requeues`` — so a scrape of ``/metrics`` right after a
+        SIGKILL→restart reflects the journal, not a blank registry.
+        """
+        retry_counter = self.metrics.counter("serve.retries")
+        requeue_counter = self.metrics.counter("serve.requeues")
         for record in self._journal.replay():
             event = record["event"]
             if event in ("submitted", "snapshot"):
@@ -168,9 +213,18 @@ class PartitionService:
                         next_attempt_at=job.next_attempt_at,
                         result=job.result,
                         error=job.error,
+                        trace_id=job.trace_id,
+                        open_spans=job.open_spans,
                     )
             elif event == "state":
                 job_id = record["job_id"]
+                if record["state"] == "queued":
+                    # A retry re-queue journals its backoff deadline; a
+                    # drain re-queue has none.
+                    if "next_attempt_at" in record:
+                        retry_counter.inc()
+                    else:
+                        requeue_counter.inc()
                 if job_id in self._table:
                     self._table.apply_raw(
                         job_id,
@@ -182,20 +236,42 @@ class PartitionService:
                                 "next_attempt_at",
                                 "result",
                                 "error",
+                                "trace_id",
+                                "open_spans",
                             )
                             if k in record
                         },
                     )
-            # Other events ("drain", "recovered", ...) are audit-only.
+            elif event == "recovered":
+                requeue_counter.inc()
+            # Other events ("drain", ...) are audit-only.
         requeued = 0
         for job in self._table.by_state("admitted", "running"):
             # Journalled as started but no terminal event: the previous
             # process died with it in flight.  Its checkpoint (if any)
             # carries the completed iterations; re-queue to resume.
+            # The attempt span that process left open is closed here
+            # with ``crashed`` — replay is the only writer that still
+            # knows its id (journalled with the ``admitted`` event).
+            attempt_span = job.open_spans.pop("attempt", "")
+            if attempt_span:
+                self.spans.end(
+                    attempt_span, job.trace_id, "crashed",
+                    job_id=job.job_id, recovered=True,
+                )
+            if job.trace_id and "job" in job.open_spans:
+                job.open_spans["queued"] = self.spans.start(
+                    "queued",
+                    job.trace_id,
+                    job.open_spans["job"],
+                    job_id=job.job_id,
+                    reason="recovered",
+                )
             self._table.apply_raw(job.job_id, "queued")
             self._journal.append(
                 "recovered", job_id=job.job_id, state="queued"
             )
+            requeue_counter.inc()
             requeued += 1
         self._stats["recovered"] = requeued
 
@@ -210,6 +286,7 @@ class PartitionService:
                 self.config.jobs,
                 timeout_seconds=self.config.job_timeout_seconds,
                 max_respawns=None,
+                metrics=self.metrics,
             )
             self._scheduler = threading.Thread(
                 target=self._scheduler_loop,
@@ -228,6 +305,7 @@ class PartitionService:
             self._scheduler.join(timeout=10.0)
             self._scheduler = None
         self._journal.close()
+        self.spans.close()
 
     def drain(self, timeout: Optional[float] = None) -> Dict:
         """Graceful shutdown: stop admitting, give runners a grace
@@ -260,13 +338,29 @@ class PartitionService:
             # lossless.
             requeued = []
             for job in self._table.by_state("running", "admitted"):
+                attempt_span = job.open_spans.pop("attempt", "")
+                if attempt_span:
+                    self.spans.end(
+                        attempt_span, job.trace_id, "requeued",
+                        job_id=job.job_id, reason="drain",
+                    )
+                if job.trace_id and "job" in job.open_spans:
+                    job.open_spans["queued"] = self.spans.start(
+                        "queued",
+                        job.trace_id,
+                        job.open_spans["job"],
+                        job_id=job.job_id,
+                        reason="drain",
+                    )
                 self._table.set_state(job.job_id, "queued")
                 self._journal.append(
                     "state", job_id=job.job_id, state="queued"
                 )
+                self.metrics.counter("serve.requeues").inc()
                 requeued.append(job.job_id)
             self._compact_locked()
             self._journal.close()
+            self.spans.close()
         counts = self.counts()
         return {"requeued": requeued, "counts": counts}
 
@@ -277,25 +371,40 @@ class PartitionService:
 
     # -- submission ------------------------------------------------------
 
-    def submit(self, payload: Dict, force: bool = False) -> Dict:
+    def submit(
+        self, payload: Dict, force: bool = False, trace_id: str = ""
+    ) -> Dict:
         """Handle one submission; returns an HTTP-shaped response dict.
 
         Response keys: ``status`` (HTTP code), plus either a job view
         (201 created / 200 attached-or-cached, with ``dedup`` saying
         which) or an error (+ ``retry_after`` on 429).
+
+        ``trace_id`` is the request's correlation id (the HTTP layer
+        mints one or accepts ``X-Trace-Id``); an accepted job adopts it
+        for life — journal records, worker trace, run store entry and
+        the job's span tree all carry it.
         """
+        trace_id = trace_id or new_trace_id()
         try:
             spec = JobSpec.from_dict(payload)
             digest = submission_digest(
                 spec.netlist, spec.device, spec.delta, spec.config
             )
         except (JobError, ValueError, KeyError, TypeError) as error:
+            self.metrics.counter(
+                "serve.rejected", labels={"code": "400"}
+            ).inc()
             return {"status": 400, "error": str(error)}
         except FileNotFoundError as error:
+            self.metrics.counter(
+                "serve.rejected", labels={"code": "404"}
+            ).inc()
             return {"status": 404, "error": str(error)}
 
         with self._lock:
             self._stats["submissions"] += 1
+            self.metrics.counter("serve.submissions").inc()
             if not force:
                 twin = self._table.find_digest(digest)
                 # A failed or cancelled twin has no result to serve and
@@ -306,6 +415,7 @@ class PartitionService:
                     # Attach to the in-flight twin or serve the cached
                     # terminal result; either way the pool sees nothing.
                     self._stats["deduped"] += 1
+                    self.metrics.counter("serve.dedup_hits").inc()
                     return {
                         "status": 200,
                         "dedup": (
@@ -313,6 +423,9 @@ class PartitionService:
                         ),
                         "job": twin.to_dict(),
                     }
+            admission_span = self.spans.start(
+                "admission", trace_id, "", tenant=spec.tenant
+            )
             decision = self._admission.decide(
                 spec.tenant,
                 queue_depth=len(self._table.by_state("queued", "admitted")),
@@ -321,6 +434,14 @@ class PartitionService:
             )
             if not decision.accepted:
                 self._stats["rejected"] += 1
+                self.metrics.counter(
+                    "serve.rejected",
+                    labels={"code": str(decision.http_status)},
+                ).inc()
+                self.spans.end(
+                    admission_span, trace_id, "rejected",
+                    code=decision.http_status, reason=decision.reason,
+                )
                 response = {
                     "status": decision.http_status,
                     "error": decision.reason,
@@ -336,6 +457,21 @@ class PartitionService:
                 spec=spec,
                 digest=digest,
                 max_attempts=self.config.max_attempts,
+                trace_id=trace_id,
+            )
+            self.spans.end(
+                admission_span, trace_id, "accepted", job_id=job.job_id
+            )
+            # The job's root span plus its first queued wait; their ids
+            # ride ``open_spans`` into the journalled job dict so any
+            # daemon generation can close them.
+            root = self.spans.start(
+                "job", trace_id, "",
+                job_id=job.job_id, tenant=spec.tenant, digest=digest,
+            )
+            job.open_spans["job"] = root
+            job.open_spans["queued"] = self.spans.start(
+                "queued", trace_id, root, job_id=job.job_id
             )
             # Write-ahead: journal first, then mutate the table.
             self._journal.append("submitted", job=job.to_dict())
@@ -353,8 +489,26 @@ class PartitionService:
                 return {"status": 409, "error": f"job is {job.state}"}
             self._journal.append("state", job_id=job_id, state="cancelled")
             self._table.set_state(job_id, "cancelled")
+            self._close_job_spans_locked(job, "cancelled")
         self._wake.set()
         return {"status": 200, "job": job.to_dict()}
+
+    def _close_job_spans_locked(self, job: Job, status: str) -> None:
+        """Close every open span of a job hitting a terminal state."""
+        for role in ("queued", "attempt"):
+            span_id = job.open_spans.pop(role, "")
+            if span_id:
+                self.spans.end(
+                    span_id, job.trace_id, status, job_id=job.job_id
+                )
+        root = job.open_spans.pop("job", "")
+        if root:
+            self.spans.end(
+                root, job.trace_id, status, job_id=job.job_id
+            )
+            self._observe_ms(
+                "serve.submit_to_terminal_ms", time.time() - job.created
+            )
 
     # -- inspection ------------------------------------------------------
 
@@ -399,6 +553,45 @@ class PartitionService:
             stats["counts"] = self._table.counts()
             stats["draining"] = self._draining
             return stats
+
+    def openmetrics(self) -> str:
+        """The live ``GET /metrics`` document (OpenMetrics text).
+
+        Point-in-time gauges (queue depth, active jobs, per-tenant
+        quota usage, draining flag) are refreshed from the job table at
+        render time — they describe *now*, unlike the counters and
+        histograms which accumulate as events happen.  With
+        observability disabled the registry is the null one and the
+        document is just its ``# EOF`` terminator — still valid, so
+        scrapers never see a 404 flip on a config change.
+        """
+        with self._lock:
+            if self.metrics.enabled:
+                counts = self._table.counts()
+                self.metrics.gauge("serve.queue_depth").set(
+                    counts["queued"] + counts["admitted"]
+                )
+                self.metrics.gauge("serve.active_jobs").set(
+                    counts["running"]
+                )
+                self.metrics.gauge("serve.draining").set(
+                    1.0 if self._draining else 0.0
+                )
+                # Zero every previously seen tenant first: a tenant
+                # whose jobs all finished must read 0, not its stale
+                # last value.
+                for key, gauge in self.metrics._gauges.items():
+                    if key.startswith("serve.tenant_active_jobs{"):
+                        gauge.set(0.0)
+                for tenant, active in sorted(
+                    self._table.active_by_tenant().items()
+                ):
+                    self.metrics.gauge(
+                        "serve.tenant_active_jobs",
+                        labels={"tenant": tenant},
+                    ).set(active)
+            snapshot = self.metrics.snapshot()
+        return to_openmetrics(snapshot)
 
     def healthz(self) -> Dict:
         """Liveness: the process is up and its lock is not wedged."""
@@ -482,6 +675,26 @@ class PartitionService:
                 for k, v in spec.config.items()
                 if k not in ("test_sleep_seconds", "test_crash_attempts")
             }
+            # Spans: the queued wait ends here, the attempt begins; its
+            # id crosses the process boundary as a plain kwarg so the
+            # worker's ``partition-run`` span parents under it.
+            queued_span = job.open_spans.pop("queued", "")
+            if queued_span:
+                wait = max(now - job.updated, 0.0)
+                self.spans.end(
+                    queued_span, job.trace_id, "admitted",
+                    job_id=job.job_id, wait_ms=round(wait * 1000, 1),
+                )
+                self._observe_ms("serve.queue_wait_ms", wait)
+            attempt_span = ""
+            if job.trace_id:
+                attempt_span = self.spans.start(
+                    f"attempt[{attempt}]",
+                    job.trace_id,
+                    job.open_spans.get("job", ""),
+                    job_id=job.job_id,
+                )
+                job.open_spans["attempt"] = attempt_span
             task = ParallelTask(
                 index=index,
                 fn=run_partition_job,
@@ -497,15 +710,20 @@ class PartitionService:
                     "tenant": spec.tenant,
                     "test_sleep_seconds": sleep,
                     "test_crash_attempts": crashes,
+                    "trace_id": job.trace_id,
+                    "parent_span_id": attempt_span,
                 },
                 label=f"job {job.job_id} attempt {attempt}",
             )
             # Write-ahead, then table, then pool.  ``admitted`` marks
             # the job as owned by the scheduler; ``running`` that the
             # pool holds it (the distinction matters only to observers
-            # — recovery folds both back to ``queued``).
+            # — recovery folds both back to ``queued``).  The open span
+            # ids ride the event so a post-SIGKILL replay can close the
+            # attempt span as ``crashed``.
             self._journal.append(
-                "state", job_id=job.job_id, state="admitted", attempts=attempt
+                "state", job_id=job.job_id, state="admitted",
+                attempts=attempt, open_spans=dict(job.open_spans),
             )
             self._table.set_state(job.job_id, "admitted", attempts=attempt)
             pool.submit(task)
@@ -537,6 +755,17 @@ class PartitionService:
                 # The kill we requested (or a stale completion racing a
                 # cancel): the terminal state already stands.
                 return
+            # The attempt span closes with the pool's verdict whatever
+            # it is — a worker that died mid-span cannot close it, so
+            # the daemon does (status ``crashed``/``timeout``).
+            attempt_span = job.open_spans.pop("attempt", "")
+            if attempt_span:
+                self.spans.end(
+                    attempt_span, job.trace_id, outcome.status,
+                    job_id=job_id,
+                    wall_ms=round(outcome.wall_seconds * 1000, 1),
+                )
+            self._observe_ms("serve.attempt_wall_ms", outcome.wall_seconds)
             if outcome.status == "ok":
                 summary = outcome.value
                 state = (
@@ -547,6 +776,8 @@ class PartitionService:
                 )
                 self._table.set_state(job_id, state, result=summary)
                 self._stats["completed"] += 1
+                self.metrics.counter("serve.completed").inc()
+                self._close_job_spans_locked(job, state)
                 return
             if outcome.status == "error":
                 # The job itself raised: deterministic, retry would fail
@@ -555,6 +786,7 @@ class PartitionService:
                     "state", job_id=job_id, state="failed", error=outcome.error
                 )
                 self._table.set_state(job_id, "failed", error=outcome.error)
+                self._close_job_spans_locked(job, "failed")
                 return
             # crashed / timeout / not_run: the environment failed, not
             # the job.  Retry with backoff until attempts run out, then
@@ -564,18 +796,30 @@ class PartitionService:
                     job.attempts - 1, key=job_id
                 )
                 next_at = time.time() + delay
+                if job.trace_id and "job" in job.open_spans:
+                    job.open_spans["queued"] = self.spans.start(
+                        "queued",
+                        job.trace_id,
+                        job.open_spans["job"],
+                        job_id=job_id,
+                        reason=outcome.status,
+                        retry_delay_ms=round(delay * 1000, 1),
+                    )
                 self._journal.append(
                     "state",
                     job_id=job_id,
                     state="queued",
                     next_attempt_at=next_at,
                     error=outcome.error,
+                    open_spans=dict(job.open_spans),
                 )
                 self._table.set_state(
                     job_id, "queued", next_attempt_at=next_at,
                     error=outcome.error,
                 )
                 self._stats["retries"] += 1
+                self.metrics.counter("serve.retries").inc()
+                self._observe_ms("serve.retry_delay_ms", delay)
             else:
                 summary = self._best_so_far(job_id)
                 if summary is not None:
@@ -597,6 +841,7 @@ class PartitionService:
                 self._table.set_state(
                     job_id, state, result=summary, error=error
                 )
+                self._close_job_spans_locked(job, state)
         self._wake.set()
 
     def _best_so_far(self, job_id: str) -> Optional[Dict]:

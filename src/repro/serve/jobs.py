@@ -126,6 +126,15 @@ class Job:
     error: Optional[str] = None
     created: float = field(default_factory=time.time)
     updated: float = field(default_factory=time.time)
+    #: Service correlation id (see ``repro.obs.spans``): one id joins
+    #: the access log, this journal record, the run trace and the run
+    #: store entry.  Empty when the job predates span tracing.
+    trace_id: str = ""
+    #: Span ids of the job's currently open spans keyed by role
+    #: (``"job"``/``"queued"``/``"attempt"``).  Journalled with the
+    #: job so recovery can close an orphaned attempt span as
+    #: ``crashed`` after a SIGKILL.
+    open_spans: Dict[str, str] = field(default_factory=dict)
 
     @property
     def terminal(self) -> bool:
@@ -144,6 +153,8 @@ class Job:
             "error": self.error,
             "created": self.created,
             "updated": self.updated,
+            "trace_id": self.trace_id,
+            "open_spans": dict(self.open_spans),
         }
 
     @classmethod

@@ -19,7 +19,17 @@ GET    /jobs/<id>/result              full result incl. assignment
 GET    /jobs/<id>/stream              chunked JSONL progress stream
 POST   /jobs/<id>/cancel              cancel (409 when already terminal)
 GET    /stats                         service counters (tests/ops)
+GET    /metrics                       live OpenMetrics text exposition
 ====== ============================== ===================================
+
+Correlation & access logging
+----------------------------
+Every request gets a trace id — the client's ``X-Trace-Id`` header when
+present, a fresh one otherwise — echoed back as a response header and
+logged as one JSON object per request on the ``repro.serve.access``
+logger (see :func:`attach_access_log`).  A submission adopts the
+request's trace id for life (``Job.trace_id``), which is how one id
+joins access log ↔ journal ↔ run trace ↔ run store (DESIGN.md §11).
 
 Streaming uses real HTTP/1.1 chunked transfer encoding, hand-framed
 (hex length, CRLF, payload, CRLF): the handler tails the job's
@@ -34,14 +44,45 @@ stream end promptly on degraded/failed runs instead of timing out.
 from __future__ import annotations
 
 import json
+import logging
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from ..logging import JsonFormatter
+from ..obs.spans import new_trace_id
 from .daemon import PartitionService
 
-__all__ = ["ServeHTTPServer", "make_server"]
+__all__ = ["ServeHTTPServer", "make_server", "attach_access_log"]
+
+#: Logger carrying one structured record per handled request.
+ACCESS_LOGGER_NAME = "repro.serve.access"
+
+
+def attach_access_log(path) -> logging.Handler:
+    """Route the access log to a JSONL file; returns the handler.
+
+    One JSON object per request (method, path, status, duration,
+    trace id) on the dedicated ``repro.serve.access`` logger.  The
+    logger does not propagate — access records are machine-readable
+    telemetry, not operator chatter for stderr.  Re-attaching replaces
+    the previous handler (same idempotency contract as
+    :func:`repro.logging.configure_logging`).
+    """
+    logger = logging.getLogger(ACCESS_LOGGER_NAME)
+    for old in [
+        h for h in logger.handlers if getattr(h, "_repro_configured", False)
+    ]:
+        logger.removeHandler(old)
+        old.close()
+    handler = logging.FileHandler(path, encoding="utf-8")
+    handler.setFormatter(JsonFormatter())
+    handler._repro_configured = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(logging.INFO)
+    logger.propagate = False
+    return handler
 
 #: Hard cap on how long one stream request will follow a job (seconds).
 STREAM_MAX_SECONDS = 600.0
@@ -65,7 +106,7 @@ class _Handler(BaseHTTPRequestHandler):
     # -- plumbing --------------------------------------------------------
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
-        pass  # request logging is the service's business, not stderr's
+        pass  # request logging goes to the access logger, not stderr
 
     @property
     def service(self) -> PartitionService:
@@ -73,14 +114,50 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _send_json(self, payload: dict, status: Optional[int] = None) -> None:
         status = status if status is not None else payload.get("status", 200)
+        self._status = status
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", self._trace_id)
         if payload.get("retry_after") is not None:
             self.send_header("Retry-After", str(payload["retry_after"]))
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_text(self, body: str, content_type: str) -> None:
+        data = body.encode("utf-8")
+        self._status = 200
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Trace-Id", self._trace_id)
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _handle(self, method: str, route) -> None:
+        """Shared per-request envelope: trace id, timing, access log."""
+        started = time.monotonic()
+        self._trace_id = self.headers.get("X-Trace-Id") or new_trace_id()
+        self._status = 500  # overwritten by every successful send
+        try:
+            route()
+        finally:
+            logging.getLogger(ACCESS_LOGGER_NAME).info(
+                "access",
+                extra={
+                    "fields": {
+                        "method": method,
+                        "path": self.path.split("?", 1)[0],
+                        "status": self._status,
+                        "duration_ms": round(
+                            (time.monotonic() - started) * 1000, 3
+                        ),
+                        "trace_id": self._trace_id,
+                        "client": self.client_address[0],
+                    }
+                },
+            )
 
     def _read_body(self) -> Optional[dict]:
         try:
@@ -94,6 +171,12 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("GET", self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self._handle("POST", self._route_post)
+
+    def _route_get(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz":
             self._send_json(self.service.healthz())
@@ -101,6 +184,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(self.service.readyz())
         elif path == "/stats":
             self._send_json({"status": 200, "stats": self.service.stats()})
+        elif path == "/metrics":
+            self._send_text(
+                self.service.openmetrics(),
+                "application/openmetrics-text; version=1.0.0; charset=utf-8",
+            )
         elif path == "/jobs":
             self._send_json({"status": 200, "jobs": self.service.jobs()})
         elif path.startswith("/jobs/"):
@@ -116,7 +204,7 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json({"status": 404, "error": "no such route"})
 
-    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+    def _route_post(self) -> None:
         path = self.path.split("?", 1)[0].rstrip("/")
         if path == "/jobs":
             payload = self._read_body()
@@ -126,7 +214,11 @@ class _Handler(BaseHTTPRequestHandler):
                 )
                 return
             force = bool(payload.pop("force", False))
-            self._send_json(self.service.submit(payload, force=force))
+            self._send_json(
+                self.service.submit(
+                    payload, force=force, trace_id=self._trace_id
+                )
+            )
         elif path.startswith("/jobs/") and path.endswith("/cancel"):
             job_id = path.split("/")[2]
             self._send_json(self.service.cancel(job_id))
@@ -145,9 +237,11 @@ class _Handler(BaseHTTPRequestHandler):
         if view["status"] != 200:
             self._send_json(view)
             return
+        self._status = 200
         self.send_response(200)
         self.send_header("Content-Type", "application/jsonl")
         self.send_header("Transfer-Encoding", "chunked")
+        self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
 
         trace_path = self.service.job_dir(job_id) / "trace.jsonl"

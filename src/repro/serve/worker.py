@@ -95,6 +95,8 @@ def run_partition_job(
     tenant: str = "default",
     test_sleep_seconds: float = 0.0,
     test_crash_attempts: int = 0,
+    trace_id: str = "",
+    parent_span_id: str = "",
 ) -> Dict[str, Any]:
     """Run one attempt of one job; returns a JSON-safe summary.
 
@@ -104,6 +106,14 @@ def run_partition_job(
     the kill/restart tests to SIGKILL the daemon deterministically;
     ``test_crash_attempts`` makes the worker die (``os._exit``) on the
     first N attempts, exercising the retry-with-backoff path.
+
+    ``trace_id``/``parent_span_id`` carry the service correlation id
+    across the ``multiprocessing`` boundary (see ``repro.obs.spans``):
+    the attempt's trace stream opens a ``partition-run`` span parented
+    under the daemon's attempt span, and the run-store record is
+    labelled with the trace id — the last two of the four surfaces one
+    correlation id joins.  A worker killed mid-run leaves the span
+    open; the daemon closes it service-side as ``crashed``.
     """
     if attempt <= test_crash_attempts:
         os._exit(17)
@@ -131,6 +141,20 @@ def run_partition_job(
     run_id = f"{job_id[:8]}a{attempt}"
     tracer = TraceWriter(directory / "trace.jsonl", run_id=run_id)
     heartbeat = HeartbeatEmitter(tracer=tracer, interval_seconds=0.5)
+    run_span = ""
+    if trace_id:
+        from ..obs.spans import new_span_id
+
+        run_span = new_span_id()
+        tracer.emit(
+            "span_start",
+            span_id=run_span,
+            name="partition-run",
+            trace_id=trace_id,
+            parent_id=parent_span_id,
+            job_id=job_id,
+            attempt=attempt,
+        )
     started = time.monotonic()
     try:
         result = FpartPartitioner(
@@ -143,6 +167,13 @@ def run_partition_job(
             tracer=tracer,
             heartbeat=heartbeat,
         ).run()
+        if run_span:
+            tracer.emit(
+                "span_end",
+                span_id=run_span,
+                status=result.status,
+                trace_id=trace_id,
+            )
     finally:
         tracer.close()
     wall = time.monotonic() - started
@@ -171,6 +202,7 @@ def run_partition_job(
                         "job": job_id,
                         "attempt": str(attempt),
                         "tenant": tenant,
+                        **({"trace_id": trace_id} if trace_id else {}),
                     },
                 )
             )
@@ -185,6 +217,7 @@ def run_partition_job(
             "job_id": job_id,
             "attempt": attempt,
             "run_id": run_id,
+            "trace_id": trace_id,
             "status": result.status,
             "circuit": result.circuit,
             "device": result.device,

@@ -151,3 +151,139 @@ class TestReportTrace:
     def test_requires_netlist_or_trace(self, capsys):
         assert main(["report"]) != 0
         assert "netlist" in capsys.readouterr().err.lower()
+
+
+class TestReportSpans:
+    def test_degenerate_trace_renders_placeholder(
+        self, netlist_file, tmp_path, capsys
+    ):
+        # A plain CLI trace has no span events: --spans must succeed
+        # with the placeholder, not error out.
+        code, trace, _ = _partition(netlist_file, tmp_path)
+        assert code == 0
+        assert main(["report", "--trace", str(trace), "--spans"]) == 0
+        assert "(no span events)" in capsys.readouterr().out
+
+    def test_renders_service_span_log(self, tmp_path, capsys):
+        from repro.obs import SpanLog, new_trace_id
+
+        log = SpanLog(tmp_path / "spans.jsonl")
+        tid = new_trace_id()
+        root = log.start("job", tid, job_id="j1")
+        child = log.start("attempt[1]", tid, parent_id=root)
+        log.end(child, tid, "ok")
+        log.end(root, tid, "done")
+        log.close()
+        assert main(
+            ["report", "--trace", str(tmp_path / "spans.jsonl"), "--spans"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert tid in out
+        assert "attempt[1]" in out
+        # The span log also works as the positional file — it is an
+        # event stream, not a netlist.
+        assert main(
+            ["report", "--spans", str(tmp_path / "spans.jsonl")]
+        ) == 0
+        assert tid in capsys.readouterr().out
+
+    def test_spans_to_output_file(self, tmp_path, capsys):
+        from repro.obs import SpanLog, new_trace_id
+
+        log = SpanLog(tmp_path / "spans.jsonl")
+        tid = new_trace_id()
+        log.end(log.start("job", tid), tid, "done")
+        log.close()
+        target = tmp_path / "spans.txt"
+        assert main(
+            ["report", "--trace", str(tmp_path / "spans.jsonl"),
+             "--spans", "--output", str(target)]
+        ) == 0
+        assert tid in target.read_text()
+
+
+class TestTopDashboard:
+    def test_render_top_from_synthetic_samples(self):
+        from repro.serve.top import render_top
+
+        samples = [
+            ("serve_queue_depth", {}, 3.0),
+            ("serve_active_jobs", {}, 2.0),
+            ("serve_draining", {}, 0.0),
+            ("serve_submissions_total", {}, 10.0),
+            ("serve_completed_total", {}, 7.0),
+            ("serve_dedup_hits_total", {}, 1.0),
+            ("serve_rejected_total", {"code": "429"}, 2.0),
+            ("serve_queue_wait_ms_bucket", {"le": "250.0"}, 4.0),
+            ("serve_queue_wait_ms_bucket", {"le": "+Inf"}, 4.0),
+            ("serve_tenant_active_jobs", {"tenant": "acme"}, 2.0),
+        ]
+        stats = {"counts": {"queued": 3, "running": 2, "done": 7}}
+        frame = render_top(samples, stats)
+        assert "queue depth" in frame and "3" in frame
+        assert "429=2" in frame
+        assert "acme" in frame
+        assert "queued=3" in frame
+
+    def test_rates_from_consecutive_polls(self):
+        from repro.serve.top import render_top
+
+        before = [("serve_submissions_total", {}, 10.0)]
+        now = [("serve_submissions_total", {}, 15.0)]
+        frame = render_top(now, {}, previous=before, elapsed=5.0)
+        assert "15 (1.0/s)" in frame
+
+    def test_histogram_quantile_interpolates(self):
+        from repro.serve.top import histogram_quantile
+
+        samples = [
+            ("h_bucket", {"le": "100.0"}, 2.0),
+            ("h_bucket", {"le": "200.0"}, 8.0),
+            ("h_bucket", {"le": "+Inf"}, 10.0),
+        ]
+        p50 = histogram_quantile(samples, "h", 0.5)
+        assert 100.0 < p50 < 200.0
+        assert histogram_quantile(samples, "h", 0.99) == 200.0
+        assert histogram_quantile([], "h", 0.5) is None
+        empty = [("h_bucket", {"le": "+Inf"}, 0.0)]
+        assert histogram_quantile(empty, "h", 0.5) is None
+
+    def test_top_requires_endpoint(self, capsys):
+        assert main(["top"]) != 0
+        assert "state-dir" in capsys.readouterr().err
+
+    def test_top_discovers_endpoint_and_renders(self, tmp_path, capsys):
+        import threading
+
+        from repro.serve import (
+            PartitionService,
+            ServiceConfig,
+            make_server,
+            serve_forever_in_thread,
+        )
+
+        state = tmp_path / "state"
+        svc = PartitionService(
+            ServiceConfig(state_dir=str(state), jobs=1)
+        ).start()
+        server = make_server("127.0.0.1", 0, svc)
+        serve_forever_in_thread(server)
+        (state / "serve.json").write_text(
+            json.dumps(
+                {
+                    "host": "127.0.0.1",
+                    "port": server.server_address[1],
+                    "pid": 1,
+                }
+            )
+        )
+        try:
+            assert main(
+                ["top", "--state-dir", str(state), "--once"]
+            ) == 0
+            out = capsys.readouterr().out
+            assert "fpart top" in out
+            assert "queue depth" in out
+        finally:
+            svc.close()
+            server.shutdown()

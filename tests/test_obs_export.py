@@ -10,6 +10,7 @@ import pytest
 from repro.circuits import generate_circuit
 from repro.core import XC3020, FpartPartitioner
 from repro.obs.export import (
+    parse_openmetrics,
     to_openmetrics,
     trace_to_chrome,
     validate_openmetrics,
@@ -112,6 +113,69 @@ class TestOpenMetrics:
         write_openmetrics(out, snapshot)
         assert validate_openmetrics(out.read_text()) == []
         assert list(tmp_path.iterdir()) == [out]
+
+    def test_empty_registry_renders_bare_terminator(self):
+        text = to_openmetrics(MetricsRegistry().snapshot())
+        assert text == "# EOF\n"
+        assert validate_openmetrics(text) == []
+
+    def test_zero_observation_histogram(self):
+        reg = MetricsRegistry()
+        reg.histogram("quiet.hist", lo=0, hi=10, width=5)
+        text = to_openmetrics(reg.snapshot())
+        assert validate_openmetrics(text) == []
+        assert "quiet_hist_count 0" in text
+        assert "quiet_hist_sum 0" in text
+        # Cumulative buckets all report zero, +Inf included.
+        for line in text.splitlines():
+            if line.startswith("quiet_hist_bucket"):
+                assert line.endswith(" 0")
+
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "odd.counter", labels={"path": 'a"b\\c\nd'}
+        ).inc()
+        text = to_openmetrics(reg.snapshot())
+        assert validate_openmetrics(text) == []
+        assert '\\"' in text and "\\\\" in text and "\\n" in text
+        # The escaped document round-trips to the original value.
+        ((name, labels, value),) = parse_openmetrics(text)
+        assert name == "odd_counter_total"
+        assert labels == {"path": 'a"b\\c\nd'}
+        assert value == 1.0
+
+    def test_labelled_samples_share_one_type_line(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.rejected", labels={"code": "404"}).inc()
+        reg.counter("serve.rejected", labels={"code": "429"}).inc(2)
+        text = to_openmetrics(reg.snapshot())
+        assert validate_openmetrics(text) == []
+        assert text.count("# TYPE serve_rejected counter") == 1
+        assert 'serve_rejected_total{code="404"} 1' in text
+        assert 'serve_rejected_total{code="429"} 2' in text
+
+
+class TestParseOpenMetrics:
+    def test_roundtrip_real_document(self, snapshot):
+        text = to_openmetrics(snapshot, labels={"run_id": "deadbeef"})
+        samples = parse_openmetrics(text)
+        assert samples  # every non-comment line parsed
+        assert all(
+            labels.get("run_id") == "deadbeef" for _n, labels, _v in samples
+        )
+        by_name = {name: value for name, _labels, value in samples}
+        assert by_name["fpart_runs_total"] == 2.0
+
+    def test_inf_bucket_parses(self):
+        samples = parse_openmetrics(
+            'h_bucket{le="+Inf"} 5\n# EOF\n'
+        )
+        assert samples == [("h_bucket", {"le": "+Inf"}, 5.0)]
+
+    def test_malformed_line_raises_with_line_number(self):
+        with pytest.raises(ValueError, match="line 2"):
+            parse_openmetrics("ok_total 1\nwhat even is this!\n# EOF\n")
 
 
 class TestChromeTrace:

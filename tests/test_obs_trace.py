@@ -101,6 +101,12 @@ def _valid_stream():
     writer.emit("checkpoint", iteration=0, guard={})
     writer.emit("progress", iteration=1, moves=64, elapsed_seconds=0.5)
     writer.emit("run_end", status="ok", iterations=1, guard={})
+    # Service-side wrappers append span events around the run (§11) —
+    # the validator allows them anywhere in the stream.
+    writer.emit("span_start", span_id="ab12cd34", name="partition-run",
+                trace_id="feed0123feed0123")
+    writer.emit("span_end", span_id="ab12cd34", status="ok",
+                trace_id="feed0123feed0123")
     writer.close()
     return [json.loads(line) for line in sink.getvalue().splitlines()]
 
@@ -184,7 +190,7 @@ class TestCliValidator:
         path = self._write(tmp_path, _valid_stream())
         assert trace_main([str(path)]) == 0
         out = capsys.readouterr().out
-        assert "8 events OK" in out
+        assert "10 events OK" in out
         assert "run_start=1" in out
 
     def test_invalid_file_exits_one(self, tmp_path, capsys):

@@ -510,3 +510,34 @@ class TestCli:
              "--restarts", "2"]
         )
         assert rc == EXIT_SOFTWARE
+
+
+# -- respawn telemetry ---------------------------------------------------
+
+
+class TestPoolMetrics:
+    def test_casualties_record_respawn_metrics(self):
+        metrics = MetricsRegistry()
+        pool = WorkerPool(jobs=2, metrics=metrics)
+        tasks = [
+            ParallelTask(index=0, fn=_die, args=(0,)),
+            ParallelTask(index=1, fn=_die, args=(0,)),
+            ParallelTask(index=2, fn=_square, args=(4,)),
+        ]
+        outcomes = pool.run(tasks)
+        assert outcomes[2].value == 16
+        snapshot = metrics.snapshot()
+        # The metrics outlive close()'s scheduler-state reset — that is
+        # the point: the daemon scrapes them across pool lifecycles.
+        assert snapshot["counters"]["parallel.respawns"] >= 1
+        hist = snapshot["histograms"]["parallel.respawn_delay_ms"]
+        # One delay recorded per casualty, matching the public log.
+        assert hist["total"] == len(pool.respawn_delays)
+        assert hist["total"] >= 2
+        assert snapshot["gauges"]["parallel.respawn_streak"] >= 1
+
+    def test_default_pool_is_uninstrumented(self):
+        pool = WorkerPool(jobs=1)
+        assert pool.metrics is NULL_METRICS
+        outcomes = pool.run([ParallelTask(index=0, fn=_square, args=(3,))])
+        assert outcomes[0].value == 9

@@ -1,0 +1,150 @@
+"""Unit tests for the span/correlation-id layer (``repro.obs.spans``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    NULL_SPANS,
+    SpanLog,
+    build_span_tree,
+    new_span_id,
+    new_trace_id,
+    read_span_log,
+    render_span_tree,
+)
+
+
+class TestIds:
+    def test_trace_id_shape(self):
+        tid = new_trace_id()
+        assert len(tid) == 16
+        int(tid, 16)  # hex
+
+    def test_span_id_shape(self):
+        sid = new_span_id()
+        assert len(sid) == 8
+        int(sid, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestSpanLog:
+    def test_start_end_roundtrip(self, tmp_path):
+        log = SpanLog(tmp_path / "spans.jsonl")
+        tid = new_trace_id()
+        root = log.start("job", tid, job_id="j1")
+        child = log.start("queued", tid, parent_id=root)
+        log.end(child, tid, "admitted", wait_ms=3)
+        log.end(root, tid, "done")
+        log.close()
+        events = read_span_log(tmp_path / "spans.jsonl")
+        assert [e["event"] for e in events] == [
+            "span_start",
+            "span_start",
+            "span_end",
+            "span_end",
+        ]
+        assert all(e["trace_id"] == tid for e in events)
+        assert events[1]["parent_id"] == root
+
+    def test_every_line_is_one_json_object(self, tmp_path):
+        log = SpanLog(tmp_path / "spans.jsonl")
+        tid = new_trace_id()
+        log.end(log.start("a", tid), tid, "ok")
+        log.close()
+        for line in (tmp_path / "spans.jsonl").read_text().splitlines():
+            assert isinstance(json.loads(line), dict)
+
+    def test_null_span_log_writes_nothing(self, tmp_path):
+        sid = NULL_SPANS.start("job", "t" * 16)
+        NULL_SPANS.end(sid, "t" * 16, "done")
+        NULL_SPANS.close()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestBuildSpanTree:
+    def test_parenting_and_order(self, tmp_path):
+        log = SpanLog(tmp_path / "s.jsonl")
+        tid = new_trace_id()
+        root = log.start("job", tid)
+        a = log.start("queued", tid, parent_id=root)
+        log.end(a, tid, "admitted")
+        b = log.start("attempt[1]", tid, parent_id=root)
+        log.end(b, tid, "ok")
+        log.end(root, tid, "done")
+        roots = build_span_tree(read_span_log(tmp_path / "s.jsonl"))
+        assert len(roots) == 1
+        assert roots[0].name == "job"
+        assert [c.name for c in roots[0].children] == [
+            "queued",
+            "attempt[1]",
+        ]
+
+    def test_unclosed_span_gets_placeholder_status(self):
+        events = [
+            {
+                "event": "span_start",
+                "t": 1.0,
+                "trace_id": "t" * 16,
+                "span_id": "a" * 8,
+                "parent_id": "",
+                "name": "job",
+            }
+        ]
+        (root,) = build_span_tree(events, unclosed_status="crashed")
+        assert root.status == "crashed"
+
+    def test_orphan_becomes_root(self):
+        events = [
+            {
+                "event": "span_start",
+                "t": 1.0,
+                "trace_id": "t" * 16,
+                "span_id": "a" * 8,
+                "parent_id": "gone4444",
+                "name": "attempt[1]",
+            }
+        ]
+        roots = build_span_tree(events)
+        assert [r.name for r in roots] == ["attempt[1]"]
+
+    def test_non_span_events_ignored(self):
+        events = [
+            {"event": "run_start", "t": 0.0},
+            {
+                "event": "span_start",
+                "t": 1.0,
+                "trace_id": "t" * 16,
+                "span_id": "a" * 8,
+                "parent_id": "",
+                "name": "job",
+            },
+            {"event": "progress", "t": 2.0},
+        ]
+        assert len(build_span_tree(events)) == 1
+
+
+class TestRenderSpanTree:
+    def test_degenerate_trace_renders_placeholder(self):
+        # A plain CLI trace has no span events; `fpart report --spans`
+        # must not error on it.
+        assert render_span_tree([]) == "(no span events)"
+        assert (
+            render_span_tree([{"event": "run_start", "t": 0.0}])
+            == "(no span events)"
+        )
+
+    def test_render_includes_names_and_status(self, tmp_path):
+        log = SpanLog(tmp_path / "s.jsonl")
+        tid = new_trace_id()
+        root = log.start("job", tid, job_id="j1")
+        log.end(root, tid, "done")
+        text = render_span_tree(read_span_log(tmp_path / "s.jsonl"))
+        assert tid in text
+        assert "job" in text
+        assert "done" in text
+        assert "job_id=j1" in text
