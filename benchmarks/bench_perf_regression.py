@@ -32,6 +32,13 @@ Measures two things and writes ``BENCH_perf.json`` at the repo root
    observability (span tracing, /metrics, journalled span ids) on
    sleep-dominated serve jobs, obs on vs ``obs_enabled=False``.
 
+5. **Prof-overhead case** (schema 7) — the wall-clock overhead of the
+   sampling profiler (``repro.obs.prof``, default 97 Hz) on whole FPART
+   runs, profiled vs unprofiled arms.  The profiler only *reads* frames
+   from a background thread, so both arms must stay bit-identical; the
+   measured cost is GIL contention from the sampler thread waking
+   ``hz`` times a second.
+
 Cross-PR trajectory: commit the refreshed ``BENCH_perf.json`` whenever
 the numbers move materially; ``git log -p BENCH_perf.json`` then shows
 the perf history of the repo.
@@ -116,6 +123,15 @@ FLAT_VS_FULL_SWEEP_FLOOR = 3.0
 #: quantisation noise.
 SERVE_OBS_OVERHEAD_CEILING_PCT = 2.0
 SMOKE_SERVE_OBS_OVERHEAD_CEILING_PCT = 10.0
+
+#: Maximum acceptable wall-clock overhead of the sampling profiler at
+#: its default rate (97 Hz) on whole FPART runs, in percent.  The
+#: sampler never executes bytecode in the profiled thread — its cost is
+#: pure GIL contention from ~97 brief wakeups a second — so 2% is an
+#: honest production bound; the smoke ceiling is looser because smoke
+#: runs are short enough that a single scheduler hiccup is >2%.
+PROF_OVERHEAD_CEILING_PCT = 2.0
+SMOKE_PROF_OVERHEAD_CEILING_PCT = 10.0
 
 #: Minimum acceptable restart-portfolio wall-clock speedup at
 #: ``jobs=4`` vs ``jobs=1`` on the latency-dominated scaling workload
@@ -770,6 +786,89 @@ def bench_serve_obs_overhead(
     return row
 
 
+def bench_prof_overhead(
+    circuit: str = "s15850",
+    device_name: str = "XC3042",
+    repeats: int = 3,
+    ceiling_pct: float = PROF_OVERHEAD_CEILING_PCT,
+) -> Dict:
+    """Sampling-profiler overhead on whole FPART runs, on vs off.
+
+    Runs the same workload ``repeats`` times per arm — once plain, once
+    under a live :class:`~repro.obs.prof.SamplingProfiler` at the
+    default 97 Hz — taking the best wall of each arm (the standard
+    best-of-N noise shave for whole-run timing).  Every profiled run's
+    assignment is compared bit-for-bit against the plain run's: the
+    profiler observes frames from another thread and must never perturb
+    the result.  The acceptance bar is ``ceiling_pct`` percent relative
+    overhead.
+    """
+    from repro.obs.prof import PROF_DEFAULT_HZ, SamplingProfiler
+
+    hg = mcnc_circuit(circuit)
+    device = device_by_name(device_name)
+    config = FpartConfig()
+
+    def run_once(profiled: bool):
+        sampler = SamplingProfiler(hz=PROF_DEFAULT_HZ) if profiled else None
+        if sampler is not None:
+            sampler.start()
+        try:
+            start = time.perf_counter()
+            result = fpart(hg, device, config=config)
+            elapsed = time.perf_counter() - start
+        finally:
+            if sampler is not None:
+                sampler.stop()
+        return elapsed, result, sampler.samples if sampler else 0
+
+    wall_off = float("inf")
+    wall_on = float("inf")
+    samples = 0
+    reference = None
+    identical = True
+    for _ in range(repeats):
+        t_off, r_off, _ = run_once(profiled=False)
+        t_on, r_on, n_samples = run_once(profiled=True)
+        wall_off = min(wall_off, t_off)
+        if t_on < wall_on:
+            wall_on, samples = t_on, n_samples
+        if reference is None:
+            reference = list(r_off.assignment)
+        if list(r_off.assignment) != reference or (
+            list(r_on.assignment) != reference
+        ):
+            identical = False
+            break
+    if not identical:
+        raise SystemExit(
+            f"FATAL: {circuit}/{device_name} assignment diverged under "
+            "the sampling profiler — the profiler must be a pure observer"
+        )
+
+    overhead_pct = (wall_on / max(wall_off, 1e-9) - 1.0) * 100.0
+    row = {
+        "circuit": circuit,
+        "device": device_name,
+        "hz": PROF_DEFAULT_HZ,
+        "repeats": repeats,
+        "samples_best_run": samples,
+        "wall_s_prof_off": round(wall_off, 4),
+        "wall_s_prof_on": round(wall_on, 4),
+        "assignments_identical": identical,
+        "overhead_pct": round(overhead_pct, 2),
+        "ceiling_pct": ceiling_pct,
+    }
+    print(
+        f"prof overhead {circuit}/{device_name} "
+        f"({PROF_DEFAULT_HZ} Hz, best of {repeats}): "
+        f"off={wall_off:.2f}s on={wall_on:.2f}s "
+        f"({samples} samples) overhead={overhead_pct:+.2f}% "
+        f"(ceiling {ceiling_pct}%, identical={identical})"
+    )
+    return row
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -836,9 +935,20 @@ def main(argv=None) -> int:
         sleep_s=0.15 if args.smoke else 0.2,
         ceiling_pct=serve_obs_ceiling,
     )
+    prof_ceiling = (
+        SMOKE_PROF_OVERHEAD_CEILING_PCT
+        if args.smoke
+        else PROF_OVERHEAD_CEILING_PCT
+    )
+    prof_row = bench_prof_overhead(
+        eval_circuit,
+        "XC3042",
+        repeats=2 if args.smoke else 3,
+        ceiling_pct=prof_ceiling,
+    )
 
     report = {
-        "schema": 6,
+        "schema": 7,
         "generated_utc": time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
         ),
@@ -852,6 +962,7 @@ def main(argv=None) -> int:
         "metrics_overhead": metrics_row,
         "parallel_scaling": parallel_row,
         "serve_obs_overhead": serve_obs_row,
+        "prof_overhead": prof_row,
     }
     out = Path(args.output)
     out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
@@ -911,6 +1022,12 @@ def main(argv=None) -> int:
         print(
             f"FAIL: serve obs overhead {serve_obs_row['overhead_pct']}% "
             f"exceeds the {serve_obs_ceiling}% ceiling"
+        )
+        failed = True
+    if prof_row["overhead_pct"] > prof_ceiling:
+        print(
+            f"FAIL: profiler overhead {prof_row['overhead_pct']}% "
+            f"exceeds the {prof_ceiling}% ceiling"
         )
         failed = True
     return 1 if failed else 0

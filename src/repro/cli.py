@@ -13,7 +13,10 @@ Installed as ``fpart`` (also ``python -m repro``).  Subcommands:
 * ``compare`` — judge a recorded run against a baseline run (exit 0 ok,
   3 on a quality/latency regression — CI-gateable);
 * ``export`` — re-render stored telemetry as OpenMetrics text or a
-  Chrome-tracing (catapult) JSON timeline;
+  Chrome-tracing (catapult) JSON timeline (service spans and sampled
+  profiles merge onto the same timeline when stored alongside);
+* ``flame`` — render a folded-stack sampling profile (``partition
+  --prof`` / serve profile-on-slow) as a flamegraph SVG;
 * ``serve`` — run the crash-safe HTTP/JSON partitioning job daemon
   (write-ahead journal, idempotent submission, graceful drain).
 
@@ -137,6 +140,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="run under cProfile and print a hotspot table",
+    )
+    p.add_argument(
+        "--prof",
+        action="store_true",
+        help="attach the low-overhead sampling profiler and write "
+        "folded stacks (render with 'fpart flame'; fpart only)",
+    )
+    p.add_argument(
+        "--prof-hz",
+        type=float,
+        default=97.0,
+        metavar="HZ",
+        help="sampling rate for --prof (default 97)",
+    )
+    p.add_argument(
+        "--prof-out",
+        default=None,
+        metavar="PATH",
+        help="folded-stack output path for --prof (default: "
+        "profile.folded, or <runs-dir>/<run_id>/profile.folded "
+        "with --runs-dir)",
     )
     p.add_argument(
         "--deadline",
@@ -360,6 +384,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="render the convergence report of a run recorded with "
         "'partition --runs-dir DIR' (RUN_ID may be a unique prefix)",
     )
+    r.add_argument(
+        "--phases",
+        action="store_true",
+        help="render the per-run algorithm-phase table instead of the "
+        "convergence report (with --from-runs, or with a --metrics "
+        "JSON dump as the positional argument)",
+    )
 
     t = sub.add_parser("table", help="regenerate a paper comparison table")
     t.add_argument(
@@ -466,6 +497,38 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON for chrome://tracing / Perfetto",
     )
 
+    f = sub.add_parser(
+        "flame",
+        help="render a folded-stack profile (from 'partition --prof' "
+        "or the serve profile-on-slow capture) as a flamegraph SVG",
+    )
+    f.add_argument(
+        "folded",
+        nargs="?",
+        default=None,
+        help="folded-stack file (omit when using --from-runs)",
+    )
+    f.add_argument(
+        "--from-runs",
+        nargs=2,
+        default=None,
+        metavar=("DIR", "RUN_ID"),
+        help="render the profile stored with 'partition --prof "
+        "--runs-dir DIR' (RUN_ID may be a unique prefix)",
+    )
+    f.add_argument(
+        "--output",
+        "-o",
+        default="flame.svg",
+        metavar="PATH",
+        help="SVG output path (default flame.svg)",
+    )
+    f.add_argument(
+        "--title",
+        default=None,
+        help="flamegraph title (default: derived from the input)",
+    )
+
     d = sub.add_parser(
         "serve",
         help="run the partitioning HTTP/JSON job daemon",
@@ -518,6 +581,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="grace period for running jobs on SIGTERM before they are "
         "checkpointed and re-queued (default 10)",
+    )
+    d.add_argument(
+        "--prof-slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="profile-on-slow: sample every attempt and keep the "
+        "profile when its wall exceeds MS milliseconds "
+        "(<state-dir>/profiles/<job>.folded, served at "
+        "GET /jobs/<id>/profile)",
     )
     d.add_argument(
         "--no-obs",
@@ -602,6 +675,7 @@ def _run_fpart_portfolio(hg, device, args: argparse.Namespace):
         (args.checkpoint, "--checkpoint"),
         (args.resume, "--resume"),
         (args.profile, "--profile"),
+        (args.prof, "--prof"),
         (args.trace, "--trace"),
         (args.metrics, "--metrics"),
         (args.progress, "--progress"),
@@ -746,9 +820,16 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         heartbeat=heartbeat,
     )
     profile_report = None
+    sampler = None
+    if args.prof:
+        from .obs import SamplingProfiler
+
+        sampler = SamplingProfiler(hz=args.prof_hz)
     interrupt = GracefulInterrupt(guard)
     try:
         interrupt.install()
+        if sampler is not None:
+            sampler.start()
         if args.profile:
             from .analysis.profiling import profile_call
 
@@ -759,6 +840,8 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         else:
             result = partitioner.run(resume_from=resume_cp)
     finally:
+        if sampler is not None:
+            sampler.stop()
         interrupt.restore()
         tracer.close()
     if interrupt.signaled:
@@ -777,20 +860,66 @@ def _run_fpart_cli(hg, device, args: argparse.Namespace):
         print(f"metrics written to {args.metrics}")
     if args.trace:
         print(f"trace written to {args.trace}")
+    if sampler is not None:
+        from .obs import atomic_write_text
+
+        prof_out = args.prof_out
+        if prof_out is None:
+            if store is not None:
+                run_dir = store.run_dir(partitioner.run_id)
+                run_dir.mkdir(parents=True, exist_ok=True)
+                prof_out = str(run_dir / "profile.folded")
+            else:
+                prof_out = "profile.folded"
+        atomic_write_text(prof_out, sampler.folded())
+        print(
+            f"profile: {sampler.samples} samples at {args.prof_hz:g} Hz "
+            f"written to {prof_out}"
+        )
     if store is not None:
-        _record_fpart_run(store, args, config, partitioner, result, metrics)
+        _record_fpart_run(
+            store, args, config, partitioner, result, metrics,
+            sampler=sampler,
+        )
     return result, profile_report
 
 
-def _record_fpart_run(store, args, config, partitioner, result, metrics):
+def _record_fpart_run(
+    store, args, config, partitioner, result, metrics, sampler=None
+):
     """Append the finished run to the ``--runs-dir`` registry."""
     from .core.checkpoint import config_digest
-    from .obs import RunRecord, RunStoreError, cost_fields
+    from .obs import (
+        RunRecord,
+        RunStoreError,
+        atomic_write_text,
+        cost_fields,
+        render_phase_table,
+    )
 
     artifacts = {}
     if args.trace:
         # Trace written outside the registry: keep a copy with the run.
         artifacts["trace.jsonl"] = args.trace
+    if sampler is not None and args.prof_out:
+        # Profile written outside the registry: keep a copy with the run.
+        artifacts["profile.folded"] = args.prof_out
+    if metrics.enabled:
+        # The phase breakdown rides along as a rendered artifact, so a
+        # stored run is inspectable without re-deriving it from the
+        # snapshot (`fpart report --phases --from-runs` recomputes the
+        # same table live).
+        run_dir = store.run_dir(partitioner.run_id)
+        run_dir.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(
+            run_dir / "phases.txt",
+            render_phase_table(
+                metrics.snapshot(),
+                wall_seconds=result.runtime_seconds,
+                run_id=partitioner.run_id,
+            )
+            + "\n",
+        )
     record = RunRecord(
         run_id=partitioner.run_id,
         circuit=result.circuit,
@@ -829,12 +958,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
         )
     if args.algorithm != "fpart" and (
         args.metrics or args.trace or args.runs_dir or args.progress
-        or args.restarts != 1 or args.seed or args.builder_jobs != 1
-        or args.backend is not None
+        or args.prof or args.restarts != 1 or args.seed
+        or args.builder_jobs != 1 or args.backend is not None
     ):
         raise PartitioningError(
-            "--metrics/--trace/--runs-dir/--progress/--restarts/--seed/"
-            "--builder-jobs/--backend require --algorithm fpart"
+            "--metrics/--trace/--runs-dir/--progress/--prof/--restarts/"
+            "--seed/--builder-jobs/--backend require --algorithm fpart"
         )
     if args.restarts < 1:
         raise PartitioningError("--restarts must be at least 1")
@@ -977,6 +1106,8 @@ def _cmd_split(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if getattr(args, "phases", False):
+        return _cmd_report_phases(args)
     if args.from_runs:
         return _cmd_report_from_runs(args)
     if args.spans and args.trace is None and args.netlist is not None:
@@ -1051,6 +1182,83 @@ def _cmd_report_trace(args: argparse.Namespace) -> int:
             render_convergence_svg(events), encoding="utf-8"
         )
         print(f"convergence plot written to {args.svg}")
+    return 0
+
+
+def _cmd_report_phases(args: argparse.Namespace) -> int:
+    """Per-run phase table from a stored run or a --metrics dump.
+
+    ``fpart report --phases --from-runs DIR RUN_ID`` reads the stored
+    snapshot and the recorded wall; ``fpart report --phases m.json``
+    reads a ``partition --metrics`` dump, taking measured wall from the
+    ``fpart.runtime_seconds`` gauge the partitioner records.
+    """
+    from .obs import render_phase_table
+
+    if args.from_runs:
+        from .obs import RunStore
+
+        runs_dir, run_id = args.from_runs
+        store = RunStore(runs_dir)
+        record = store.get(run_id)
+        snapshot = store.metrics_of(record.run_id)
+        if not snapshot:
+            raise PartitioningError(
+                f"run {record.run_id} has no metrics snapshot"
+            )
+        wall = record.wall_seconds
+        run_id = record.run_id
+    else:
+        if args.netlist is None:
+            raise PartitioningError(
+                "report --phases needs --from-runs DIR RUN_ID or a "
+                "--metrics JSON dump as the positional argument"
+            )
+        if not Path(args.netlist).exists():
+            raise FileNotFoundError(f"no such metrics file: {args.netlist}")
+        payload = json.loads(Path(args.netlist).read_text(encoding="utf-8"))
+        snapshot = payload.get("metrics", payload)
+        run_id = payload.get("run_id", "")
+        wall = snapshot.get("gauges", {}).get("fpart.runtime_seconds")
+    text = render_phase_table(snapshot, wall_seconds=wall, run_id=run_id)
+    if args.output:
+        Path(args.output).write_text(text + "\n", encoding="utf-8")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_flame(args: argparse.Namespace) -> int:
+    """Render a folded-stack profile as a flamegraph SVG."""
+    from .obs import render_flamegraph
+
+    if args.from_runs:
+        from .obs import RunStore
+
+        runs_dir, run_id = args.from_runs
+        store = RunStore(runs_dir)
+        record = store.get(run_id)
+        folded_path = store.run_dir(record.run_id) / "profile.folded"
+        if not folded_path.exists():
+            raise PartitioningError(
+                f"run {record.run_id} has no stored profile "
+                "(record it with 'partition --prof --runs-dir')"
+            )
+        title = args.title or f"fpart run {record.run_id}"
+    elif args.folded:
+        folded_path = Path(args.folded)
+        if not folded_path.exists():
+            raise FileNotFoundError(f"no such folded file: {args.folded}")
+        title = args.title or f"fpart profile ({folded_path.name})"
+    else:
+        raise PartitioningError(
+            "flame needs a folded-stack file or --from-runs DIR RUN_ID"
+        )
+    folded = folded_path.read_text(encoding="utf-8")
+    svg = render_flamegraph(folded, title=title)
+    Path(args.output).write_text(svg, encoding="utf-8")
+    print(f"flamegraph written to {args.output}")
     return 0
 
 
@@ -1182,8 +1390,43 @@ def _cmd_export(args: argparse.Namespace) -> int:
             raise PartitioningError(
                 f"run {record.run_id} has no stored trace stream"
             )
-        write_chrome_trace(args.chrome_trace, read_trace(trace_file))
-        print(f"Chrome trace written to {args.chrome_trace}")
+        # Side channels, when present: a spans.jsonl sibling of the runs
+        # dir (the serve state-dir layout, filtered to this run's trace
+        # when the record carries one) and the run's stored profile.
+        spans = None
+        runs_root = Path(args.runs_dir)
+        for spans_file in (
+            runs_root / "spans.jsonl",
+            runs_root.parent / "spans.jsonl",
+        ):
+            if spans_file.exists():
+                from .obs import read_span_log
+
+                span_events = read_span_log(spans_file)
+                trace_id = (record.labels or {}).get("trace_id")
+                if trace_id:
+                    span_events = [
+                        e for e in span_events
+                        if e.get("trace_id") == trace_id
+                    ]
+                spans = span_events or None
+                break
+        profile = None
+        folded_file = store.run_dir(record.run_id) / "profile.folded"
+        if folded_file.exists():
+            profile = folded_file.read_text(encoding="utf-8")
+        write_chrome_trace(
+            args.chrome_trace,
+            read_trace(trace_file),
+            spans=spans,
+            profile=profile,
+        )
+        merged = [name for name, side in
+                  (("spans", spans), ("profile", profile)) if side]
+        print(
+            f"Chrome trace written to {args.chrome_trace}"
+            + (f" (merged: {', '.join(merged)})" if merged else "")
+        )
     return 0
 
 
@@ -1229,6 +1472,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain_seconds=args.drain_seconds,
             allow_test_hooks=args.test_hooks,
             obs_enabled=obs_enabled,
+            prof_slow_ms=args.prof_slow_ms,
         )
     ).start()
     if obs_enabled:
@@ -1321,6 +1565,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "history": _cmd_history,
         "compare": _cmd_compare,
         "export": _cmd_export,
+        "flame": _cmd_flame,
         "serve": _cmd_serve,
         "top": _cmd_top,
     }

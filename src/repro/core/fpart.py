@@ -510,6 +510,7 @@ class FpartPartitioner:
                         evaluator,
                         rng=self._rng,
                         jobs=config.builder_jobs,
+                        metrics=metrics,
                     )
 
                 for step in self._scheduled_steps(

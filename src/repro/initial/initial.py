@@ -31,6 +31,7 @@ from ..core.cost import CostEvaluator
 from ..core.device import Device
 from ..core.exceptions import UnpartitionableError
 from ..hypergraph import Hypergraph
+from ..obs.metrics import MetricsRegistry, NULL_METRICS
 from ..partition import PartitionState
 from .greedy_merge import greedy_merge_bipartition
 from .ratio_cut import ratio_cut_bipartition
@@ -86,12 +87,19 @@ def _construct_candidates(
     device: Device,
     rng: Optional[random.Random],
     jobs: int,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> List[Set[int]]:
     """All valid candidate subsets, in portfolio order, deduplicated.
 
     The per-builder rng seeds are drawn from the root rng *here, in
     portfolio order* — the single place randomness enters — which is
     what keeps serial and concurrent construction bit-identical.
+
+    Serial construction times each builder under its own sub-phase
+    timer (``fpart.phase.bipartition.<builder>``); with ``jobs > 1``
+    the builders overlap in pool workers, so per-builder wall is not
+    observable from here and the whole fan-out is attributed to one
+    ``fpart.phase.bipartition.pool`` slot instead.
     """
     seeds = [
         rng.getrandbits(64) if rng is not None else None for _ in names
@@ -103,22 +111,26 @@ def _construct_candidates(
         # close that cycle during package init.
         from ..parallel.pool import ParallelTask, WorkerPool
 
-        outcomes = WorkerPool(jobs).run(
-            [
-                ParallelTask(
-                    index=i,
-                    fn=build_candidate,
-                    args=(name, hg, cells, device, seeds[i]),
-                    label=name,
-                )
-                for i, name in enumerate(names)
-            ]
-        )
+        with metrics.timer("fpart.phase.bipartition.pool"):
+            outcomes = WorkerPool(jobs).run(
+                [
+                    ParallelTask(
+                        index=i,
+                        fn=build_candidate,
+                        args=(name, hg, cells, device, seeds[i]),
+                        label=name,
+                    )
+                    for i, name in enumerate(names)
+                ]
+            )
         raw = [o.value if o.ok else None for o in outcomes]
     else:
         for i, name in enumerate(names):
             try:
-                raw.append(build_candidate(name, hg, cells, device, seeds[i]))
+                with metrics.timer(f"fpart.phase.bipartition.{name}"):
+                    raw.append(
+                        build_candidate(name, hg, cells, device, seeds[i])
+                    )
             except Exception:
                 # Same degradation as a crashed worker: the builder
                 # drops out, the rest of the portfolio still competes.
@@ -140,6 +152,7 @@ def create_bipartition(
     evaluator: CostEvaluator,
     rng: Optional[random.Random] = None,
     jobs: int = 1,
+    metrics: MetricsRegistry = NULL_METRICS,
 ) -> int:
     """Split the remainder block; returns the new block's index.
 
@@ -150,7 +163,9 @@ def create_bipartition(
 
     ``rng`` is the run's root rng (``None`` = the canonical
     deterministic run); ``jobs`` parallelizes candidate construction
-    without affecting the result.
+    without affecting the result.  ``metrics`` receives the
+    ``fpart.phase.bipartition.*`` sub-phase timers (per builder, plus
+    the candidate-evaluation slot) consumed by ``fpart report --phases``.
     """
     cells = sorted(state.block_cells(remainder))
     if len(cells) < 2:
@@ -161,7 +176,7 @@ def create_bipartition(
     hg = state.hg
 
     candidates = _construct_candidates(
-        _portfolio(rng), hg, cells, device, rng, jobs
+        _portfolio(rng), hg, cells, device, rng, jobs, metrics=metrics
     )
     if not candidates:
         # Degenerate fallback (tiny remainders): peel the biggest cell.
@@ -171,10 +186,12 @@ def create_bipartition(
     new_block = state.add_block()
     best_subset: Optional[Set[int]] = None
     best_cost = None
+    evaluate_timer = metrics.timer("fpart.phase.bipartition.evaluate")
     for subset in candidates:
-        state.move_many(subset, new_block)
-        cost = evaluator.evaluate(state, remainder)
-        state.move_many(subset, remainder)
+        with evaluate_timer:
+            state.move_many(subset, new_block)
+            cost = evaluator.evaluate(state, remainder)
+            state.move_many(subset, remainder)
         if best_cost is None or cost < best_cost:
             best_cost = cost
             best_subset = subset

@@ -18,7 +18,12 @@ to the perf-regression harness and the run-guard subsystem:
 * :mod:`repro.obs.export` — OpenMetrics text export of metrics
   snapshots and the trace → Chrome-tracing (catapult JSON) converter;
 * :mod:`repro.obs.progress` — the :class:`HeartbeatEmitter` riding the
-  run-guard tick for live ``progress`` events and ``--progress`` lines.
+  run-guard tick for live ``progress`` events and ``--progress`` lines;
+* :mod:`repro.obs.prof` — a zero-dependency sampling profiler (folded
+  stacks, flamegraph SVG) and the per-run algorithm-phase attribution
+  table (``fpart partition --prof`` / ``fpart flame`` /
+  ``fpart report --phases``), plus the serve-path profile-on-slow
+  capture.
 
 Metrics and traces come with shared null implementations
 (:data:`NULL_METRICS`, :data:`NULL_TRACE`) so uninstrumented runs pay
@@ -53,6 +58,18 @@ from .metrics import (
     Timer,
     labelled_key,
     merge_snapshots,
+)
+from .prof import (
+    PROF_DEFAULT_HZ,
+    PhaseRow,
+    SamplingProfiler,
+    attributed_fraction,
+    fold_stacks,
+    merge_folded,
+    parse_folded,
+    phase_table,
+    render_flamegraph,
+    render_phase_table,
 )
 from .progress import HeartbeatEmitter
 from .spans import (
@@ -121,6 +138,16 @@ __all__ = [
     "trace_to_chrome",
     "write_chrome_trace",
     "HeartbeatEmitter",
+    "PROF_DEFAULT_HZ",
+    "SamplingProfiler",
+    "PhaseRow",
+    "fold_stacks",
+    "parse_folded",
+    "merge_folded",
+    "render_flamegraph",
+    "phase_table",
+    "render_phase_table",
+    "attributed_fraction",
     "labelled_key",
     "SpanLog",
     "NullSpanLog",

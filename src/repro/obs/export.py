@@ -20,7 +20,12 @@ the ecosystem's standard viewers:
   ``chrome://tracing`` or Perfetto: engine passes become duration
   (``"X"``) events on one track, discrete events become instants on a
   second, and the lexicographic ``d_k``/``T_SUM`` series become counter
-  (``"C"``) tracks plotted over run time.
+  (``"C"``) tracks plotted over run time.  Two optional side channels
+  merge onto the same timeline: service *span* events from a
+  ``spans.jsonl`` sibling (the PR-8 span model — job/attempt lifecycle
+  as ``"X"`` slices on their own track) and a sampled *profile* (folded
+  stacks laid out as nested thread slices, each stack weighted by its
+  sample count — a flame chart inside the trace viewer).
 """
 
 from __future__ import annotations
@@ -38,6 +43,8 @@ __all__ = [
     "validate_openmetrics",
     "parse_openmetrics",
     "trace_to_chrome",
+    "spans_to_chrome_events",
+    "profile_to_chrome_events",
     "write_chrome_trace",
 ]
 
@@ -314,6 +321,8 @@ def parse_openmetrics(
 _PID = 1
 _TID_PASSES = 1
 _TID_EVENTS = 2
+_TID_SPANS = 3
+_TID_PROFILE = 4
 
 #: Cost components plotted as counter tracks, with their trace names.
 _COUNTER_TRACKS = (("d_k", "d_k"), ("t_sum", "T_SUM"))
@@ -323,7 +332,12 @@ def _us(t_seconds: float) -> float:
     return round(float(t_seconds) * 1e6, 1)
 
 
-def trace_to_chrome(events: Iterable[dict]) -> dict:
+def trace_to_chrome(
+    events: Iterable[dict],
+    spans: Optional[Iterable[dict]] = None,
+    profile: Optional[str] = None,
+    profile_hz: float = 97.0,
+) -> dict:
     """Convert a parsed JSONL trace into a catapult trace object.
 
     Engine passes (``pass_start`` … next ``pass_start``/``run_end``)
@@ -332,8 +346,19 @@ def trace_to_chrome(events: Iterable[dict]) -> dict:
     ``d_k``/``T_SUM`` series of pass-entry costs become counter
     (``"C"``) tracks.  The result serialises with ``json.dumps`` and
     loads directly in ``chrome://tracing`` / Perfetto.
+
+    ``spans`` merges service span events (``span_start``/``span_end``
+    rows from a ``spans.jsonl``, see :mod:`repro.obs.spans`) onto a
+    "service spans" track; ``profile`` merges a folded-stack profile
+    (string, see :mod:`repro.obs.prof`) as nested slices on a
+    "profile (sampled)" track, each stack weighted by ``count /
+    profile_hz`` seconds.  Span timestamps are epoch while trace
+    timestamps are run-relative, so spans are re-anchored to their own
+    earliest event — tracks share the axis but only the trace's own
+    events are exact offsets into the run.
     """
     events = list(events)
+    span_events = list(spans) if spans is not None else []
     trace_events: List[dict] = []
     run_id = ""
     process_name = "fpart"
@@ -354,7 +379,12 @@ def trace_to_chrome(events: Iterable[dict]) -> dict:
             "args": {"name": process_name},
         }
     )
-    for tid, name in ((_TID_PASSES, "passes"), (_TID_EVENTS, "events")):
+    tracks = [(_TID_PASSES, "passes"), (_TID_EVENTS, "events")]
+    if span_events:
+        tracks.append((_TID_SPANS, "service spans"))
+    if profile:
+        tracks.append((_TID_PROFILE, "profile (sampled)"))
+    for tid, name in tracks:
         trace_events.append(
             {
                 "ph": "M",
@@ -431,6 +461,12 @@ def trace_to_chrome(events: Iterable[dict]) -> dict:
             }
         )
     close_pass(last_t)
+    if span_events:
+        trace_events.extend(spans_to_chrome_events(span_events))
+    if profile:
+        trace_events.extend(
+            profile_to_chrome_events(profile, hz=profile_hz)
+        )
 
     return {
         "traceEvents": trace_events,
@@ -439,12 +475,130 @@ def trace_to_chrome(events: Iterable[dict]) -> dict:
     }
 
 
+def spans_to_chrome_events(
+    span_events: Iterable[dict],
+    anchor: Optional[float] = None,
+    tid: int = _TID_SPANS,
+) -> List[dict]:
+    """Service span rows as complete (``"X"``) catapult events.
+
+    ``span_start``/``span_end`` pairs (matched by span id) become one
+    slice each, carrying trace/span/parent ids and the end status in
+    ``args``.  Spans are stamped with epoch seconds; ``anchor``
+    (default: the earliest span timestamp) re-bases them near zero so
+    they land on the same axis as a run-relative trace.  A span with no
+    matching end is emitted with the latest observed timestamp as its
+    end and ``status: "open"`` — crashed attempts stay visible.
+    """
+    rows = [e for e in span_events
+            if e.get("event") in ("span_start", "span_end")]
+    if not rows:
+        return []
+    times = [float(e.get("t", 0.0)) for e in rows]
+    base = min(times) if anchor is None else anchor
+    last = max(times)
+    starts: Dict[str, dict] = {}
+    ends: Dict[str, dict] = {}
+    order: List[str] = []
+    for event in rows:
+        span_id = str(event.get("span_id", ""))
+        if event.get("event") == "span_start":
+            if span_id not in starts:
+                starts[span_id] = event
+                order.append(span_id)
+        else:
+            ends.setdefault(span_id, event)
+    out: List[dict] = []
+    for span_id in order:
+        start = starts[span_id]
+        end = ends.get(span_id)
+        t0 = float(start.get("t", base))
+        t1 = float(end.get("t", last)) if end else last
+        out.append(
+            {
+                "ph": "X",
+                "name": str(start.get("name", "?")),
+                "cat": "span",
+                "pid": _PID,
+                "tid": tid,
+                "ts": _us(t0 - base),
+                "dur": max(_us(t1 - base) - _us(t0 - base), 0.0),
+                "args": {
+                    "trace_id": start.get("trace_id", ""),
+                    "span_id": span_id,
+                    "parent_id": start.get("parent_id", ""),
+                    "status": (end or {}).get("status", "open"),
+                },
+            }
+        )
+    return out
+
+
+def profile_to_chrome_events(
+    folded: str, hz: float = 97.0, tid: int = _TID_PROFILE
+) -> List[dict]:
+    """A folded-stack profile as nested thread slices (flame chart).
+
+    Aggregated samples have counts, not timestamps, so the layout is
+    *weighted*, not chronological: stacks are laid side by side in
+    sorted order, each occupying ``count / hz`` seconds of synthetic
+    track time, with one nested slice per frame.  The result reads
+    exactly like a flamegraph inside the trace viewer; slice positions
+    do not correspond to when the samples were taken.
+    """
+    from .prof import _build_flame_tree, parse_folded
+
+    root = _build_flame_tree(parse_folded(folded))
+    if root.value <= 0:
+        return []
+    interval = 1.0 / float(hz)
+    total = root.value
+    out: List[dict] = []
+
+    def emit(node, offset: float) -> None:
+        child_offset = offset
+        for label in sorted(node.children):
+            child = node.children[label]
+            seconds = child.value * interval
+            out.append(
+                {
+                    "ph": "X",
+                    "name": label,
+                    "cat": "profile",
+                    "pid": _PID,
+                    "tid": tid,
+                    "ts": _us(child_offset),
+                    "dur": _us(seconds),
+                    "args": {
+                        "samples": child.value,
+                        "pct": round(100.0 * child.value / total, 1),
+                    },
+                }
+            )
+            emit(child, child_offset)
+            child_offset += seconds
+
+    emit(root, 0.0)
+    return out
+
+
 def write_chrome_trace(
-    path: Union[str, Path], events: Iterable[dict]
+    path: Union[str, Path],
+    events: Iterable[dict],
+    spans: Optional[Iterable[dict]] = None,
+    profile: Optional[str] = None,
+    profile_hz: float = 97.0,
 ) -> Path:
     """Atomically write the converted trace; returns the path."""
     return atomic_write_text(
-        path, json.dumps(trace_to_chrome(events), indent=1) + "\n"
+        path,
+        json.dumps(
+            trace_to_chrome(
+                events, spans=spans, profile=profile, profile_hz=profile_hz
+            ),
+            indent=1,
+        )
+        + "\n",
     )
 
 

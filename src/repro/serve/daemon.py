@@ -131,6 +131,14 @@ class ServiceConfig:
     :data:`~repro.obs.spans.NULL_SPANS` (``/metrics`` then serves an
     empty-but-valid document) — the knob the ``serve_obs_overhead``
     bench compares against."""
+    prof_slow_ms: Optional[float] = None
+    """Profile-on-slow threshold in milliseconds (``None`` = off).
+
+    When set, every attempt runs under the sampling profiler (a
+    read-only observer — assignments are bit-identical) and attempts
+    whose wall exceeds the threshold leave their folded stacks in
+    ``<state-dir>/profiles/<job>.folded``, stamped with the job's
+    trace_id and served at ``GET /jobs/<id>/profile``."""
 
 
 class PartitionService:
@@ -141,6 +149,7 @@ class PartitionService:
         self.state_dir = Path(config.state_dir)
         self.jobs_dir = self.state_dir / "jobs"
         self.runs_dir = self.state_dir / "runs"
+        self.profiles_dir = self.state_dir / "profiles"
         self.state_dir.mkdir(parents=True, exist_ok=True)
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
 
@@ -543,6 +552,51 @@ class PartitionService:
         with open(path, "r", encoding="utf-8") as stream:
             return {"status": 200, "result": json.load(stream)}
 
+    def job_profile(self, job_id: str) -> Dict:
+        """The profile-on-slow capture of a job, as folded stacks.
+
+        200 carries the folded text plus the correlation metadata from
+        the capture's comment header (trace_id included); 404 when the
+        job is unknown or no attempt crossed the slow threshold.  The
+        capture is read from disk on every request — it survives daemon
+        restarts exactly like results do.
+        """
+        with self._lock:
+            if job_id not in self._table:
+                return {"status": 404, "error": f"unknown job: {job_id}"}
+        path = self.profiles_dir / f"{job_id}.folded"
+        if not path.exists():
+            threshold = self.config.prof_slow_ms
+            return {
+                "status": 404,
+                "error": (
+                    "no profile captured for this job"
+                    + (
+                        f" (slow threshold {threshold:g} ms)"
+                        if threshold is not None
+                        else " (profile-on-slow is off; start the daemon "
+                        "with --prof-slow-ms)"
+                    )
+                ),
+            }
+        folded = path.read_text(encoding="utf-8")
+        meta: Dict[str, str] = {}
+        for line in folded.splitlines():
+            if not line.startswith("# "):
+                break
+            key, _, value = line[2:].partition(": ")
+            meta[key] = value
+        return {
+            "status": 200,
+            "job_id": job_id,
+            "trace_id": meta.get("trace_id", ""),
+            "run_id": meta.get("run_id", ""),
+            "attempt": meta.get("attempt", ""),
+            "wall_seconds": meta.get("wall_seconds", ""),
+            "samples": meta.get("samples", ""),
+            "folded": folded,
+        }
+
     def counts(self) -> Dict[str, int]:
         with self._lock:
             return self._table.counts()
@@ -712,6 +766,8 @@ class PartitionService:
                     "test_crash_attempts": crashes,
                     "trace_id": job.trace_id,
                     "parent_span_id": attempt_span,
+                    "prof_slow_ms": self.config.prof_slow_ms,
+                    "profiles_dir": str(self.profiles_dir),
                 },
                 label=f"job {job.job_id} attempt {attempt}",
             )
@@ -777,6 +833,8 @@ class PartitionService:
                 self._table.set_state(job_id, state, result=summary)
                 self._stats["completed"] += 1
                 self.metrics.counter("serve.completed").inc()
+                if summary.get("profile_captured"):
+                    self.metrics.counter("serve.profiles_captured").inc()
                 self._close_job_spans_locked(job, state)
                 return
             if outcome.status == "error":

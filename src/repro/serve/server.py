@@ -16,6 +16,8 @@ POST   /jobs                          submit; 201 created, 200 deduped,
                                       (+ ``Retry-After``), 503 draining
 GET    /jobs/<id>                     one job's current record
 GET    /jobs/<id>/result              full result incl. assignment
+GET    /jobs/<id>/profile             folded stacks of a slow attempt
+                                      (404 until profile-on-slow fires)
 GET    /jobs/<id>/stream              chunked JSONL progress stream
 POST   /jobs/<id>/cancel              cancel (409 when already terminal)
 GET    /stats                         service counters (tests/ops)
@@ -197,6 +199,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(self.service.job(parts[0]))
             elif len(parts) == 2 and parts[1] == "result":
                 self._send_json(self.service.result(parts[0]))
+            elif len(parts) == 2 and parts[1] == "profile":
+                self._send_json(self.service.job_profile(parts[0]))
             elif len(parts) == 2 and parts[1] == "stream":
                 self._stream_job(parts[0])
             else:

@@ -25,6 +25,7 @@ from ..obs.export import parse_openmetrics
 __all__ = [
     "discover_endpoint",
     "collect_samples",
+    "counters_reset",
     "histogram_quantile",
     "render_top",
     "run_top",
@@ -121,6 +122,30 @@ def _rate(
     return f"{current:.0f} ({delta / elapsed:.1f}/s)"
 
 
+def counters_reset(now: Samples, before: Optional[Samples]) -> bool:
+    """True when any counter decreased since the prior poll.
+
+    Counters are monotonic within one daemon lifetime, so a decrease
+    can only mean the daemon restarted between polls.  Every delta in
+    that frame is then meaningless — not just the negative ones — so
+    the caller must discard the ``previous`` snapshot entirely and
+    render the frame like a first frame (plain totals, no rates).
+    """
+    if before is None:
+        return False
+    current: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for name, labels, value in now:
+        if name.endswith("_total"):
+            current[(name, tuple(sorted(labels.items())))] = value
+    for name, labels, value in before:
+        if not name.endswith("_total"):
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in current and current[key] < value:
+            return True
+    return False
+
+
 def render_top(
     samples: Samples,
     stats: Dict,
@@ -131,8 +156,13 @@ def render_top(
 
     ``previous``/``elapsed`` (the prior poll and the seconds since it)
     turn monotonic counters into per-second rates; the first frame
-    shows plain totals.
+    shows plain totals.  A restart between polls (any counter lower
+    than before, see :func:`counters_reset`) invalidates the whole
+    baseline: the frame falls back to plain totals rather than showing
+    clamped-to-zero rates that would hide real post-restart activity.
     """
+    if counters_reset(samples, previous):
+        previous, elapsed = None, 0.0
     states = stats.get("counts", {})
     lines = [
         "fpart top — partitioning service",

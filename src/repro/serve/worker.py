@@ -97,6 +97,8 @@ def run_partition_job(
     test_crash_attempts: int = 0,
     trace_id: str = "",
     parent_span_id: str = "",
+    prof_slow_ms: Optional[float] = None,
+    profiles_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one attempt of one job; returns a JSON-safe summary.
 
@@ -114,6 +116,15 @@ def run_partition_job(
     labelled with the trace id — the last two of the four surfaces one
     correlation id joins.  A worker killed mid-run leaves the span
     open; the daemon closes it service-side as ``crashed``.
+
+    ``prof_slow_ms`` enables profile-on-slow: the attempt runs under
+    the sampling profiler (read-only observer — assignments are
+    unaffected) and the folded stacks are kept in
+    ``<profiles_dir>/<job_id>.folded`` only when the attempt's wall
+    exceeds the threshold.  The capture is stamped with the job's
+    trace_id in a comment header and reported in the returned summary
+    (``profile_captured``) so the daemon can count it and serve it at
+    ``GET /jobs/<id>/profile``.
     """
     if attempt <= test_crash_attempts:
         os._exit(17)
@@ -155,6 +166,11 @@ def run_partition_job(
             job_id=job_id,
             attempt=attempt,
         )
+    sampler = None
+    if prof_slow_ms is not None:
+        from ..obs.prof import PROF_DEFAULT_HZ, SamplingProfiler
+
+        sampler = SamplingProfiler(hz=PROF_DEFAULT_HZ).start()
     started = time.monotonic()
     try:
         result = FpartPartitioner(
@@ -176,7 +192,16 @@ def run_partition_job(
             )
     finally:
         tracer.close()
+        if sampler is not None:
+            sampler.stop()
     wall = time.monotonic() - started
+
+    profile_captured = False
+    if sampler is not None and wall * 1000.0 >= prof_slow_ms:
+        profile_captured = _capture_profile(
+            sampler, profiles_dir or str(directory), job_id, attempt,
+            run_id, trace_id, wall,
+        )
 
     cost = cost_fields(result.cost) if result.cost is not None else None
     if runs_dir is not None:
@@ -245,4 +270,44 @@ def run_partition_job(
         "wall_seconds": round(wall, 3),
         "resumed": resumed,
         "attempt": attempt,
+        "profile_captured": profile_captured,
     }
+
+
+def _capture_profile(
+    sampler,
+    profiles_dir: str,
+    job_id: str,
+    attempt: int,
+    run_id: str,
+    trace_id: str,
+    wall: float,
+) -> bool:
+    """Persist a slow attempt's folded stacks; returns True on success.
+
+    The file is keyed by job (the latest slow attempt wins — that is
+    the one worth looking at) and carries the correlation metadata as
+    ``#`` comment lines, which every folded-stack consumer (including
+    :func:`repro.obs.prof.parse_folded`) skips.  Best-effort: a capture
+    failure never fails a finished attempt.
+    """
+    from ..obs.runstore import atomic_write_text
+
+    try:
+        directory = Path(profiles_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        header = (
+            f"# job_id: {job_id}\n"
+            f"# attempt: {attempt}\n"
+            f"# run_id: {run_id}\n"
+            f"# trace_id: {trace_id}\n"
+            f"# wall_seconds: {wall:.3f}\n"
+            f"# samples: {sampler.samples}\n"
+            f"# hz: {sampler.hz:g}\n"
+        )
+        atomic_write_text(
+            directory / f"{job_id}.folded", header + sampler.folded()
+        )
+        return True
+    except OSError:
+        return False

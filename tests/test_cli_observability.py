@@ -202,6 +202,117 @@ class TestReportSpans:
         assert tid in target.read_text()
 
 
+class TestProfilingCli:
+    def test_prof_writes_folded_and_stays_bit_identical(
+        self, netlist_file, tmp_path, capsys
+    ):
+        from repro.obs.prof import parse_folded
+
+        plain_out = tmp_path / "plain.txt"
+        prof_out = tmp_path / "prof.txt"
+        folded = tmp_path / "run.folded"
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--output", str(plain_out)]
+        ) == 0
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--output", str(prof_out),
+             "--prof", "--prof-out", str(folded)]
+        ) == 0
+        assert prof_out.read_text() == plain_out.read_text()
+        parse_folded(folded.read_text())  # well-formed (possibly empty)
+        assert "profile:" in capsys.readouterr().out
+
+    def test_prof_artifact_lands_in_run_store(self, netlist_file, tmp_path):
+        from repro.obs.runstore import RunStore
+
+        runs = tmp_path / "runs"
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--prof", "--runs-dir", str(runs)]
+        ) == 0
+        store = RunStore(runs)
+        record = store.records()[-1]
+        run_dir = store.run_dir(record.run_id)
+        assert (run_dir / "profile.folded").exists()
+        assert (run_dir / "phases.txt").exists()
+        assert "attributed:" in (run_dir / "phases.txt").read_text()
+
+    def test_flame_renders_svg(self, tmp_path):
+        folded = tmp_path / "p.folded"
+        folded.write_text("main;solve 6\nmain;io 2\n")
+        out = tmp_path / "flame.svg"
+        assert main(
+            ["flame", str(folded), "--output", str(out)]
+        ) == 0
+        svg = out.read_text()
+        assert svg.startswith("<svg")
+        assert "solve" in svg
+
+    def test_flame_from_runs(self, netlist_file, tmp_path):
+        from repro.obs.runstore import RunStore
+
+        runs = tmp_path / "runs"
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--prof", "--runs-dir", str(runs)]
+        ) == 0
+        run_id = RunStore(runs).records()[-1].run_id
+        out = tmp_path / "flame.svg"
+        assert main(
+            ["flame", "--from-runs", str(runs), run_id,
+             "--output", str(out)]
+        ) == 0
+        assert run_id in out.read_text()
+
+    def test_report_phases_from_metrics_dump(
+        self, netlist_file, tmp_path, capsys
+    ):
+        metrics = tmp_path / "m.json"
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--metrics", str(metrics)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", "--phases", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "phase breakdown" in out
+        assert "bipartition" in out and "improve" in out
+        assert "attributed:" in out
+
+    def test_report_phases_from_runs(self, netlist_file, tmp_path, capsys):
+        from repro.obs.runstore import RunStore
+
+        runs = tmp_path / "runs"
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--runs-dir", str(runs)]
+        ) == 0
+        run_id = RunStore(runs).records()[-1].run_id
+        capsys.readouterr()
+        assert main(
+            ["report", "--phases", "--from-runs", str(runs), run_id]
+        ) == 0
+        assert "phase breakdown — run" in capsys.readouterr().out
+
+    def test_prof_requires_fpart(self, netlist_file, capsys):
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--algorithm", "pack", "--prof"]
+        ) != 0
+        assert "fpart" in capsys.readouterr().err
+
+    def test_prof_rejected_with_restart_portfolio(
+        self, netlist_file, capsys
+    ):
+        assert main(
+            ["partition", str(netlist_file), "--device", "XC3020",
+             "--restarts", "2", "--prof"]
+        ) != 0
+        assert "--prof" in capsys.readouterr().err
+
+
 class TestTopDashboard:
     def test_render_top_from_synthetic_samples(self):
         from repro.serve.top import render_top
@@ -247,6 +358,96 @@ class TestTopDashboard:
         assert histogram_quantile([], "h", 0.5) is None
         empty = [("h_bucket", {"le": "+Inf"}, 0.0)]
         assert histogram_quantile(empty, "h", 0.5) is None
+
+    def test_histogram_quantile_boundaries(self):
+        from repro.serve.top import histogram_quantile
+
+        samples = [
+            ("h_bucket", {"le": "100.0"}, 2.0),
+            ("h_bucket", {"le": "200.0"}, 8.0),
+            ("h_bucket", {"le": "+Inf"}, 10.0),
+        ]
+        # q=0: rank 0 lands in the first bucket, at its lower edge.
+        assert histogram_quantile(samples, "h", 0.0) == 0.0
+        # q=1: rank == total; the last finite bucket holds only 8 of 10
+        # observations, so the estimate is the +Inf bucket's lower edge.
+        assert histogram_quantile(samples, "h", 1.0) == 200.0
+
+    def test_histogram_quantile_single_bucket(self):
+        from repro.serve.top import histogram_quantile
+
+        samples = [
+            ("h_bucket", {"le": "50.0"}, 4.0),
+            ("h_bucket", {"le": "+Inf"}, 4.0),
+        ]
+        # All mass in one finite bucket: interpolation runs from 0 to
+        # its upper edge.
+        assert histogram_quantile(samples, "h", 0.5) == 25.0
+        assert histogram_quantile(samples, "h", 1.0) == 50.0
+
+    def test_histogram_quantile_all_mass_in_inf(self):
+        from repro.serve.top import histogram_quantile
+
+        samples = [
+            ("h_bucket", {"le": "100.0"}, 0.0),
+            ("h_bucket", {"le": "+Inf"}, 6.0),
+        ]
+        # The +Inf bucket has no upper edge to interpolate toward; the
+        # estimate degrades to the last finite edge for every quantile.
+        assert histogram_quantile(samples, "h", 0.5) == 100.0
+        assert histogram_quantile(samples, "h", 0.95) == 100.0
+
+    def test_counters_reset_detection(self):
+        from repro.serve.top import counters_reset
+
+        before = [
+            ("serve_submissions_total", {}, 10.0),
+            ("serve_rejected_total", {"code": "429"}, 3.0),
+        ]
+        same = [
+            ("serve_submissions_total", {}, 12.0),
+            ("serve_rejected_total", {"code": "429"}, 3.0),
+        ]
+        restarted = [
+            ("serve_submissions_total", {}, 2.0),
+            ("serve_rejected_total", {"code": "429"}, 0.0),
+        ]
+        assert not counters_reset(same, before)
+        assert counters_reset(restarted, before)
+        # First frame: no baseline, nothing to compare.
+        assert not counters_reset(same, None)
+        # A label set present only in one snapshot never matches.
+        assert not counters_reset(
+            [("serve_rejected_total", {"code": "503"}, 1.0)], before
+        )
+
+    def test_render_top_discards_baseline_on_restart(self):
+        from repro.serve.top import render_top
+
+        before = [
+            ("serve_submissions_total", {}, 100.0),
+            ("serve_completed_total", {}, 90.0),
+        ]
+        now = [
+            ("serve_submissions_total", {}, 5.0),
+            ("serve_completed_total", {}, 2.0),
+        ]
+        frame = render_top(now, {}, previous=before, elapsed=5.0)
+        # The daemon restarted: EVERY rate is suppressed (plain totals),
+        # not just the ones that went backwards — a clamped 0.0/s would
+        # hide real post-restart activity.
+        assert "/s)" not in frame
+        assert "submissions  5" in frame
+        assert "completed    2" in frame
+
+    def test_render_top_zero_elapsed_first_frame(self):
+        from repro.serve.top import render_top
+
+        now = [("serve_submissions_total", {}, 7.0)]
+        # elapsed=0 with a baseline must not divide by zero.
+        frame = render_top(now, {}, previous=now, elapsed=0.0)
+        assert "submissions  7" in frame
+        assert "/s)" not in frame
 
     def test_top_requires_endpoint(self, capsys):
         assert main(["top"]) != 0

@@ -227,3 +227,81 @@ class TestChromeTrace:
         obj = json.loads(out.read_text())
         assert obj["traceEvents"]
         assert list(tmp_path.iterdir()) == [out]
+
+
+SPAN_EVENTS = [
+    {"event": "span_start", "t": 100.0, "span_id": "s1", "name": "attempt",
+     "trace_id": "t-abc", "parent_id": ""},
+    {"event": "span_start", "t": 100.2, "span_id": "s2",
+     "name": "partition-run", "trace_id": "t-abc", "parent_id": "s1"},
+    {"event": "span_end", "t": 101.0, "span_id": "s2", "status": "ok"},
+    {"event": "span_end", "t": 101.5, "span_id": "s1", "status": "ok"},
+]
+
+
+class TestChromeTraceMergedChannels:
+    def test_spans_become_duration_events_on_their_own_track(self):
+        from repro.obs.export import _TID_SPANS, spans_to_chrome_events
+
+        events = spans_to_chrome_events(SPAN_EVENTS)
+        x = [e for e in events if e["ph"] == "X"]
+        assert len(x) == 2
+        assert {e["tid"] for e in x} == {_TID_SPANS}
+        by_name = {e["name"]: e for e in x}
+        # Re-anchored to the earliest span timestamp (epoch vs run-
+        # relative time; approximate alignment, documented).
+        assert by_name["attempt"]["ts"] == 0
+        assert by_name["attempt"]["dur"] == pytest.approx(1.5e6)
+        assert by_name["partition-run"]["args"]["parent_id"] == "s1"
+        assert by_name["attempt"]["args"]["trace_id"] == "t-abc"
+
+    def test_unclosed_span_reported_open(self):
+        from repro.obs.export import spans_to_chrome_events
+
+        events = spans_to_chrome_events(SPAN_EVENTS[:2])
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["attempt"]["args"]["status"] == "open"
+        # Open spans extend to the last observed timestamp.
+        assert by_name["attempt"]["dur"] == pytest.approx(0.2e6)
+
+    def test_profile_slices_nest_by_frame_depth(self):
+        from repro.obs.export import _TID_PROFILE, profile_to_chrome_events
+
+        folded = "main;solve 8\nmain;solve;evaluate 2\n"
+        events = profile_to_chrome_events(folded, hz=100.0)
+        x = [e for e in events if e["ph"] == "X"]
+        assert {e["tid"] for e in x} == {_TID_PROFILE}
+        by_name = {e["name"]: e for e in x}
+        # 10 samples at 100 Hz = 100ms for main, nested children inside.
+        assert by_name["main"]["dur"] == pytest.approx(100_000)
+        assert by_name["solve"]["dur"] == pytest.approx(100_000)
+        assert by_name["evaluate"]["dur"] == pytest.approx(20_000)
+        assert by_name["evaluate"]["args"]["samples"] == 2
+
+    def test_trace_to_chrome_merges_both_channels(self, traced_run):
+        from repro.obs.export import _TID_PROFILE, _TID_SPANS
+
+        obj = trace_to_chrome(
+            traced_run,
+            spans=SPAN_EVENTS,
+            profile="a;b 3\n",
+            profile_hz=97.0,
+        )
+        tids = {e.get("tid") for e in obj["traceEvents"] if e["ph"] == "X"}
+        assert {_TID_SPANS, _TID_PROFILE} <= tids
+        names = {
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "service spans" in names
+        assert "profile (sampled)" in names
+
+    def test_no_extra_tracks_without_channels(self, traced_run):
+        obj = trace_to_chrome(traced_run)
+        names = {
+            e["args"]["name"]
+            for e in obj["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names == {"passes", "events"}

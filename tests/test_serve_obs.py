@@ -189,6 +189,89 @@ class TestInProcessObservability:
         assert attempts.get("attempt[1]") == "crashed"
         assert attempts.get("attempt[2]") == "ok"
 
+    def test_profile_on_slow_captures_and_serves_folded_stacks(
+        self, tmp_path, netlist_file
+    ):
+        from repro.obs.prof import parse_folded
+
+        svc = PartitionService(
+            ServiceConfig(
+                state_dir=str(tmp_path / "slow"),
+                jobs=1,
+                allow_test_hooks=True,
+                prof_slow_ms=1.0,  # every real attempt is "slow"
+            )
+        ).start()
+        try:
+            trace_id = "beefbeefbeefbeef"
+            response = svc.submit(
+                {"netlist": str(netlist_file)}, trace_id=trace_id
+            )
+            job_id = response["job"]["job_id"]
+            job = wait_terminal(svc, job_id)
+            assert job["state"] == "done"
+
+            profile = svc.job_profile(job_id)
+            assert profile["status"] == 200
+            assert profile["job_id"] == job_id
+            assert profile["trace_id"] == trace_id
+            assert float(profile["wall_seconds"]) > 0
+            parse_folded(profile["folded"])  # well-formed document
+            # The capture survives on disk, keyed by job.
+            path = tmp_path / "slow" / "profiles" / f"{job_id}.folded"
+            assert path.exists()
+            assert f"# trace_id: {trace_id}" in path.read_text()
+
+            samples = parse_openmetrics(svc.openmetrics())
+            assert sample_value(samples, "serve_profiles_captured_total") \
+                == 1.0
+
+            # Same payload over the HTTP route.
+            from urllib.request import urlopen
+
+            from repro.serve import make_server, serve_forever_in_thread
+
+            server = make_server("127.0.0.1", 0, svc)
+            serve_forever_in_thread(server)
+            try:
+                port = server.server_address[1]
+                with urlopen(
+                    f"http://127.0.0.1:{port}/jobs/{job_id}/profile"
+                ) as response:
+                    assert response.status == 200
+                    payload = json.loads(response.read())
+                assert payload["trace_id"] == trace_id
+                assert payload["folded"] == profile["folded"]
+            finally:
+                server.shutdown()
+        finally:
+            svc.close()
+
+    def test_profile_missing_when_threshold_not_crossed(
+        self, tmp_path, netlist_file
+    ):
+        svc = PartitionService(
+            ServiceConfig(
+                state_dir=str(tmp_path / "fast"),
+                jobs=1,
+                allow_test_hooks=True,
+                prof_slow_ms=1e9,  # nothing is ever slow enough
+            )
+        ).start()
+        try:
+            response = svc.submit({"netlist": str(netlist_file)})
+            job_id = response["job"]["job_id"]
+            wait_terminal(svc, job_id)
+            profile = svc.job_profile(job_id)
+            assert profile["status"] == 404
+            assert svc.job_profile("no-such-job")["status"] == 404
+            samples = parse_openmetrics(svc.openmetrics())
+            assert sample_value(
+                samples, "serve_profiles_captured_total"
+            ) == 0.0
+        finally:
+            svc.close()
+
     def test_obs_disabled_pays_nothing_and_stays_scrapable(
         self, tmp_path, netlist_file
     ):
