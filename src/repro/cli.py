@@ -1032,6 +1032,24 @@ def _cmd_partition(args: argparse.Namespace) -> int:
                 f"per-move: {per_move_us:.2f} us "
                 f"({moves} applied moves, whole-run wall / moves)"
             )
+        # Constructive steps: one sweep move or one grower pick per
+        # step, on either backend (the flat sweep's selection happens
+        # inside its move; the flat grower mirrors the object pick).
+        steps = sum(
+            h.calls
+            for h in profile_report.all_calls
+            if "/initial/" in h.function
+            and (
+                h.function.endswith("(move)")
+                or h.function.endswith("(pick)")
+            )
+        )
+        if steps:
+            per_step_us = profile_report.elapsed / steps * 1e6
+            print(
+                f"per-constructive-step: {per_step_us:.2f} us "
+                f"({steps} builder steps, whole-run wall / steps)"
+            )
         print(profile_report.render())
 
     if args.output and assignment is not None:

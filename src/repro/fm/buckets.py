@@ -129,6 +129,18 @@ class GainBuckets:
             for cell in reversed(self._buckets[index]):
                 yield cell
 
+    def iter_max_bucket(self):
+        """Yield the cells of the highest non-empty bucket only (LIFO).
+
+        Lets callers resolve secondary tie-breaks among the max-gain
+        candidates without touching lower buckets.  Mutating the
+        structure while iterating is not supported.
+        """
+        self._settle_top()
+        if self._top < 0:
+            return
+        yield from reversed(self._buckets[self._top])
+
     def clear(self) -> None:
         """Empty the structure."""
         for bucket in self._buckets:
@@ -292,6 +304,22 @@ class FlatGainBuckets:
             while cell >= 0:
                 yield cell
                 cell = nxt[cell]
+
+    def iter_max_bucket(self):
+        """Yield the cells of the highest non-empty bucket only.
+
+        Head-first (most recently inserted first), matching
+        :meth:`GainBuckets.iter_max_bucket`.  Mutating the structure
+        while iterating is not supported.
+        """
+        self._settle_top()
+        if self._top < 0:
+            return
+        nxt = self._next
+        cell = self._head[self._top]
+        while cell >= 0:
+            yield cell
+            cell = nxt[cell]
 
     def clear(self) -> None:
         """Empty the structure."""

@@ -1,0 +1,677 @@
+"""Flat CSR-backed constructive builders (``backend="flat"`` twins).
+
+The object builders in ``ratio_cut`` / ``greedy_merge`` / ``seed_grow``
+are the bit-identity oracle; this module re-implements them over the
+:class:`~repro.hypergraph.csr.CsrView` flat buffers with O(1)-amortized
+candidate selection, the same treatment PR 6 gave the improvement loop:
+
+* ratio-cut sweep — ``net_total`` / ``in_a`` become dense integer lists
+  indexed by net (shared across the two seed sweeps of one
+  bipartition), and the per-move ``max(gains, ...)`` scan over the whole
+  B side becomes a :class:`~repro.fm.buckets.FlatGainBuckets` keyed by
+  integer gain; only the top bucket is scanned for the secondary
+  ``(cell_size, -index)`` tie-break, which is exactly equivalent
+  because the object key ``(gain, cell_size, -index)`` is a total
+  order.
+
+* greedy merge / seed grow — the frontier's pin-delta previews are kept
+  *incrementally* (counter-based: when a cell joins, only the nets it
+  touches change any candidate's delta, and all outside candidates on a
+  net share the same contribution change), and the per-step
+  O(|frontier|) ``pick()`` scan becomes a scan over buckets keyed by
+  the invariant pair ``(cell_size, pin_delta)``.  The merge score
+  ``S/T`` depends on the *current* block size and pin count, so a
+  single lazily-invalidated heap over scores would go stale on every
+  add; bucketing by ``(size, delta)`` keeps every bucket's score
+  computable in O(1) at pick time, and the within-bucket tie-break
+  (same score, same size ⇒ lowest index wins) reduces to the bucket's
+  minimum live index, held in a per-bucket lazy-deletion min-heap.
+
+Determinism: every selection reproduces the object tie-break key
+exactly — the per-step differential harness
+(:func:`repro.testing.differential.run_constructive_differential`) and
+the whole-run ``assignments_identical`` checks in
+``tests/test_constructive_flat.py`` enforce it.
+"""
+
+from __future__ import annotations
+
+import random
+from heapq import heappop, heappush
+from typing import Iterable, List, Optional, Set
+
+from ..core.device import Device
+from ..fm.buckets import FlatGainBuckets
+from ..hypergraph import Hypergraph
+from .ratio_cut import SweepResult
+from .seeds import select_seeds
+
+__all__ = [
+    "FLAT_BUILDERS",
+    "flat_greedy_merge_bipartition",
+    "flat_ratio_cut_bipartition",
+    "flat_seed_grow_bipartition",
+]
+
+
+class _FlatContext:
+    """Per-builder-call flat views shared by sweeps and growers.
+
+    Holds the CSR list mirrors plus ``thr``, the per-net pin threshold
+    that folds :meth:`GrowingBlock._net_counts_pin` into one compare:
+    a net with ``inside`` member pins contributes a pin iff
+    ``0 < inside < thr[e]`` (``thr`` is the interior degree, plus one
+    when the net also reaches a primary I/O pad and therefore counts a
+    pin even when fully absorbed).
+    """
+
+    __slots__ = (
+        "hg", "cell_list", "num_cells", "num_nets",
+        "net_off", "net_pins", "cell_off", "cell_nets",
+        "cell_sizes", "thr",
+        "tot", "swept_size", "swept_pins", "max_deg",
+    )
+
+    def __init__(self, hg: Hypergraph, cell_list: List[int]) -> None:
+        csr = hg.csr
+        self.hg = hg
+        self.cell_list = cell_list
+        self.num_cells = csr.num_cells
+        self.num_nets = csr.num_nets
+        (
+            self.net_off,
+            self.net_pins,
+            self.cell_off,
+            self.cell_nets,
+        ) = csr.list_mirrors()
+        self.cell_sizes = hg.cell_sizes
+        term = hg.net_terminal_counts
+        net_off = self.net_off
+        self.thr = [
+            net_off[e + 1] - net_off[e] + (1 if term[e] else 0)
+            for e in range(self.num_nets)
+        ]
+        self.tot = None
+
+    def prepare_sweep(self) -> None:
+        """Build the swept-set net totals shared by both seed sweeps."""
+        cell_off = self.cell_off
+        cell_nets = self.cell_nets
+        cell_sizes = self.cell_sizes
+        thr = self.thr
+        tot = [0] * self.num_nets
+        touched: List[int] = []
+        max_deg = 0
+        swept_size = 0
+        for c in self.cell_list:
+            swept_size += cell_sizes[c]
+            start = cell_off[c]
+            end = cell_off[c + 1]
+            if end - start > max_deg:
+                max_deg = end - start
+            for k in range(start, end):
+                e = cell_nets[k]
+                if not tot[e]:
+                    touched.append(e)
+                tot[e] += 1
+        self.tot = tot
+        self.max_deg = max_deg
+        self.swept_size = swept_size
+        self.swept_pins = sum(1 for e in touched if tot[e] < thr[e])
+
+
+class _FlatSweep:
+    """Flat twin of ``ratio_cut._Sweep`` plus its gains cache.
+
+    The object path keeps candidate gains in a dict refreshed around
+    each move and scans the whole dict per pick; here the same values
+    live in a :class:`FlatGainBuckets` adjusted incrementally (gains
+    only change on nets of the moved cell, and every B-side pin of such
+    a net shifts by the same per-net amount).
+    """
+
+    __slots__ = (
+        "ctx", "in_a", "in_b", "cut", "a_size", "a_pins",
+        "b_size", "b_pins", "b_count", "gains",
+        "_stamp", "_acc", "_token",
+    )
+
+    def __init__(self, ctx: _FlatContext) -> None:
+        self.ctx = ctx
+        num_cells = ctx.num_cells
+        self.in_a = [0] * ctx.num_nets
+        in_b = bytearray(num_cells)
+        for c in ctx.cell_list:
+            in_b[c] = 1
+        self.in_b = in_b
+        self.cut = 0
+        self.a_size = 0
+        self.a_pins = 0
+        self.b_size = ctx.swept_size
+        self.b_pins = ctx.swept_pins
+        self.b_count = len(ctx.cell_list)
+        self.gains = FlatGainBuckets(ctx.max_deg, num_cells)
+        self._stamp = [-1] * num_cells
+        self._acc = [0] * num_cells
+        self._token = 0
+
+    def move(self, cell: int) -> None:
+        """Move a cell from side B to side A (one constructive step)."""
+        ctx = self.ctx
+        cell_off = ctx.cell_off
+        cell_nets = ctx.cell_nets
+        net_off = ctx.net_off
+        net_pins = ctx.net_pins
+        tot = ctx.tot
+        thr = ctx.thr
+        in_a = self.in_a
+        in_b = self.in_b
+        gains = self.gains
+        in_b[cell] = 0
+        self.b_count -= 1
+        if cell in gains:
+            gains.remove(cell)
+        cut = self.cut
+        a_pins = self.a_pins
+        b_pins = self.b_pins
+        changed = []
+        for k in range(cell_off[cell], cell_off[cell + 1]):
+            e = cell_nets[k]
+            t = tot[e]
+            i = in_a[e]
+            i1 = i + 1
+            in_a[e] = i1
+            te = thr[e]
+            a_pins += (0 < i1 < te) - (0 < i < te)
+            bi = t - i
+            b_pins += (0 < bi - 1 < te) - (0 < bi < te)
+            if t >= 2:
+                c_old = 0 < i < t
+                c_new = 0 < i1 < t
+                cut += c_new - c_old
+                # Candidate gain on e is cs(i) - cs(i+1); its change is
+                # the same for every remaining B pin of the net.
+                changed.append((e, (c_new - (0 < i + 2 < t)) - (c_old - c_new)))
+        self.cut = cut
+        self.a_pins = a_pins
+        self.b_pins = b_pins
+        sz = ctx.cell_sizes[cell]
+        self.a_size += sz
+        self.b_size -= sz
+        # Refresh candidates around the move (the object refresh_around
+        # set): present candidates shift by the accumulated per-net
+        # deltas, first-touched ones get a full gain computation.
+        token = self._token = self._token + 1
+        stamp = self._stamp
+        acc = self._acc
+        touched = []
+        for e, dg in changed:
+            for k in range(net_off[e], net_off[e + 1]):
+                v = net_pins[k]
+                if in_b[v]:
+                    if stamp[v] != token:
+                        stamp[v] = token
+                        acc[v] = dg
+                        touched.append(v)
+                    else:
+                        acc[v] += dg
+        for v in touched:
+            if v in gains:
+                d = acc[v]
+                if d:
+                    gains.adjust(v, d)
+            else:
+                gains.insert(v, self._gain_of(v))
+
+    def _gain_of(self, v: int) -> int:
+        """Full gain of a B-side candidate (object ``_Sweep.gain``)."""
+        ctx = self.ctx
+        cell_off = ctx.cell_off
+        cell_nets = ctx.cell_nets
+        tot = ctx.tot
+        in_a = self.in_a
+        g = 0
+        for k in range(cell_off[v], cell_off[v + 1]):
+            e = cell_nets[k]
+            t = tot[e]
+            if t < 2:
+                continue
+            i = in_a[e]
+            g += (0 < i < t) - (0 < i + 1 < t)
+        return g
+
+    def select(self) -> int:
+        """Next cell to move: max ``(gain, cell_size, -index)``.
+
+        Only the top gain bucket needs the secondary scan; when no
+        candidate is adjacent (disconnected circuits) the jump branch
+        picks the biggest remaining B cell, exactly like the object
+        fallback.
+        """
+        gains = self.gains
+        cell_sizes = self.ctx.cell_sizes
+        best = -1
+        best_size = -1
+        if len(gains):
+            for v in gains.iter_max_bucket():
+                s = cell_sizes[v]
+                if s > best_size or (s == best_size and v < best):
+                    best_size = s
+                    best = v
+            return best
+        in_b = self.in_b
+        for v in self.ctx.cell_list:
+            if in_b[v]:
+                s = cell_sizes[v]
+                if s > best_size or (s == best_size and v < best):
+                    best_size = s
+                    best = v
+        return best
+
+
+def _flat_sweep(
+    ctx: _FlatContext,
+    device: Device,
+    seed: int,
+    trace: Optional[list],
+) -> SweepResult:
+    """One ratio-cut sweep on the flat substrate."""
+    sweep = _FlatSweep(ctx)
+    sweep.move(seed)
+    if trace is not None:
+        trace.append(
+            ("rc", seed, sweep.cut, sweep.a_size, sweep.a_pins,
+             sweep.b_size, sweep.b_pins)
+        )
+    order = [seed]
+    best_index: Optional[int] = None
+    best_ratio = float("inf")
+    best_side_a = True
+    fits = device.fits
+
+    def consider_prefix(index: int) -> None:
+        nonlocal best_index, best_ratio, best_side_a
+        a_size = sweep.a_size
+        b_size = sweep.b_size
+        if a_size == 0 or b_size == 0:
+            return
+        ratio = sweep.cut / (a_size * b_size)
+        a_ok = fits(a_size, sweep.a_pins)
+        b_ok = fits(b_size, sweep.b_pins)
+        if not (a_ok or b_ok):
+            return
+        if ratio < best_ratio:
+            best_ratio = ratio
+            best_index = index
+            if a_ok and b_ok:
+                best_side_a = a_size >= b_size
+            else:
+                best_side_a = a_ok
+
+    consider_prefix(1)
+    while sweep.b_count > 1:
+        cell = sweep.select()
+        sweep.move(cell)
+        order.append(cell)
+        consider_prefix(len(order))
+        if trace is not None:
+            trace.append(
+                ("rc", cell, sweep.cut, sweep.a_size, sweep.a_pins,
+                 sweep.b_size, sweep.b_pins)
+            )
+
+    if best_index is None:
+        result = SweepResult(subset=(), ratio=float("inf"), feasible=False)
+    else:
+        prefix = set(order[:best_index])
+        if best_side_a:
+            subset = tuple(sorted(prefix))
+        else:
+            subset = tuple(sorted(set(ctx.cell_list) - prefix))
+        result = SweepResult(subset=subset, ratio=best_ratio, feasible=True)
+    if trace is not None:
+        trace.append(
+            ("rc_result", result.subset, result.ratio, result.feasible)
+        )
+    return result
+
+
+def flat_ratio_cut_bipartition(
+    hg: Hypergraph,
+    cells: Iterable[int],
+    device: Device,
+    rng: Optional[random.Random] = None,
+    trace: Optional[list] = None,
+) -> Optional[Set[int]]:
+    """Flat twin of :func:`repro.initial.ratio_cut_bipartition`."""
+    cell_list = sorted(set(cells))
+    if len(cell_list) < 2:
+        raise ValueError("cannot bipartition fewer than two cells")
+    seed1, seed2 = select_seeds(hg, cell_list, rng=rng)
+    ctx = _FlatContext(hg, cell_list)
+    ctx.prepare_sweep()
+    results = [
+        _flat_sweep(ctx, device, seed1, trace),
+        _flat_sweep(ctx, device, seed2, trace),
+    ]
+    results = [
+        r for r in results if r.feasible and 0 < len(r.subset) < len(cell_list)
+    ]
+    if not results:
+        return None
+    best = min(results, key=lambda r: r.ratio)
+    return set(best.subset)
+
+
+class _GrowState:
+    """Unassigned-cell flags shared by the growers of one bipartition."""
+
+    __slots__ = ("flags", "remaining", "cell_list")
+
+    def __init__(self, num_cells: int, cell_list: List[int], seeds) -> None:
+        flags = bytearray(num_cells)
+        for c in cell_list:
+            flags[c] = 1
+        for s in seeds:
+            flags[s] = 0
+        self.flags = flags
+        self.remaining = len(cell_list) - len(seeds)
+        self.cell_list = cell_list
+
+
+class _FlatGrower:
+    """Flat twin of ``greedy_merge._Grower``.
+
+    Frontier candidates are bucketed by ``(cell_size, pin_delta)`` —
+    both invariant between adds that don't touch the candidate — so the
+    merge score of a whole bucket is one division at pick time and the
+    per-step frontier scan drops to the number of distinct buckets.
+    Each bucket keeps its minimum live cell index in a lazy-deletion
+    min-heap (entries go stale on rebucket/removal and are popped when
+    next seen), which resolves the object path's ``-cell`` tie-break.
+    """
+
+    __slots__ = (
+        "ctx", "s_max", "inside", "size", "pins", "saturated",
+        "members", "delta", "key_of", "buckets",
+        "_stamp", "_acc", "_token", "_seed_changed",
+    )
+
+    def __init__(self, ctx: _FlatContext, seed: int, s_max: float) -> None:
+        num_cells = ctx.num_cells
+        self.ctx = ctx
+        self.s_max = s_max
+        self.inside = [0] * ctx.num_nets
+        self.size = 0
+        self.pins = 0
+        self.saturated = False
+        self.members: List[int] = []
+        self.delta = [0] * num_cells
+        self.key_of: List[Optional[tuple]] = [None] * num_cells
+        self.buckets: dict = {}
+        self._stamp = [-1] * num_cells
+        self._acc = [0] * num_cells
+        self._token = 0
+        self._seed_changed = self._apply(seed)
+
+    def _apply(self, cell: int):
+        """Count a cell into the block; returns per-net contrib deltas."""
+        ctx = self.ctx
+        cell_off = ctx.cell_off
+        cell_nets = ctx.cell_nets
+        thr = ctx.thr
+        inside = self.inside
+        pins = self.pins
+        changed = []
+        for k in range(cell_off[cell], cell_off[cell + 1]):
+            e = cell_nets[k]
+            i = inside[e]
+            i1 = i + 1
+            inside[e] = i1
+            te = thr[e]
+            f0 = 0 < i < te
+            f1 = 0 < i1 < te
+            pins += f1 - f0
+            # A candidate on e previewed f(i+1) - f(i); it now previews
+            # f(i+2) - f(i+1).  Same shift for every outside candidate.
+            changed.append((e, (0 < i + 2 < te) - f1 - (f1 - f0)))
+        self.pins = pins
+        self.size += ctx.cell_sizes[cell]
+        self.members.append(cell)
+        return changed
+
+    def _delta_of(self, v: int) -> int:
+        """Full pin-delta preview (object ``GrowingBlock.preview_add``)."""
+        ctx = self.ctx
+        cell_off = ctx.cell_off
+        cell_nets = ctx.cell_nets
+        thr = ctx.thr
+        inside = self.inside
+        d = 0
+        for k in range(cell_off[v], cell_off[v + 1]):
+            e = cell_nets[k]
+            i = inside[e]
+            te = thr[e]
+            d += (0 < i + 1 < te) - (0 < i < te)
+        return d
+
+    def _insert(self, v: int, d: int) -> None:
+        key = (self.ctx.cell_sizes[v], d)
+        rec = self.buckets.get(key)
+        if rec is None:
+            rec = [[], 0]
+            self.buckets[key] = rec
+        heappush(rec[0], v)
+        rec[1] += 1
+        self.key_of[v] = key
+        self.delta[v] = d
+
+    def _rebucket(self, v: int, nd: int) -> None:
+        buckets = self.buckets
+        old = self.key_of[v]
+        rec = buckets[old]
+        rec[1] -= 1
+        if not rec[1]:
+            del buckets[old]
+        key = (old[0], nd)
+        rec = buckets.get(key)
+        if rec is None:
+            rec = [[], 0]
+            buckets[key] = rec
+        heappush(rec[0], v)
+        rec[1] += 1
+        self.key_of[v] = key
+        self.delta[v] = nd
+
+    def discard(self, v: int) -> None:
+        """Drop a cell from the frontier (stale heap entries linger)."""
+        old = self.key_of[v]
+        if old is None:
+            return
+        rec = self.buckets[old]
+        rec[1] -= 1
+        if not rec[1]:
+            del self.buckets[old]
+        self.key_of[v] = None
+
+    def _propagate(self, changed, flags: bytearray) -> None:
+        """Push per-net contrib deltas to the unassigned neighbourhood.
+
+        Mirrors the object ``extend_frontier``: every unassigned pin of
+        a touched net is (re)considered — present frontier members
+        shift by the accumulated delta, new ones get a full preview.
+        """
+        ctx = self.ctx
+        net_off = ctx.net_off
+        net_pins = ctx.net_pins
+        token = self._token = self._token + 1
+        stamp = self._stamp
+        acc = self._acc
+        touched = []
+        for e, dc in changed:
+            for k in range(net_off[e], net_off[e + 1]):
+                v = net_pins[k]
+                if flags[v]:
+                    if stamp[v] != token:
+                        stamp[v] = token
+                        acc[v] = dc
+                        touched.append(v)
+                    else:
+                        acc[v] += dc
+        key_of = self.key_of
+        delta = self.delta
+        for v in touched:
+            if key_of[v] is not None:
+                d = acc[v]
+                if d:
+                    self._rebucket(v, delta[v] + d)
+            else:
+                self._insert(v, self._delta_of(v))
+
+    def extend_initial(self, flags: bytearray) -> None:
+        """Seed the frontier (the driver's first ``extend_frontier``)."""
+        self._propagate(self._seed_changed, flags)
+
+    def add(self, cell: int, flags: bytearray) -> None:
+        """Grow by one cell and refresh its neighbourhood."""
+        self._propagate(self._apply(cell), flags)
+
+    def pick(self, st: _GrowState) -> Optional[int]:
+        """Best-scoring fitting candidate, or a jump cell, or None."""
+        size = self.size
+        pins = self.pins
+        s_max = self.s_max
+        key_of = self.key_of
+        inf = float("inf")
+        best_key = None
+        best_cell = -1
+        for key, rec in self.buckets.items():
+            s = key[0]
+            total = size + s
+            if total > s_max:
+                continue
+            heap = rec[0]
+            while key_of[heap[0]] != key:
+                heappop(heap)
+            top = heap[0]
+            p = pins + key[1]
+            score = inf if p <= 0 else total / p
+            cand = (score, s, -top)
+            if best_key is None or cand > best_key:
+                best_key = cand
+                best_cell = top
+        if best_cell >= 0:
+            return best_cell
+        # Frontier exhausted or nothing fits adjacently: jump to the
+        # biggest unassigned cell that still fits.
+        budget = s_max - size
+        cell_sizes = self.ctx.cell_sizes
+        flags = st.flags
+        best = -1
+        best_size = -1
+        for c in st.cell_list:
+            if flags[c]:
+                s = cell_sizes[c]
+                if s <= budget and (
+                    s > best_size or (s == best_size and c < best)
+                ):
+                    best_size = s
+                    best = c
+        return best if best >= 0 else None
+
+    def grow(
+        self, st: _GrowState, other: Optional["_FlatGrower"]
+    ) -> Optional[int]:
+        """Add one cell if possible; returns the added cell or None."""
+        if self.saturated:
+            return None
+        cell = self.pick(st)
+        if cell is None:
+            self.saturated = True
+            return None
+        st.flags[cell] = 0
+        st.remaining -= 1
+        self.discard(cell)
+        if other is not None:
+            other.discard(cell)
+        self.add(cell, st.flags)
+        return cell
+
+
+def flat_greedy_merge_bipartition(
+    hg: Hypergraph,
+    cells: Iterable[int],
+    device: Device,
+    rng: Optional[random.Random] = None,
+    trace: Optional[list] = None,
+) -> Set[int]:
+    """Flat twin of :func:`repro.initial.greedy_merge_bipartition`."""
+    cell_list = sorted(set(cells))
+    if len(cell_list) < 2:
+        raise ValueError("cannot bipartition fewer than two cells")
+    seed1, seed2 = select_seeds(hg, cell_list, rng=rng)
+    ctx = _FlatContext(hg, cell_list)
+    st = _GrowState(ctx.num_cells, cell_list, (seed1, seed2))
+
+    grower_a = _FlatGrower(ctx, seed1, device.s_max)
+    grower_b = _FlatGrower(ctx, seed2, device.s_max)
+    grower_a.extend_initial(st.flags)
+    grower_b.extend_initial(st.flags)
+
+    while not (grower_a.saturated and grower_b.saturated):
+        cell_a = grower_a.grow(st, grower_b)
+        cell_b = grower_b.grow(st, grower_a)
+        if trace is not None:
+            if cell_a is not None:
+                trace.append(
+                    ("gm", 0, cell_a, grower_a.size, grower_a.pins)
+                )
+            if cell_b is not None:
+                trace.append(
+                    ("gm", 1, cell_b, grower_b.size, grower_b.pins)
+                )
+        if cell_a is None and cell_b is None:
+            break
+
+    a, b = grower_a, grower_b
+    if (a.size, -a.pins) >= (b.size, -b.pins):
+        return set(a.members)
+    return set(b.members)
+
+
+def flat_seed_grow_bipartition(
+    hg: Hypergraph,
+    cells: Iterable[int],
+    device: Device,
+    rng: Optional[random.Random] = None,
+    trace: Optional[list] = None,
+) -> Set[int]:
+    """Flat twin of :func:`repro.initial.seed_grow_bipartition`."""
+    cell_list = sorted(set(cells))
+    if len(cell_list) < 2:
+        raise ValueError("cannot bipartition fewer than two cells")
+    seed1, _seed2 = select_seeds(hg, cell_list, rng=rng)
+    ctx = _FlatContext(hg, cell_list)
+    st = _GrowState(ctx.num_cells, cell_list, (seed1,))
+
+    grower = _FlatGrower(ctx, seed1, device.s_max)
+    grower.extend_initial(st.flags)
+    while st.remaining > 1:
+        cell = grower.pick(st)
+        if cell is None:
+            break
+        st.flags[cell] = 0
+        st.remaining -= 1
+        grower.discard(cell)
+        grower.add(cell, st.flags)
+        if trace is not None:
+            trace.append(("sg", cell, grower.size, grower.pins))
+    return set(grower.members)
+
+
+#: builder name -> flat implementation, mirroring ``initial.BUILDERS``.
+FLAT_BUILDERS = {
+    "greedy_merge": flat_greedy_merge_bipartition,
+    "ratio_cut": flat_ratio_cut_bipartition,
+    "seed_grow": flat_seed_grow_bipartition,
+}

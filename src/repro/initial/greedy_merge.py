@@ -98,20 +98,20 @@ class _Grower:
                 jump = cell
         return jump
 
-    def grow(self, unassigned: Set[int], other: "_Grower") -> bool:
-        """Add one cell if possible; returns True when a cell was added."""
+    def grow(self, unassigned: Set[int], other: "_Grower") -> Optional[int]:
+        """Add one cell if possible; returns the added cell or None."""
         if self.saturated:
-            return False
+            return None
         cell = self.pick(unassigned)
         if cell is None:
             self.saturated = True
-            return False
+            return None
         unassigned.discard(cell)
         self.discard(cell)
         other.discard(cell)
         self.block.add(cell)
         self.extend_frontier(cell, unassigned)
-        return True
+        return cell
 
 
 def greedy_merge_bipartition(
@@ -119,6 +119,7 @@ def greedy_merge_bipartition(
     cells: Iterable[int],
     device: Device,
     rng: Optional[random.Random] = None,
+    trace: Optional[list] = None,
 ) -> Set[int]:
     """Split ``cells`` constructively; returns the produced block ``P_k``.
 
@@ -126,7 +127,9 @@ def greedy_merge_bipartition(
     fewer pins, then the block of the first seed); the complement within
     ``cells`` is the remainder.  Always a proper non-empty subset.
     ``rng`` perturbs the growth-seed choice (see ``initial.seeds``);
-    ``None`` is the canonical deterministic path.
+    ``None`` is the canonical deterministic path.  ``trace`` optionally
+    collects one fingerprint tuple per grown cell for the differential
+    harness.
     """
     cell_list = sorted(set(cells))
     if len(cell_list) < 2:
@@ -140,9 +143,18 @@ def greedy_merge_bipartition(
     grower_b.extend_frontier(seed2, unassigned)
 
     while not (grower_a.saturated and grower_b.saturated):
-        grew_a = grower_a.grow(unassigned, grower_b)
-        grew_b = grower_b.grow(unassigned, grower_a)
-        if not (grew_a or grew_b):
+        cell_a = grower_a.grow(unassigned, grower_b)
+        cell_b = grower_b.grow(unassigned, grower_a)
+        if trace is not None:
+            if cell_a is not None:
+                trace.append(
+                    ("gm", 0, cell_a, grower_a.block.size, grower_a.block.pins)
+                )
+            if cell_b is not None:
+                trace.append(
+                    ("gm", 1, cell_b, grower_b.block.size, grower_b.block.pins)
+                )
+        if cell_a is None and cell_b is None:
             break
 
     a, b = grower_a.block, grower_b.block

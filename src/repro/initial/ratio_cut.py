@@ -23,7 +23,12 @@ from ..hypergraph import Hypergraph
 from .growing import GrowingBlock
 from .seeds import select_seeds
 
-__all__ = ["SweepResult", "ratio_cut_sweep", "ratio_cut_bipartition"]
+__all__ = [
+    "SweepResult",
+    "swept_net_totals",
+    "ratio_cut_sweep",
+    "ratio_cut_bipartition",
+]
 
 
 @dataclass(frozen=True)
@@ -40,19 +45,38 @@ class SweepResult:
     """Whether any prefix had a side meeting device constraints."""
 
 
+def swept_net_totals(hg: Hypergraph, cells: Sequence[int]) -> Dict[int, int]:
+    """Pins of each net inside the swept cell set.
+
+    Constant for the whole bipartition, so ``ratio_cut_bipartition``
+    computes it once and shares it across its two seed sweeps.
+    """
+    net_total: Dict[int, int] = {}
+    for c in cells:
+        for e in hg.nets_of(c):
+            net_total[e] = net_total.get(e, 0) + 1
+    return net_total
+
+
 class _Sweep:
     """Incremental cut/gain bookkeeping for one sweep run."""
 
-    def __init__(self, hg: Hypergraph, cells: Sequence[int], seed: int):
+    def __init__(
+        self,
+        hg: Hypergraph,
+        cells: Sequence[int],
+        seed: int,
+        net_total: Optional[Dict[int, int]] = None,
+    ):
         self.hg = hg
         self.cell_set = set(cells)
         if seed not in self.cell_set:
             raise ValueError("seed must belong to the swept cells")
-        # Pins of each net inside the swept set (constant) and inside A.
-        self.net_total: Dict[int, int] = {}
-        for c in cells:
-            for e in hg.nets_of(c):
-                self.net_total[e] = self.net_total.get(e, 0) + 1
+        # Pins of each net inside the swept set (constant — never
+        # mutated by move(), so a shared dict is safe) and inside A.
+        if net_total is None:
+            net_total = swept_net_totals(hg, cells)
+        self.net_total = net_total
         self.in_a: Dict[int, int] = {}
         self.cut = 0
         self.a = GrowingBlock(hg, ())
@@ -103,10 +127,22 @@ def ratio_cut_sweep(
     cells: Sequence[int],
     device: Device,
     seed: int,
+    net_total: Optional[Dict[int, int]] = None,
+    trace: Optional[list] = None,
 ) -> SweepResult:
-    """Sweep from one seed; returns the best feasible-side prefix."""
+    """Sweep from one seed; returns the best feasible-side prefix.
+
+    ``net_total`` optionally supplies precomputed swept-set pin totals
+    (see :func:`swept_net_totals`); ``trace`` optionally collects one
+    fingerprint tuple per move for the differential harness.
+    """
     cell_list = sorted(set(cells))
-    sweep = _Sweep(hg, cell_list, seed)
+    sweep = _Sweep(hg, cell_list, seed, net_total=net_total)
+    if trace is not None:
+        trace.append(
+            ("rc", seed, sweep.cut, sweep.a.size, sweep.a.pins,
+             sweep.b.size, sweep.b.pins)
+        )
 
     # Candidate gains, cached and invalidated for neighbours of each move.
     gains: Dict[int, int] = {}
@@ -159,15 +195,24 @@ def ratio_cut_sweep(
         refresh_around(cell)
         order.append(cell)
         consider_prefix(len(order))
+        if trace is not None:
+            trace.append(
+                ("rc", cell, sweep.cut, sweep.a.size, sweep.a.pins,
+                 sweep.b.size, sweep.b.pins)
+            )
 
     if best_index is None:
-        return SweepResult(subset=(), ratio=float("inf"), feasible=False)
-    prefix = set(order[:best_index])
-    if best_side_a:
-        subset = tuple(sorted(prefix))
+        result = SweepResult(subset=(), ratio=float("inf"), feasible=False)
     else:
-        subset = tuple(sorted(set(cell_list) - prefix))
-    return SweepResult(subset=subset, ratio=best_ratio, feasible=True)
+        prefix = set(order[:best_index])
+        if best_side_a:
+            subset = tuple(sorted(prefix))
+        else:
+            subset = tuple(sorted(set(cell_list) - prefix))
+        result = SweepResult(subset=subset, ratio=best_ratio, feasible=True)
+    if trace is not None:
+        trace.append(("rc_result", result.subset, result.ratio, result.feasible))
+    return result
 
 
 def ratio_cut_bipartition(
@@ -175,6 +220,7 @@ def ratio_cut_bipartition(
     cells: Iterable[int],
     device: Device,
     rng: Optional[random.Random] = None,
+    trace: Optional[list] = None,
 ) -> Optional[Set[int]]:
     """Best-of-two-seeds ratio-cut bipartition of ``cells``.
 
@@ -186,9 +232,16 @@ def ratio_cut_bipartition(
     if len(cell_list) < 2:
         raise ValueError("cannot bipartition fewer than two cells")
     seed1, seed2 = select_seeds(hg, cell_list, rng=rng)
+    # The swept-set totals are a pure function of the cell set, so both
+    # seed sweeps share one build instead of rebuilding per sweep.
+    net_total = swept_net_totals(hg, cell_list)
     results = [
-        ratio_cut_sweep(hg, cell_list, device, seed1),
-        ratio_cut_sweep(hg, cell_list, device, seed2),
+        ratio_cut_sweep(
+            hg, cell_list, device, seed1, net_total=net_total, trace=trace
+        ),
+        ratio_cut_sweep(
+            hg, cell_list, device, seed2, net_total=net_total, trace=trace
+        ),
     ]
     results = [r for r in results if r.feasible and 0 < len(r.subset) < len(cell_list)]
     if not results:

@@ -32,12 +32,14 @@ def seed_grow_bipartition(
     cells: Iterable[int],
     device: Device,
     rng: Optional[random.Random] = None,
+    trace: Optional[list] = None,
 ) -> Set[int]:
     """Grow one block from the primary seed; returns ``P_k``.
 
     Always a proper non-empty subset of ``cells`` (growth stops one
     cell short of swallowing everything).  ``rng`` perturbs the seed
-    choice exactly as in the sibling builders.
+    choice exactly as in the sibling builders.  ``trace`` optionally
+    collects one fingerprint tuple per grown cell.
     """
     cell_list = sorted(set(cells))
     if len(cell_list) < 2:
@@ -56,4 +58,8 @@ def seed_grow_bipartition(
         grower.discard(cell)
         grower.block.add(cell)
         grower.extend_frontier(cell, unassigned)
+        if trace is not None:
+            trace.append(
+                ("sg", cell, grower.block.size, grower.block.pins)
+            )
     return set(grower.block.cells)

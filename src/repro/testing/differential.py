@@ -21,6 +21,11 @@ Operation vocabulary (plain tuples, JSON-friendly):
     exercising the undo journal across both substrates.
 ``("restore", assignment, num_blocks)``
     Full-state restore (the driver's checkpoint/resume path).
+``("build", builder, cells, rng_seed)``
+    One constructive builder invocation (see :func:`constructive_ops`)
+    — replayed with per-step trace comparison by
+    :func:`run_constructive_differential`, covering the flat builder
+    twins in ``repro.initial.flat_build``.
 
 The fingerprint taken after each op covers the partition aggregates and
 a deterministic sample of per-net / per-cell queries; optional extras
@@ -48,6 +53,9 @@ __all__ = [
     "random_ops",
     "replay",
     "run_differential",
+    "constructive_ops",
+    "replay_constructive",
+    "run_constructive_differential",
 ]
 
 Op = Tuple[Any, ...]
@@ -258,6 +266,131 @@ def _compare_keys(hg: Hypergraph, ops, device, config) -> Optional[str]:
                 f"object={c0.key} flat={c1.key}"
             )
     return None
+
+
+#: builders covered by the constructive replay harness.
+CONSTRUCTIVE_BUILDERS = ("greedy_merge", "ratio_cut", "seed_grow")
+
+
+def constructive_ops(
+    hg: Hypergraph,
+    seed: int = 0,
+    rounds: int = 12,
+    builders: Sequence[str] = CONSTRUCTIVE_BUILDERS,
+) -> List[Op]:
+    """Deterministic random constructive op sequence over ``hg``.
+
+    Each op is ``("build", builder, cells, rng_seed)`` — one builder
+    invocation on a random cell subset (sometimes the whole circuit,
+    mimicking the root bipartition; otherwise a random proper subset,
+    mimicking a remainder block), with an optional per-op rng seed
+    exercising the seeded seed-selection path.
+    """
+    if hg.num_cells < 2:
+        raise ValueError("need at least two cells for constructive ops")
+    rng = random.Random(seed)
+    ops: List[Op] = []
+    for _ in range(rounds):
+        builder = builders[rng.randrange(len(builders))]
+        if rng.random() < 0.4:
+            cells = tuple(range(hg.num_cells))
+        else:
+            k = rng.randrange(2, hg.num_cells + 1)
+            cells = tuple(sorted(rng.sample(range(hg.num_cells), k)))
+        rng_seed = rng.getrandbits(64) if rng.random() < 0.5 else None
+        ops.append(("build", builder, cells, rng_seed))
+    return ops
+
+
+def replay_constructive(
+    hg: Hypergraph,
+    device,
+    ops: Sequence[Op],
+    backend: str,
+) -> List[Tuple]:
+    """Replay constructive ops on one backend; returns per-op records.
+
+    Each record is ``(subset, trace)`` — the builder's returned block
+    (sorted tuple, or None) and its per-step fingerprint trace, the
+    full observable surface of one constructive invocation.
+    """
+    from ..initial import BUILDERS, FLAT_BUILDERS
+
+    object_by_name = dict(BUILDERS)
+    records: List[Tuple] = []
+    for op in ops:
+        kind, name, cells, rng_seed = op
+        if kind != "build":
+            raise ValueError(f"unknown constructive op {op!r}")
+        fn = FLAT_BUILDERS[name] if backend == "flat" else object_by_name[name]
+        rng = random.Random(rng_seed) if rng_seed is not None else None
+        trace: List[Tuple] = []
+        subset = fn(hg, list(cells), device, rng=rng, trace=trace)
+        records.append(
+            (
+                tuple(sorted(subset)) if subset is not None else None,
+                tuple(trace),
+            )
+        )
+    return records
+
+
+def run_constructive_differential(
+    hg: Hypergraph,
+    device,
+    ops: Optional[Sequence[Op]] = None,
+    seed: int = 0,
+    rounds: int = 12,
+) -> DifferentialReport:
+    """Replay constructive ops through both backends and compare.
+
+    The comparison is per *step*, not just per result: the builders'
+    trace tuples (every move/grow with its cut, size and pin counts)
+    must match entry for entry, which localizes a divergence to the
+    first differing constructive decision.
+    """
+    if ops is None:
+        ops = constructive_ops(hg, seed=seed, rounds=rounds)
+    ops = list(ops)
+    report = DifferentialReport(ops=ops, identical=True)
+    records = {
+        backend: replay_constructive(hg, device, ops, backend)
+        for backend in ("object", "flat")
+    }
+    compared = 0
+    for i, (ro, rf) in enumerate(zip(records["object"], records["flat"])):
+        sub_o, trace_o = ro
+        sub_f, trace_f = rf
+        compared += 1 + min(len(trace_o), len(trace_f))
+        if trace_o != trace_f:
+            step = next(
+                (
+                    j
+                    for j, (a, b) in enumerate(zip(trace_o, trace_f))
+                    if a != b
+                ),
+                min(len(trace_o), len(trace_f)),
+            )
+            pair = (
+                trace_o[step] if step < len(trace_o) else "<missing>",
+                trace_f[step] if step < len(trace_f) else "<missing>",
+            )
+            report.identical = False
+            report.first_divergence = (
+                f"constructive trace divergence at op {i} = {ops[i]!r} "
+                f"step {step}: object={pair[0]!r} flat={pair[1]!r}"
+            )
+            return report
+        if sub_o != sub_f:
+            report.identical = False
+            report.first_divergence = (
+                f"constructive subset divergence at op {i} = {ops[i]!r}: "
+                f"object={sub_o!r} flat={sub_f!r}"
+            )
+            return report
+    report.fingerprints_compared = compared
+    report.extras.append("constructive")
+    return report
 
 
 def run_differential(

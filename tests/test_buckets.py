@@ -94,3 +94,55 @@ class TestUpdates:
         assert b.peek_max() is None
         b.insert(1, -2)
         assert b.peek_max() == 1
+
+
+class TestIterMaxBucket:
+    def test_yields_only_top_bucket(self):
+        b = GainBuckets(3)
+        b.insert(1, -1)
+        b.insert(2, 2)
+        b.insert(3, 2)
+        b.insert(4, 0)
+        assert list(b.iter_max_bucket()) == [3, 2]
+
+    def test_empty(self):
+        b = GainBuckets(2)
+        assert list(b.iter_max_bucket()) == []
+
+    def test_settles_after_removal(self):
+        b = GainBuckets(2)
+        b.insert(1, 2)
+        b.insert(2, 0)
+        b.insert(3, 0)
+        b.remove(1)
+        assert list(b.iter_max_bucket()) == [3, 2]
+
+    def test_flat_matches_object(self):
+        import random
+
+        rng = random.Random(7)
+        from repro.fm.buckets import FlatGainBuckets
+
+        obj = GainBuckets(4)
+        flat = FlatGainBuckets(4, 64)
+        present = set()
+        for _ in range(500):
+            r = rng.random()
+            if r < 0.5 or not present:
+                cell = rng.randrange(64)
+                if cell in present:
+                    continue
+                gain = rng.randrange(-4, 5)
+                obj.insert(cell, gain)
+                flat.insert(cell, gain)
+                present.add(cell)
+            elif r < 0.75:
+                cell = rng.choice(sorted(present))
+                obj.update(cell, rng.randrange(-4, 5))
+                flat.update(cell, obj.gain_of(cell))
+            else:
+                cell = rng.choice(sorted(present))
+                obj.remove(cell)
+                flat.remove(cell)
+                present.remove(cell)
+            assert list(obj.iter_max_bucket()) == list(flat.iter_max_bucket())

